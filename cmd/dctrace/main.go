@@ -1,0 +1,91 @@
+// dctrace renders execution traces of the task-flow solver: the textual
+// analogue of the paper's Figures 3 and 4. The solver runs once on one
+// worker with graph capture, then the schedule is replayed on P virtual
+// workers (see DESIGN.md §2) under the selected execution model.
+//
+//	dctrace -type 4 -n 1500 -p 16 -model taskflow
+//	dctrace -type 1 -n 1500 -p 16 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tridiag/internal/core"
+	"tridiag/internal/sched"
+	"tridiag/internal/testmat"
+	"tridiag/internal/trace"
+)
+
+func main() {
+	typ := flag.Int("type", 4, "Table III matrix type")
+	n := flag.Int("n", 1000, "matrix size")
+	p := flag.Int("p", 16, "simulated workers")
+	model := flag.String("model", "taskflow", "execution model: taskflow | levelsync | forkjoin | mergepar")
+	bw := flag.Float64("bw", 4, "memory streams per socket (0: bandwidth model off)")
+	width := flag.Int("width", 120, "gantt width in characters")
+	csv := flag.String("csv", "", "write the timeline as CSV to this file")
+	seed := flag.Int64("seed", 1, "random seed")
+	real := flag.Bool("real", false, "show the real measured trace of a concurrent run instead of a simulation")
+	flag.Parse()
+
+	m, err := testmat.Type(*typ, *n, rand.New(rand.NewSource(*seed)))
+	fail(err)
+
+	mode := core.ModeTaskFlow
+	if *model == "levelsync" {
+		mode = core.ModeLevelSync
+	}
+
+	workers := 1
+	if *real {
+		workers = *p
+	}
+	d := append([]float64(nil), m.D...)
+	e := append([]float64(nil), m.E...)
+	q := make([]float64, *n**n)
+	res, err := core.SolveDC(*n, d, e, q, *n, &core.Options{
+		Workers: workers, CaptureGraph: true, Mode: mode,
+		PanelSize: max(16, *n/16), MinPartition: max(32, *n/16),
+	})
+	fail(err)
+	g := res.Graph
+
+	var tl *trace.Timeline
+	if *real {
+		tl = trace.FromGraph(g)
+		fmt.Printf("real concurrent run, %d workers\n", workers)
+	} else {
+		switch *model {
+		case "forkjoin":
+			g = sched.ForkJoinGraph(g, sched.ParallelBLASClasses)
+		case "mergepar":
+			g = sched.ForkJoinGraph(g, sched.ParallelMergeClasses)
+		case "taskflow", "levelsync":
+		default:
+			fail(fmt.Errorf("unknown model %q", *model))
+		}
+		r, err := sched.Simulate(g, sched.Config{Workers: *p, StreamsPerSocket: *bw, WorkersPerSocket: 8})
+		fail(err)
+		tl = trace.FromSimulation(g, r, *p)
+		fmt.Printf("model %s, P=%d simulated (bandwidth cap %.0f)\n", *model, *p, *bw)
+	}
+	fmt.Printf("matrix %s n=%d, deflation %.1f%%\n\n", m.Name, *n, 100*res.Stats.DeflationRatio())
+	fmt.Print(tl.Gantt(*width))
+	fmt.Println()
+	fmt.Print(tl.BreakdownReport())
+
+	if *csv != "" {
+		fail(os.WriteFile(*csv, []byte(tl.CSV()), 0o644))
+		fmt.Printf("wrote %s\n", *csv)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dctrace:", err)
+		os.Exit(1)
+	}
+}

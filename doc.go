@@ -1,0 +1,10 @@
+// Package tridiag is a Go reproduction of "Divide and Conquer Symmetric
+// Tridiagonal Eigensolver for Multicore Architectures" (Pichon, Haidar,
+// Faverge, Kurzak — IPDPS 2015): a task-flow divide & conquer eigensolver on
+// a QUARK-style dynamic runtime, with MRRR and QR comparators, a dense
+// symmetric pipeline, the paper's test-matrix suite and a benchmark harness
+// regenerating every table and figure of the evaluation.
+//
+// The public API lives in package tridiag/eigen; see README.md for the
+// architecture overview and DESIGN.md for the reproduction plan.
+package tridiag

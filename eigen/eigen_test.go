@@ -1,0 +1,315 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomTridiag(rng *rand.Rand, n int) Tridiagonal {
+	d := make([]float64, n)
+	e := make([]float64, max(n-1, 0))
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	return Tridiagonal{D: d, E: e}
+}
+
+func TestSolveAllMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	n := 90
+	tri := randomTridiag(rng, n)
+	var ref []float64
+	for _, m := range []Method{MethodDC, MethodDCSequential, MethodMRRR, MethodQR} {
+		res, err := Solve(tri, &Options{Method: m, Workers: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got := Residual(tri, res); got > 1e-13 {
+			t.Errorf("%v: residual %.3e", m, got)
+		}
+		if got := Orthogonality(res); got > 1e-13 {
+			t.Errorf("%v: orthogonality %.3e", m, got)
+		}
+		if ref == nil {
+			ref = res.Values
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(res.Values[i]-ref[i]) > 1e-11 {
+				t.Errorf("%v: eigenvalue %d differs: %v vs %v", m, i, res.Values[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestValuesMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	tri := randomTridiag(rng, 60)
+	w, err := Values(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Abs(w[i]-res.Values[i]) > 1e-11 {
+			t.Errorf("eigenvalue %d: %v vs %v", i, w[i], res.Values[i])
+		}
+	}
+}
+
+func TestSolveDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	tri := randomTridiag(rng, 40)
+	d0 := append([]float64(nil), tri.D...)
+	e0 := append([]float64(nil), tri.E...)
+	if _, err := Solve(tri, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d0 {
+		if tri.D[i] != d0[i] {
+			t.Fatal("Solve modified D")
+		}
+	}
+	for i := range e0 {
+		if tri.E[i] != e0[i] {
+			t.Fatal("Solve modified E")
+		}
+	}
+}
+
+func TestSymEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	n := 70
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := rng.NormFloat64()
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	aorig := append([]float64(nil), a...)
+	res, err := SymEigen(n, a, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v = λ v
+	worst := 0.0
+	var anorm float64
+	for _, v := range aorig {
+		anorm = math.Max(anorm, math.Abs(v))
+	}
+	for j := 0; j < n; j++ {
+		v := res.Vector(j)
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += aorig[i+l*n] * v[l]
+			}
+			worst = math.Max(worst, math.Abs(s-res.Values[j]*v[i]))
+		}
+	}
+	if worst/(anorm*float64(n)) > 1e-14 {
+		t.Errorf("SymEigen residual %.3e", worst/(anorm*float64(n)))
+	}
+	if got := Orthogonality(res); got > 1e-14 {
+		t.Errorf("SymEigen orthogonality %.3e", got)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	// empty
+	res, err := Solve(Tridiagonal{}, nil)
+	if err != nil || res.N != 0 {
+		t.Errorf("empty: %v %v", res, err)
+	}
+	// 1x1
+	res, err = Solve(Tridiagonal{D: []float64{7}, E: []float64{}}, nil)
+	if err != nil || res.Values[0] != 7 || res.Vector(0)[0] != 1 {
+		t.Errorf("1x1: %+v %v", res, err)
+	}
+	// wrong E length
+	if _, err := Solve(Tridiagonal{D: []float64{1, 2}, E: []float64{}}, nil); err == nil {
+		t.Error("bad E length must error")
+	}
+	// bad method
+	if _, err := Solve(Tridiagonal{D: []float64{1}, E: []float64{}}, &Options{Method: Method(99)}); err == nil {
+		t.Error("unknown method must error")
+	}
+	// SymEigen validation
+	if _, err := SymEigen(4, make([]float64, 16), 2, nil); err == nil {
+		t.Error("lda<n must error")
+	}
+}
+
+// Property: for random tridiagonals, eigenvalues are ascending, the trace is
+// preserved, and vectors are orthonormal.
+func TestSolveQuickProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		tri := randomTridiag(r, n)
+		res, err := Solve(tri, &Options{Workers: 2, MinPartition: 8, PanelSize: 8})
+		if err != nil {
+			return false
+		}
+		var trT, trL float64
+		for i := 0; i < n; i++ {
+			trT += tri.D[i]
+			trL += res.Values[i]
+			if i > 0 && res.Values[i] < res.Values[i-1] {
+				return false
+			}
+		}
+		if math.Abs(trT-trL) > 1e-10*float64(n)*(math.Abs(trT)+1) {
+			return false
+		}
+		return Orthogonality(res) < 1e-13
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodDC.String() != "dc" || MethodMRRR.String() != "mrrr" {
+		t.Error("method names")
+	}
+}
+
+func TestSymEigen2Stage(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	n := 90
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := rng.NormFloat64()
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	aorig := append([]float64(nil), a...)
+	res, err := SymEigen2Stage(n, a, n, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v = λ v
+	worst := 0.0
+	var anorm float64
+	for _, v := range aorig {
+		anorm = math.Max(anorm, math.Abs(v))
+	}
+	for j := 0; j < n; j++ {
+		v := res.Vector(j)
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += aorig[i+l*n] * v[l]
+			}
+			worst = math.Max(worst, math.Abs(s-res.Values[j]*v[i]))
+		}
+	}
+	if worst/(anorm*float64(n)) > 1e-14 {
+		t.Errorf("two-stage residual %.3e", worst/(anorm*float64(n)))
+	}
+	if o := Orthogonality(res); o > 1e-14 {
+		t.Errorf("two-stage orthogonality %.3e", o)
+	}
+	// must match the one-stage pipeline's eigenvalues
+	a2 := append([]float64(nil), aorig...)
+	one, err := SymEigen(n, a2, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(res.Values[i]-one.Values[i]) > 1e-11*(anorm+1) {
+			t.Errorf("eig %d: two-stage %v one-stage %v", i, res.Values[i], one.Values[i])
+		}
+	}
+}
+
+func TestSymGeneralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	n := 60
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := rng.NormFloat64()
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	// SPD B = M Mᵀ + n I
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += m[i+l*n] * m[j+l*n]
+			}
+			b[i+j*n] = s
+		}
+		b[j+j*n] += float64(n)
+	}
+	aorig := append([]float64(nil), a...)
+	borig := append([]float64(nil), b...)
+	res, err := SymGeneralized(n, a, n, b, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A x = λ B x and Xᵀ B X = I
+	var anorm float64
+	for _, x := range aorig {
+		anorm = math.Max(anorm, math.Abs(x))
+	}
+	bx := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := res.Vector(j)
+		for i := 0; i < n; i++ {
+			var ax float64
+			bx[i] = 0
+			for l := 0; l < n; l++ {
+				ax += aorig[i+l*n] * v[l]
+				bx[i] += borig[i+l*n] * v[l]
+			}
+			if math.Abs(ax-res.Values[j]*bx[i]) > 1e-11*anorm*float64(n) {
+				t.Fatalf("generalized residual at (%d,%d)", i, j)
+			}
+		}
+		// B-orthonormality against earlier vectors
+		for k := 0; k <= j; k++ {
+			var s float64
+			vk := res.Vector(k)
+			for i := 0; i < n; i++ {
+				s += vk[i] * bx[i]
+			}
+			want := 0.0
+			if k == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-11*float64(n) {
+				t.Fatalf("XᵀBX (%d,%d) = %v", k, j, s)
+			}
+		}
+	}
+	// indefinite B must be rejected
+	bad := make([]float64, 4)
+	bad[0], bad[3] = 1, -1
+	if _, err := SymGeneralized(2, make([]float64, 4), 2, bad, 2, nil); err == nil {
+		t.Error("indefinite B must error")
+	}
+}

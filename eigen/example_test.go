@@ -1,0 +1,87 @@
+package eigen_test
+
+import (
+	"fmt"
+
+	"tridiag/eigen"
+)
+
+// Solve the 4×4 (1,2,1) matrix with the task-flow divide & conquer solver.
+func ExampleSolve() {
+	t := eigen.Tridiagonal{
+		D: []float64{2, 2, 2, 2},
+		E: []float64{1, 1, 1},
+	}
+	res, err := eigen.Solve(t, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range res.Values {
+		fmt.Printf("%.4f\n", v)
+	}
+	// Output:
+	// 0.3820
+	// 1.3820
+	// 2.6180
+	// 3.6180
+}
+
+// Eigenvalues only, via the root-free QR iteration.
+func ExampleValues() {
+	t := eigen.Tridiagonal{D: []float64{1, 2, 3}, E: []float64{0, 0}}
+	w, err := eigen.Values(t)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w)
+	// Output: [1 2 3]
+}
+
+// Compute only the two smallest eigenpairs of a larger matrix.
+func ExampleSolveRange() {
+	n := 100
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	res, err := eigen.SolveRange(eigen.Tridiagonal{D: d, E: e}, 0, 1, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.6f %.6f\n", res.Values[0], res.Values[1])
+	// Output: 0.000967 0.003869
+}
+
+// Full eigendecomposition of a dense symmetric matrix.
+func ExampleSymEigen() {
+	n := 3
+	// column-major symmetric matrix [[2,1,0],[1,3,1],[0,1,2]]
+	a := []float64{2, 1, 0, 1, 3, 1, 0, 1, 2}
+	res, err := eigen.SymEigen(n, a, n, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range res.Values {
+		fmt.Printf("%.4f\n", v)
+	}
+	// Output:
+	// 1.0000
+	// 2.0000
+	// 4.0000
+}
+
+// Singular value decomposition through the Golub–Kahan route.
+func ExampleSVD() {
+	// 3×2 matrix [[3,0],[0,2],[0,0]] has singular values 3 and 2.
+	a := []float64{3, 0, 0, 0, 2, 0}
+	r, err := eigen.SVD(3, 2, a, 3, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f %.1f\n", r.S[0], r.S[1])
+	// Output: 3.0 2.0
+}

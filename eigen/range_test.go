@@ -1,0 +1,156 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveRangeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for _, n := range []int{10, 50, 120} {
+		tri := randomTridiag(rng, n)
+		full, err := Solve(tri, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range [][2]int{{0, 2}, {n / 2, n/2 + 4}, {n - 3, n - 1}, {0, n - 1}} {
+			il, iu := r[0], r[1]
+			sub, err := SolveRange(tri, il, iu, &Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("n=%d range %v: %v", n, r, err)
+			}
+			for j := 0; j <= iu-il; j++ {
+				if math.Abs(sub.Values[j]-full.Values[il+j]) > 1e-10 {
+					t.Errorf("n=%d range %v value %d: %v vs %v", n, r, j, sub.Values[j], full.Values[il+j])
+				}
+				// vectors agree up to sign
+				v1, v2 := sub.Vector(j), full.Vector(il+j)
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += v1[i] * v2[i]
+				}
+				if math.Abs(math.Abs(dot)-1) > 1e-8 {
+					t.Errorf("n=%d range %v vector %d: |<v1,v2>|=%v", n, r, j, math.Abs(dot))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveRangeSplitMatrix(t *testing.T) {
+	// A matrix with zero couplings (multiple blocks).
+	rng := rand.New(rand.NewSource(603))
+	n := 30
+	tri := randomTridiag(rng, n)
+	tri.E[9] = 0
+	tri.E[19] = 0
+	full, err := Solve(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := SolveRange(tri, 5, 24, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 20; j++ {
+		if math.Abs(sub.Values[j]-full.Values[5+j]) > 1e-10 {
+			t.Errorf("value %d: %v vs %v", j, sub.Values[j], full.Values[5+j])
+		}
+	}
+}
+
+func TestSolveRangeResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(605))
+	n := 80
+	tri := randomTridiag(rng, n)
+	sub, err := SolveRange(tri, 10, 19, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// each returned pair satisfies T v = λ v
+	for j := 0; j < 10; j++ {
+		v := sub.Vector(j)
+		lam := sub.Values[j]
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			s := tri.D[i] * v[i]
+			if i > 0 {
+				s += tri.E[i-1] * v[i-1]
+			}
+			if i < n-1 {
+				s += tri.E[i] * v[i+1]
+			}
+			worst = math.Max(worst, math.Abs(s-lam*v[i]))
+		}
+		if worst > 1e-12*float64(n) {
+			t.Errorf("pair %d residual %.3e", j, worst)
+		}
+	}
+}
+
+func TestSolveRangeErrors(t *testing.T) {
+	tri := Tridiagonal{D: []float64{1, 2, 3}, E: []float64{0.1, 0.2}}
+	if _, err := SolveRange(tri, -1, 1, nil); err == nil {
+		t.Error("il<0 must error")
+	}
+	if _, err := SolveRange(tri, 2, 1, nil); err == nil {
+		t.Error("il>iu must error")
+	}
+	if _, err := SolveRange(tri, 0, 3, nil); err == nil {
+		t.Error("iu>=n must error")
+	}
+}
+
+func TestSVDPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	m, n := 20, 12
+	a := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), a...)
+	r, err := SVD(m, n, a, m, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.S) != n || len(r.UCol(0)) != m || len(r.VCol(0)) != n {
+		t.Fatal("shape")
+	}
+	// reconstruction
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += r.U[i+k*m] * r.S[k] * r.V[j+k*n]
+			}
+			worst = math.Max(worst, math.Abs(s-orig[i+j*m]))
+		}
+	}
+	if worst > 1e-12*float64(n) {
+		t.Errorf("SVD reconstruction %.3e", worst)
+	}
+}
+
+func TestValuesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(609))
+	n := 70
+	tri := randomTridiag(rng, n)
+	full, err := Values(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ValuesRange(tri, 20, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10; j++ {
+		if math.Abs(sub[j]-full[20+j]) > 1e-12 {
+			t.Errorf("value %d: %v vs %v", j, sub[j], full[20+j])
+		}
+	}
+	if _, err := ValuesRange(tri, 5, 3); err == nil {
+		t.Error("il>iu must error")
+	}
+}

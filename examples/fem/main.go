@@ -1,0 +1,141 @@
+// FEM: modal analysis of a clamped-free elastic rod — the finite-element
+// workload the paper's introduction motivates ("finite-elements computation
+// for automobiles").
+//
+// Axial vibration of a rod discretized with linear elements gives the
+// generalized problem K u = ω² M u. With the lumped mass matrix the reduced
+// operator M^{-1/2} K M^{-1/2} stays tridiagonal and is solved with
+// eigen.Solve; with the consistent mass matrix the reduction is dense and
+// exercises the full dense pipeline eigen.SymEigen (Householder
+// tridiagonalization → task-flow D&C → back-transformation). The analytic
+// natural frequencies of the clamped-free rod are (2k-1)π/2 · c/L.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tridiag/eigen"
+)
+
+func main() {
+	const n = 600 // free degrees of freedom
+	const Lrod = 1.0
+	h := Lrod / float64(n)
+
+	// Element stiffness (EA/h)[1 -1; -1 1], assembled with node 0 clamped.
+	// Units chosen so c = sqrt(EA/ρA) = 1.
+	dK := make([]float64, n)
+	eK := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		dK[i] = 2 / h
+		if i == n-1 {
+			dK[i] = 1 / h // free end has one adjacent element
+		}
+	}
+	for i := range eK {
+		eK[i] = -1 / h
+	}
+
+	// --- lumped mass: M = diag(h, ..., h, h/2), tridiagonal reduction ---
+	mL := make([]float64, n)
+	for i := range mL {
+		mL[i] = h
+	}
+	mL[n-1] = h / 2
+	dT := make([]float64, n)
+	eT := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		dT[i] = dK[i] / mL[i]
+	}
+	for i := 0; i < n-1; i++ {
+		eT[i] = eK[i] / math.Sqrt(mL[i]*mL[i+1])
+	}
+	tri := eigen.Tridiagonal{D: dT, E: eT}
+	res, err := eigen.Solve(tri, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clamped-free rod, lumped mass (tridiagonal path):")
+	report(res, 5)
+
+	// --- consistent mass: M tridiagonal (h/6)(4, 1) pattern; solve the
+	// generalized problem K u = ω² M u directly with the Cholesky-based
+	// reduction (eigen.SymGeneralized). ---
+	K := make([]float64, n*n)
+	M := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		K[i+i*n] = dK[i]
+		M[i+i*n] = 4 * h / 6
+		if i == n-1 {
+			M[i+i*n] = 2 * h / 6
+		}
+		if i < n-1 {
+			K[i+1+i*n], K[i+(i+1)*n] = eK[i], eK[i]
+			M[i+1+i*n], M[i+(i+1)*n] = h/6, h/6
+		}
+	}
+	res2, err := eigen.SymGeneralized(n, K, n, M, n, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclamped-free rod, consistent mass (generalized K u = ω² M u):")
+	for i := 0; i < 5; i++ {
+		omega := math.Sqrt(math.Max(res2.Values[i], 0))
+		exact := (2*float64(i) + 1) * math.Pi / 2
+		fmt.Printf("  ω%-2d = %12.6f   analytic %12.6f   rel.err %.2e\n",
+			i+1, omega, exact, math.Abs(omega-exact)/exact)
+	}
+	// Generalized modes are mass-orthonormal: check ‖XᵀMX - I‖ instead.
+	worst := 0.0
+	mcol := make([]float64, n)
+	Morig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		Morig[i+i*n] = 4 * h / 6
+		if i == n-1 {
+			Morig[i+i*n] = 2 * h / 6
+		}
+		if i < n-1 {
+			Morig[i+1+i*n], Morig[i+(i+1)*n] = h/6, h/6
+		}
+	}
+	for j := 0; j < 8; j++ {
+		vj := res2.Vector(j)
+		for i := 0; i < n; i++ {
+			s := Morig[i+i*n] * vj[i]
+			if i > 0 {
+				s += Morig[i+(i-1)*n] * vj[i-1]
+			}
+			if i < n-1 {
+				s += Morig[i+(i+1)*n] * vj[i+1]
+			}
+			mcol[i] = s
+		}
+		for k := 0; k <= j; k++ {
+			var s float64
+			vk := res2.Vector(k)
+			for i := 0; i < n; i++ {
+				s += vk[i] * mcol[i]
+			}
+			if k == j {
+				s -= 1
+			}
+			worst = math.Max(worst, math.Abs(s))
+		}
+	}
+	fmt.Printf("  mass-orthonormality of mode shapes ‖XᵀMX-I‖: %.2e\n", worst)
+	fmt.Println("\n(consistent mass overestimates, lumped mass underestimates the")
+	fmt.Println(" analytic frequencies — the classical FEM bracketing)")
+}
+
+// report prints the first k natural frequencies against the analytic values.
+func report(res *eigen.Result, k int) {
+	for i := 0; i < k; i++ {
+		omega := math.Sqrt(math.Max(res.Values[i], 0))
+		exact := (2*float64(i) + 1) * math.Pi / 2
+		fmt.Printf("  ω%-2d = %12.6f   analytic %12.6f   rel.err %.2e\n",
+			i+1, omega, exact, math.Abs(omega-exact)/exact)
+	}
+	fmt.Printf("  orthogonality of mode shapes: %.2e\n", eigen.Orthogonality(res))
+}

@@ -1,0 +1,138 @@
+// Lowrank: data compression with the SVD built on the task-flow D&C
+// eigensolver (the paper's proposed SVD extension).
+//
+// A smooth synthetic 2-D field (a sum of a few separable modes plus noise)
+// has rapidly decaying singular values; truncating the SVD at rank r
+// compresses it with an error equal to σ_{r+1} — verified here, along with
+// the storage saving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"tridiag/eigen"
+)
+
+func main() {
+	const m, n = 240, 180
+	rng := rand.New(rand.NewSource(42))
+
+	// Field: five separable modes with geometrically decaying weights plus
+	// small white noise.
+	a := make([]float64, m*n)
+	for k := 0; k < 5; k++ {
+		w := math.Pow(10, -float64(k))
+		fx := float64(k+1) * math.Pi
+		for j := 0; j < n; j++ {
+			g := math.Cos(fx * float64(j) / float64(n))
+			for i := 0; i < m; i++ {
+				f := math.Sin(fx * float64(i+1) / float64(m))
+				a[i+j*m] += w * f * g
+			}
+		}
+	}
+	for i := range a {
+		a[i] += 1e-6 * rng.NormFloat64()
+	}
+	orig := append([]float64(nil), a...)
+
+	r, err := eigen.SVD(m, n, a, m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("singular value decay (five dominant modes expected):")
+	for k := 0; k < 8; k++ {
+		fmt.Printf("  σ%-2d = %.3e\n", k+1, r.S[k])
+	}
+
+	fmt.Println("\nrank-r truncation error vs σ_{r+1} (they must agree):")
+	for _, rank := range []int{1, 3, 5, 7} {
+		err2 := truncationError(m, n, orig, r, rank)
+		bound := 0.0
+		if rank < n {
+			bound = r.S[rank]
+		}
+		full := m * n
+		stored := rank * (m + n + 1)
+		fmt.Printf("  r=%d: ‖A-A_r‖₂≈%.3e  σ_%d=%.3e  storage %5.1f%%\n",
+			rank, err2, rank+1, bound, 100*float64(stored)/float64(full))
+	}
+}
+
+// truncationError estimates ‖A - A_r‖₂ via a few power iterations on the
+// residual.
+func truncationError(m, n int, a []float64, r *eigen.SVDResult, rank int) float64 {
+	resid := func(x, y []float64) { // y = (A - A_r) x
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				y[i] += a[i+j*m] * x[j]
+			}
+		}
+		for k := 0; k < rank; k++ {
+			var vx float64
+			for j := 0; j < n; j++ {
+				vx += r.V[j+k*n] * x[j]
+			}
+			s := r.S[k] * vx
+			for i := 0; i < m; i++ {
+				y[i] -= s * r.U[i+k*m]
+			}
+		}
+	}
+	residT := func(y, x []float64) { // x = (A - A_r)ᵀ y
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a[i+j*m] * y[i]
+			}
+			x[j] = s
+		}
+		for k := 0; k < rank; k++ {
+			var uy float64
+			for i := 0; i < m; i++ {
+				uy += r.U[i+k*m] * y[i]
+			}
+			s := r.S[k] * uy
+			for j := 0; j < n; j++ {
+				x[j] -= s * r.V[j+k*n]
+			}
+		}
+	}
+	x := make([]float64, n)
+	y := make([]float64, m)
+	rng := rand.New(rand.NewSource(1))
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	var sigma float64
+	for it := 0; it < 30; it++ {
+		resid(x, y)
+		var ny float64
+		for _, v := range y {
+			ny += v * v
+		}
+		ny = math.Sqrt(ny)
+		if ny == 0 {
+			return 0
+		}
+		for i := range y {
+			y[i] /= ny
+		}
+		residT(y, x)
+		var nx float64
+		for _, v := range x {
+			nx += v * v
+		}
+		sigma = math.Sqrt(nx)
+		for j := range x {
+			x[j] /= sigma
+		}
+	}
+	return sigma
+}

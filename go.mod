@@ -1,0 +1,3 @@
+module tridiag
+
+go 1.22

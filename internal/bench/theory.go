@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/lapack"
+)
+
+// TheoryRow holds raw (not n-normalized) orthogonality errors at one size.
+type TheoryRow struct {
+	N                       int
+	OrthDC, OrthMR, OrthJac float64
+}
+
+// Theory tests the paper's §V error-model claim: "for a matrix of size n and
+// a machine precision ε, D&C achieves errors of size O(√n·ε), whereas MRRR
+// error is in O(n·ε)". Raw orthogonality ‖I−VVᵀ‖_max is measured across a
+// size sweep and log-log slopes are fitted; expected ≈0.5 for D&C and ≈1 for
+// MRRR. The cyclic Jacobi method — the most accurate dense eigensolver — is
+// included as the accuracy floor on the smaller sizes.
+func Theory(cfg *Config) ([]TheoryRow, map[string]float64, error) {
+	sizes := cfg.sizes([]int{100, 200, 400, 800, 1600})
+	w := cfg.out()
+	fmt.Fprintf(w, "Error-model check: raw ‖I-VVᵀ‖ vs n (paper: D&C O(√n·ε), MRRR O(n·ε))\n")
+	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "n", "DC", "MRRR", "Jacobi")
+	var rows []TheoryRow
+	for _, n := range sizes {
+		m := rampMatrix(n)
+		oDC, _, err := solveAccuracy(m, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		oMR, _, err := solveAccuracy(m, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := TheoryRow{N: n, OrthDC: oDC * float64(n), OrthMR: oMR * float64(n)}
+		if n <= 400 {
+			oj, err := jacobiOrth(m.D, m.E)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.OrthJac = oj
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%8d %12.2e %12.2e %12.2e\n", n, row.OrthDC, row.OrthMR, row.OrthJac)
+	}
+	slopes := map[string]float64{
+		"DC":   orthSlope(rows, func(r TheoryRow) float64 { return r.OrthDC }),
+		"MRRR": orthSlope(rows, func(r TheoryRow) float64 { return r.OrthMR }),
+	}
+	fmt.Fprintf(w, "fitted error-growth exponents: DC %.2f (theory 0.5), MRRR %.2f (theory 1.0)\n",
+		slopes["DC"], slopes["MRRR"])
+	return rows, slopes, nil
+}
+
+func orthSlope(rows []TheoryRow, get func(TheoryRow) float64) float64 {
+	var xs, ys []float64
+	for _, r := range rows {
+		v := get(r)
+		if v <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(r.N)))
+		ys = append(ys, math.Log(v))
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	nf := float64(len(xs))
+	return (nf*sxy - sx*sy) / (nf*sxx - sx*sx)
+}
+
+// jacobiOrth solves the tridiagonal (as a dense matrix) with the cyclic
+// Jacobi method and returns the raw orthogonality error.
+func jacobiOrth(d, e []float64) (float64, error) {
+	n := len(d)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i+i*n] = d[i]
+		if i < n-1 {
+			a[i+1+i*n] = e[i]
+			a[i+(i+1)*n] = e[i]
+		}
+	}
+	w := make([]float64, n)
+	v := make([]float64, n*n)
+	if err := lapack.JacobiEigen(n, a, n, w, v, n); err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			var s float64
+			vi, vj := v[i*n:i*n+n], v[j*n:j*n+n]
+			for k := 0; k < n; k++ {
+				s += vi[k] * vj[k]
+			}
+			if i == j {
+				s -= 1
+			}
+			worst = math.Max(worst, math.Abs(s))
+		}
+	}
+	return worst, nil
+}

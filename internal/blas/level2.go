@@ -1,0 +1,175 @@
+package blas
+
+// Dgemv computes y = alpha*op(A)*x + beta*y where op(A) is A or Aᵀ.
+// A is m×n column-major with leading dimension lda.
+func Dgemv(trans bool, m, n int, alpha float64, a []float64, lda int, x []float64, incx int, beta float64, y []float64, incy int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	leny := m
+	if trans {
+		leny = n
+	}
+	if beta != 1 {
+		if beta == 0 {
+			iy := startIdx(leny, incy)
+			for i := 0; i < leny; i++ {
+				y[iy] = 0
+				iy += incy
+			}
+		} else {
+			Dscal(leny, beta, y, incy)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if !trans {
+		// y += alpha * A * x, column sweep (axpy-based, cache friendly).
+		ix := startIdx(n, incx)
+		if incy == 1 {
+			for j := 0; j < n; j++ {
+				t := alpha * x[ix]
+				ix += incx
+				if t == 0 {
+					continue
+				}
+				col := a[j*lda : j*lda+m]
+				yy := y[:m]
+				for i := range col {
+					yy[i] += t * col[i]
+				}
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			t := alpha * x[ix]
+			ix += incx
+			iy := startIdx(m, incy)
+			col := a[j*lda:]
+			for i := 0; i < m; i++ {
+				y[iy] += t * col[i]
+				iy += incy
+			}
+		}
+		return
+	}
+	// y += alpha * Aᵀ * x, dot-product per column.
+	iy := startIdx(n, incy)
+	for j := 0; j < n; j++ {
+		col := a[j*lda:]
+		var s float64
+		if incx == 1 {
+			s = Ddot(m, col, 1, x, 1)
+		} else {
+			ix := startIdx(m, incx)
+			for i := 0; i < m; i++ {
+				s += col[i] * x[ix]
+				ix += incx
+			}
+		}
+		y[iy] += alpha * s
+		iy += incy
+	}
+}
+
+// Dger computes the rank-one update A += alpha * x * yᵀ on the m×n matrix A.
+func Dger(m, n int, alpha float64, x []float64, incx int, y []float64, incy int, a []float64, lda int) {
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	iy := startIdx(n, incy)
+	for j := 0; j < n; j++ {
+		t := alpha * y[iy]
+		iy += incy
+		if t == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		if incx == 1 {
+			xx := x[:m]
+			for i := range col {
+				col[i] += t * xx[i]
+			}
+		} else {
+			ix := startIdx(m, incx)
+			for i := 0; i < m; i++ {
+				col[i] += t * x[ix]
+				ix += incx
+			}
+		}
+	}
+}
+
+// Dsyr2 computes the symmetric rank-2 update A += alpha*(x*yᵀ + y*xᵀ),
+// updating only the lower triangle of the n×n matrix A.
+func Dsyr2(n int, alpha float64, x []float64, incx int, y []float64, incy int, a []float64, lda int) {
+	if n == 0 || alpha == 0 {
+		return
+	}
+	if incx != 1 || incy != 1 {
+		xt := make([]float64, n)
+		yt := make([]float64, n)
+		Dcopy(n, x, incx, xt, 1)
+		Dcopy(n, y, incy, yt, 1)
+		Dsyr2(n, alpha, xt, 1, yt, 1, a, lda)
+		return
+	}
+	for j := 0; j < n; j++ {
+		tx := alpha * x[j]
+		ty := alpha * y[j]
+		if tx == 0 && ty == 0 {
+			continue
+		}
+		col := a[j*lda:]
+		for i := j; i < n; i++ {
+			col[i] += x[i]*ty + y[i]*tx
+		}
+	}
+}
+
+// Dsymv computes y = alpha*A*x + beta*y for a symmetric n×n matrix A stored
+// in the lower triangle of column-major a.
+func Dsymv(n int, alpha float64, a []float64, lda int, x []float64, incx int, beta float64, y []float64, incy int) {
+	if n == 0 {
+		return
+	}
+	if incx != 1 || incy != 1 {
+		// The eigensolver kernels only use unit increments; keep the general
+		// case simple and correct via a gather/scatter round-trip.
+		xt := make([]float64, n)
+		yt := make([]float64, n)
+		Dcopy(n, x, incx, xt, 1)
+		Dcopy(n, y, incy, yt, 1)
+		Dsymv(n, alpha, a, lda, xt, 1, beta, yt, 1)
+		Dcopy(n, yt, 1, y, incy)
+		return
+	}
+	if beta != 1 {
+		for i := 0; i < n; i++ {
+			if beta == 0 {
+				y[i] = 0
+			} else {
+				y[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	// One sweep over the lower triangle: column j contributes
+	// y[j] += alpha*A(j,j)*x[j]; for i>j both y[i] += alpha*A(i,j)*x[j]
+	// and y[j] += alpha*A(i,j)*x[i].
+	for j := 0; j < n; j++ {
+		t := alpha * x[j]
+		var s float64
+		col := a[j*lda:]
+		y[j] += t * col[j]
+		for i := j + 1; i < n; i++ {
+			aij := col[i]
+			y[i] += t * aij
+			s += aij * x[i]
+		}
+		y[j] += alpha * s
+	}
+}

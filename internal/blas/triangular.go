@@ -1,0 +1,89 @@
+package blas
+
+// Triangular kernels used by the Cholesky-based generalized eigenproblem
+// reduction. Only the lower-triangular variants the library needs are
+// implemented; L is n×n with leading dimension ldl, non-unit diagonal.
+
+// DtrsmLeftLowerNoTrans solves L·X = B in place: B (n×m) is overwritten
+// with X, column by column (forward substitution).
+func DtrsmLeftLowerNoTrans(n, m int, l []float64, ldl int, b []float64, ldb int) {
+	for j := 0; j < m; j++ {
+		col := b[j*ldb:]
+		for i := 0; i < n; i++ {
+			s := col[i]
+			row := l[i:]
+			for k := 0; k < i; k++ {
+				s -= row[k*ldl] * col[k]
+			}
+			col[i] = s / l[i+i*ldl]
+		}
+	}
+}
+
+// DtrsmLeftLowerTrans solves Lᵀ·X = B in place (backward substitution).
+func DtrsmLeftLowerTrans(n, m int, l []float64, ldl int, b []float64, ldb int) {
+	for j := 0; j < m; j++ {
+		col := b[j*ldb:]
+		for i := n - 1; i >= 0; i-- {
+			s := col[i]
+			lc := l[i*ldl:]
+			for k := i + 1; k < n; k++ {
+				s -= lc[k] * col[k]
+			}
+			col[i] = s / l[i+i*ldl]
+		}
+	}
+}
+
+// DtrsmRightLowerTrans solves X·Lᵀ = B in place: B (m×k) is overwritten
+// with X = B·L⁻ᵀ, row by row (forward substitution over columns).
+func DtrsmRightLowerTrans(m, k int, l []float64, ldl int, b []float64, ldb int) {
+	for j := 0; j < k; j++ {
+		// X(:,j) = (B(:,j) - Σ_{p<j} X(:,p)·L(j,p)) / L(j,j)
+		col := b[j*ldb:]
+		for p := 0; p < j; p++ {
+			f := l[j+p*ldl]
+			if f == 0 {
+				continue
+			}
+			pc := b[p*ldb:]
+			for i := 0; i < m; i++ {
+				col[i] -= f * pc[i]
+			}
+		}
+		d := l[j+j*ldl]
+		for i := 0; i < m; i++ {
+			col[i] /= d
+		}
+	}
+}
+
+// Dsyrk computes the symmetric rank-k update C = alpha·A·Aᵀ + beta·C,
+// updating only the lower triangle of the n×n matrix C; A is n×k.
+func Dsyrk(n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		cj := c[j*ldc:]
+		if beta == 0 {
+			for i := j; i < n; i++ {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			for i := j; i < n; i++ {
+				cj[i] *= beta
+			}
+		}
+		if alpha == 0 || k == 0 {
+			continue
+		}
+		for l := 0; l < k; l++ {
+			t := alpha * a[j+l*lda]
+			if t == 0 {
+				continue
+			}
+			ca := a[l*lda:]
+			for i := j; i < n; i++ {
+				cj[i] += t * ca[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package core implements the paper's contribution: a symmetric tridiagonal
+// divide & conquer eigensolver expressed as a sequential task flow and
+// executed out of order by the quark runtime.
+//
+// Each merge of the D&C tree is decomposed into the paper's task kinds
+// (Algorithm 1): Compute deflation, PermuteV, LAED4, ComputeLocalW, ReduceW,
+// CopyBackDeflated, ComputeVect and UpdateVect, panelized over nb eigenvector
+// columns. Tasks touching a panel carry one panel handle plus one Gatherv
+// access on a merge-wide handle, so every task has a constant number of
+// declared dependencies; the join tasks (Compute deflation, ReduceW, Dlamrg)
+// take a single InOut on the merge-wide handle. The DAG is matrix
+// independent: all panel tasks are submitted regardless of how much deflation
+// occurs, and tasks that end up without work return immediately.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/blas"
+	"tridiag/internal/lapack"
+	"tridiag/internal/quark"
+)
+
+// Mode selects the execution model, used for the paper's baselines.
+type Mode int
+
+const (
+	// ModeTaskFlow is the full task-flow algorithm (the paper's solver):
+	// independent subproblems, panelized merges, no level barriers.
+	ModeTaskFlow Mode = iota
+	// ModeLevelSync keeps the panelized merge tasks but synchronizes
+	// between tree levels (barriers only).
+	ModeLevelSync
+	// ModeScaLAPACK is the execution model of ScaLAPACK's PDSTEDC
+	// (Figure 7 baseline): level synchronization plus per-merge data
+	// redistribution — each merge physically copies its eigenvector block
+	// in and out of a scratch area (the distributed-memory exchanges the
+	// paper attributes ScaLAPACK's overhead to), measured for real.
+	ModeScaLAPACK
+	// ModeForkJoin runs the sequential LAPACK algorithm with only the
+	// merge GEMMs multithreaded, the execution model of a sequential
+	// DSTEDC on top of a multithreaded BLAS (Figure 6 baseline).
+	ModeForkJoin
+	// ModeSequential runs everything on one thread (LAPACK reference).
+	ModeSequential
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeTaskFlow:
+		return "task-flow"
+	case ModeLevelSync:
+		return "level-sync"
+	case ModeScaLAPACK:
+		return "scalapack-model"
+	case ModeForkJoin:
+		return "fork-join"
+	case ModeSequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options tunes the solver. The zero value picks reasonable defaults.
+type Options struct {
+	// Workers is the number of worker goroutines (<=0: GOMAXPROCS).
+	Workers int
+	// PanelSize is nb, the number of eigenvector columns per panel task.
+	PanelSize int
+	// MinPartition is the leaf cutoff of the D&C tree (leaves at most this
+	// size are solved by Dsteqr).
+	MinPartition int
+	// ExtraWorkspace, as in the paper, permits PermuteV to overlap LAED4
+	// and CopyBackDeflated to overlap ComputeVect on the same panel, at
+	// the cost of extra buffering (here: fewer induced dependencies).
+	ExtraWorkspace bool
+	// CaptureGraph records the task DAG with per-task timings.
+	CaptureGraph bool
+	// Mode selects the execution model (default ModeTaskFlow).
+	Mode Mode
+}
+
+func (o *Options) withDefaults() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.PanelSize < 1 {
+		v.PanelSize = 128
+	}
+	if v.MinPartition < 2 {
+		v.MinPartition = 128
+	}
+	return v
+}
+
+// Result reports solver metadata: the captured task graph (if requested) and
+// operation statistics for the cost-model experiments.
+type Result struct {
+	Graph *quark.Graph
+	Stats *Stats
+}
+
+// SolveDC computes all eigenpairs of the symmetric tridiagonal matrix
+// (d, e): on exit d holds the ascending eigenvalues and q (n×n, column
+// leading dimension ldq) the corresponding orthonormal eigenvectors; e is
+// destroyed.
+func SolveDC(n int, d, e []float64, q []float64, ldq int, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative n")
+	}
+	res := &Result{Stats: newStats()}
+	if n == 0 {
+		return res, nil
+	}
+	if ldq < n {
+		return nil, fmt.Errorf("core: ldq=%d < n=%d", ldq, n)
+	}
+
+	switch o.Mode {
+	case ModeSequential:
+		err := lapack.Dstedc(n, d, e, q, ldq, &lapack.DCConfig{SmallSize: o.MinPartition})
+		return res, err
+	case ModeForkJoin:
+		workers := o.Workers
+		gemm := func(ta, tb bool, m, nn, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+			blas.DgemmParallel(workers, ta, tb, m, nn, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		}
+		err := lapack.Dstedc(n, d, e, q, ldq, &lapack.DCConfig{SmallSize: o.MinPartition, Gemm: gemm})
+		return res, err
+	}
+
+	if n <= o.MinPartition {
+		// Single leaf: no tree, solve directly.
+		err := lapack.Dsteqr(lapack.CompIdentity, n, d, e, q, ldq)
+		return res, err
+	}
+
+	var rtOpts []quark.Option
+	if o.CaptureGraph {
+		rtOpts = append(rtOpts, quark.WithGraphCapture())
+	}
+	rt := quark.New(o.Workers, rtOpts...)
+	defer rt.Shutdown()
+
+	err := submitTaskFlow(rt, n, d, e, q, ldq, &o, res.Stats)
+	werr := rt.Wait()
+	if o.CaptureGraph {
+		res.Graph = rt.Graph()
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, werr
+}
+
+// node is one subtree of the D&C partition.
+type node struct {
+	start, size int
+	hV, hD      *quark.Handle
+}
+
+// submitTaskFlow submits the whole task graph in sequential program order.
+func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq int, o *Options, st *Stats) error {
+	sizes := lapack.PartitionSizes(n, o.MinPartition)
+	starts := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		starts[i+1] = starts[i] + s
+	}
+
+	// The matrix may need scaling to the safe range; orgnrm is computed up
+	// front on the master (O(n)), the scaling itself is the Scale task.
+	orgnrm := lapack.Dlanst('M', n, d, e)
+	if orgnrm == 0 {
+		rt.Submit("LASET", "identity", func() {
+			for j := 0; j < n; j++ {
+				col := q[j*ldq : j*ldq+n]
+				for i := range col {
+					col[i] = 0
+				}
+				col[j] = 1
+			}
+		})
+		return nil
+	}
+
+	hScale := rt.Handle("scale")
+	rt.Submit("Scale", "scale+partition", func() {
+		if orgnrm != 1 {
+			lapack.Dlascl(n, 1, orgnrm, 1, d, n)
+			lapack.Dlascl(n-1, 1, orgnrm, 1, e, n-1)
+		}
+		// Rank-one tear at every internal boundary.
+		for _, b := range starts[1 : len(starts)-1] {
+			ae := math.Abs(e[b-1])
+			d[b-1] -= ae
+			d[b] -= ae
+		}
+		st.count("Scale", int64(n))
+	}, quark.Write(hScale))
+
+	indxq := make([]int, n)
+
+	// Leaf solves (the paper's STEDC leaf tasks).
+	level := make([]*node, len(sizes))
+	for i := range sizes {
+		st0, sz := starts[i], sizes[i]
+		nd := &node{start: st0, size: sz,
+			hV: rt.Handle(fmt.Sprintf("V[%d:%d]", st0, st0+sz)),
+			hD: rt.Handle(fmt.Sprintf("d[%d:%d]", st0, st0+sz))}
+		level[i] = nd
+		rt.Submit("STEDC", fmt.Sprintf("leaf[%d:%d]", st0, st0+sz), func() {
+			if err := lapack.Dsteqr(lapack.CompIdentity, sz, d[st0:st0+sz], e[st0:st0+max(sz-1, 0)], q[st0+st0*ldq:], ldq); err != nil {
+				panic(err)
+			}
+			for j := 0; j < sz; j++ {
+				indxq[st0+j] = j
+			}
+			st.count("STEDC", int64(sz)*int64(sz)*int64(sz))
+		}, quark.Read(hScale), quark.Write(nd.hV), quark.Write(nd.hD))
+	}
+
+	// Merge levels, bottom-up.
+	lvl := 0
+	for len(level) > 1 {
+		lvl++
+		var next []*node
+		for i := 0; i+1 < len(level); i += 2 {
+			left, right := level[i], level[i+1]
+			parent := &node{start: left.start, size: left.size + right.size,
+				hV: rt.Handle(fmt.Sprintf("V[%d:%d]", left.start, left.start+left.size+right.size)),
+				hD: rt.Handle(fmt.Sprintf("d[%d:%d]", left.start, left.start+left.size+right.size))}
+			submitMerge(rt, parent, left, right, lvl, d, e, q, ldq, indxq, o, st)
+			next = append(next, parent)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		if o.Mode == ModeLevelSync || o.Mode == ModeScaLAPACK {
+			// A real barrier between tree levels (the ScaLAPACK execution
+			// model). The no-op barrier task also materializes the barrier
+			// as graph edges so the replay simulator reproduces it.
+			acc := make([]quark.Access, 0, 2*len(level))
+			for _, nd := range level {
+				acc = append(acc, quark.ReadWrite(nd.hV), quark.ReadWrite(nd.hD))
+			}
+			rt.Submit("Barrier", fmt.Sprintf("level%d", lvl), func() {}, acc...)
+			if err := rt.Wait(); err != nil {
+				return err
+			}
+		}
+	}
+
+	root := level[0]
+	rt.Submit("SortEigenvectors", "sort", func() {
+		lapack.SortEigen(n, d, q, ldq, indxq)
+		if orgnrm != 1 {
+			lapack.Dlascl(n, 1, 1, orgnrm, d, n)
+		}
+		st.count("SortEigenvectors", int64(n)*int64(n))
+	}, quark.ReadWrite(root.hV), quark.ReadWrite(root.hD))
+	return nil
+}
+
+// mergeState is the runtime-shared state of one merge: filled by the
+// Compute-deflation task, consumed by the panel tasks.
+type mergeState struct {
+	df    *lapack.Deflation
+	ws    *lapack.MergeWorkspace
+	what  []float64   // stabilized ẑ (ReduceW output)
+	wlocs [][]float64 // per-panel Gu partial products
+}
+
+// submitMerge submits the paper's Algorithm 1 for one merge node.
+func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []float64, q []float64, ldq int, indxq []int, o *Options, st *Stats) {
+	start := parent.start
+	nm := parent.size
+	n1 := left.size
+	nb := o.PanelSize
+	npanels := (nm + nb - 1) / nb
+	ms := &mergeState{wlocs: make([][]float64, npanels)}
+
+	dd := d[start : start+nm]
+	qq := q[start+start*ldq:]
+	ixq := indxq[start : start+nm]
+	rhoAddr := start + n1 - 1 // e index of the coupling element
+
+	hS := rt.Handle(fmt.Sprintf("ws[%d:%d]", start, start+nm))
+	hPerm := make([]*quark.Handle, npanels)
+	hSec := make([]*quark.Handle, npanels)
+	for p := 0; p < npanels; p++ {
+		hPerm[p] = rt.Handle(fmt.Sprintf("perm[%d]@%d", p, start))
+		hSec[p] = rt.Handle(fmt.Sprintf("sec[%d]@%d", p, start))
+	}
+
+	name := func(kind string, p int) string {
+		return fmt.Sprintf("%s[%d:%d]p%d", kind, start, start+nm, p)
+	}
+
+	// Compute deflation: the first join. Forms z, scans for deflation,
+	// applies pair rotations on V, allocates the merge workspace.
+	rt.Submit("ComputeDeflation", fmt.Sprintf("deflate[%d:%d]", start, start+nm), func() {
+		rho := e[rhoAddr]
+		z := make([]float64, nm)
+		blas.Dcopy(n1, qq[n1-1:], ldq, z, 1)
+		blas.Dcopy(nm-n1, qq[n1+n1*ldq:], ldq, z[n1:], 1)
+		df, err := lapack.Dlaed2Deflate(nm, n1, dd, qq, ldq, ixq, rho, z)
+		if err != nil {
+			panic(err)
+		}
+		ms.df = df
+		ms.ws = lapack.NewMergeWorkspace(df)
+		ms.what = make([]float64, df.K)
+		st.count("ComputeDeflation", int64(nm))
+		st.recordMerge(lvl, nm, df.K)
+	}, quark.ReadWrite(parent.hV), quark.ReadWrite(parent.hD),
+		quark.Read(left.hV), quark.Read(right.hV),
+		quark.Read(left.hD), quark.Read(right.hD),
+		quark.Write(hS))
+
+	// Redistribution (ScaLAPACK model only): the distributed solver must
+	// gather the block-cyclic eigenvector data before the merge; the copies
+	// are performed for real so their cost is measured, not modelled. The
+	// scratch target is not consumed — the overhead is the point.
+	var redist []float64
+	if o.Mode == ModeScaLAPACK {
+		redist = make([]float64, nm*nm)
+		for p := 0; p < npanels; p++ {
+			g0, g1 := p*nb, min((p+1)*nb, nm)
+			rt.Submit("Redistribute", name("RedistIn", p), func() {
+				for g := g0; g < g1; g++ {
+					copy(redist[g*nm:g*nm+nm], qq[g*ldq:g*ldq+nm])
+				}
+				st.count("Redistribute", int64(g1-g0)*int64(nm))
+			}, quark.Read(parent.hV), quark.ReadWrite(hPerm[p]))
+		}
+	}
+
+	// PermuteV: copy grouped columns into compressed workspace, per panel.
+	for p := 0; p < npanels; p++ {
+		p := p
+		g0, g1 := p*nb, min((p+1)*nb, nm)
+		rt.Submit("PermuteV", name("PermuteV", p), func() {
+			ms.df.PermutePanel(qq, ldq, ms.ws, g0, g1)
+			st.count("PermuteV", int64(g1-g0)*int64(nm))
+		}, quark.Read(parent.hV), quark.Gather(hS), quark.ReadWrite(hPerm[p]))
+	}
+
+	// LAED4: solve the secular equation per panel of eigenvalues.
+	for p := 0; p < npanels; p++ {
+		p := p
+		j0 := p * nb
+		acc := []quark.Access{quark.Gather(hS), quark.ReadWrite(hSec[p]), quark.Gather(parent.hD)}
+		if !o.ExtraWorkspace {
+			// Without extra workspace the secular panel shares storage
+			// with the permutation buffer: serialize after PermuteV.
+			acc = append(acc, quark.Read(hPerm[p]))
+		}
+		rt.Submit("LAED4", name("LAED4", p), func() {
+			k := ms.df.K
+			j1 := min(j0+nb, k)
+			if j0 >= j1 {
+				return
+			}
+			if err := ms.df.SecularPanel(ms.ws, dd, j0, j1); err != nil {
+				panic(err)
+			}
+			st.count("LAED4", int64(j1-j0)*int64(k))
+		}, acc...)
+	}
+
+	// ComputeLocalW: panel-local factors of Gu's stabilization product.
+	for p := 0; p < npanels; p++ {
+		p := p
+		j0 := p * nb
+		rt.Submit("ComputeLocalW", name("ComputeLocalW", p), func() {
+			k := ms.df.K
+			j1 := min(j0+nb, k)
+			if j0 >= j1 {
+				return
+			}
+			wl := make([]float64, k)
+			for i := range wl {
+				wl[i] = 1
+			}
+			ms.df.LocalWPanel(ms.ws, wl, j0, j1)
+			ms.wlocs[p] = wl
+			st.count("ComputeLocalW", int64(j1-j0)*int64(k))
+		}, quark.Gather(hS), quark.ReadWrite(hSec[p]))
+	}
+
+	// ReduceW: the second join, combining the panel products into ẑ.
+	rt.Submit("ReduceW", fmt.Sprintf("ReduceW[%d:%d]", start, start+nm), func() {
+		ms.df.FinishW(ms.what, ms.wlocs...)
+		st.count("ReduceW", int64(ms.df.K))
+	}, quark.ReadWrite(hS))
+
+	// CopyBackDeflated: move deflated vectors to the tail of the parent V.
+	// Runs concurrently with ReduceW/ComputeLocalW (Figure 2), waiting only
+	// for the PermuteV group through the Gatherv-vs-readers rule on hV.
+	for p := 0; p < npanels; p++ {
+		p := p
+		c0 := p * nb
+		acc := []quark.Access{quark.Gather(parent.hV), quark.Gather(parent.hD), quark.ReadWrite(hPerm[p])}
+		rt.Submit("CopyBackDeflated", name("CopyBack", p), func() {
+			k := ms.df.K
+			j0, j1 := max(c0, k)-k, min(c0+nb, nm)-k
+			if j0 >= j1 {
+				return
+			}
+			ms.df.CopyBackPanel(qq, ldq, dd, ms.ws, j0, j1)
+			st.count("CopyBackDeflated", int64(j1-j0)*int64(nm))
+		}, acc...)
+	}
+
+	// ComputeVect: stabilize and form the updated eigenvectors X per panel.
+	for p := 0; p < npanels; p++ {
+		p := p
+		j0 := p * nb
+		acc := []quark.Access{quark.Read(hS), quark.ReadWrite(hSec[p])}
+		if !o.ExtraWorkspace {
+			// Without extra workspace the deflated copy-back must vacate
+			// the buffer first: serialize after CopyBackDeflated.
+			acc = append(acc, quark.Read(hPerm[p]))
+		}
+		rt.Submit("ComputeVect", name("ComputeVect", p), func() {
+			k := ms.df.K
+			j1 := min(j0+nb, k)
+			if j0 >= j1 {
+				return
+			}
+			ms.df.VectorsPanel(ms.ws, ms.what, j0, j1)
+			st.count("ComputeVect", int64(j1-j0)*int64(k))
+		}, acc...)
+	}
+
+	// UpdateVect: V = Ṽ × X, two compressed GEMMs per panel.
+	for p := 0; p < npanels; p++ {
+		p := p
+		j0 := p * nb
+		rt.Submit("UpdateVect", name("UpdateVect", p), func() {
+			k := ms.df.K
+			j1 := min(j0+nb, k)
+			if j0 >= j1 {
+				return
+			}
+			ms.df.UpdatePanel(qq, ldq, ms.ws, j0, j1, nil)
+			st.count("UpdateVect", 2*int64(j1-j0)*int64(nm)*int64(k))
+		}, quark.Gather(parent.hV), quark.Read(hSec[p]))
+	}
+
+	// Redistribution back to block-cyclic layout (ScaLAPACK model only).
+	if o.Mode == ModeScaLAPACK {
+		for p := 0; p < npanels; p++ {
+			g0, g1 := p*nb, min((p+1)*nb, nm)
+			rt.Submit("Redistribute", name("RedistOut", p), func() {
+				for g := g0; g < g1; g++ {
+					copy(redist[g*nm:g*nm+nm], qq[g*ldq:g*ldq+nm])
+				}
+				st.count("Redistribute", int64(g1-g0)*int64(nm))
+			}, quark.Read(parent.hV), quark.ReadWrite(hPerm[p]), quark.Read(hSec[p]))
+		}
+	}
+
+	// Dlamrg: build the sorting permutation for the merged spectrum.
+	rt.Submit("Dlamrg", fmt.Sprintf("Dlamrg[%d:%d]", start, start+nm), func() {
+		k := ms.df.K
+		if k == 0 {
+			for i := 0; i < nm; i++ {
+				ixq[i] = i
+			}
+			return
+		}
+		lapack.Dlamrg(k, nm-k, dd, 1, -1, ixq)
+		st.count("Dlamrg", int64(nm))
+	}, quark.ReadWrite(parent.hD))
+}

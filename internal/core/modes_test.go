@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tridiag/internal/testmat"
+)
+
+// TestModesAgreeOnSuite: every execution mode must produce the same
+// eigenvalues (and valid eigenvectors) on representative Table III types.
+func TestModesAgreeOnSuite(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for _, typ := range []int{2, 4, 10, 11, 12} {
+		m, err := testmat.Type(typ, 140, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := m.N()
+		var ref []float64
+		for _, mode := range []Mode{ModeSequential, ModeTaskFlow, ModeLevelSync, ModeScaLAPACK, ModeForkJoin} {
+			d := append([]float64(nil), m.D...)
+			e := append([]float64(nil), m.E...)
+			q := make([]float64, n*n)
+			if _, err := SolveDC(n, d, e, q, n, &Options{
+				Mode: mode, Workers: 3, MinPartition: 24, PanelSize: 20,
+			}); err != nil {
+				t.Fatalf("type %d mode %v: %v", typ, mode, err)
+			}
+			res, orth := residualAndOrth(n, m.D, m.E, d, q, n)
+			nrm := 1.0
+			for _, v := range m.D {
+				nrm = math.Max(nrm, math.Abs(v))
+			}
+			for _, v := range m.E {
+				nrm = math.Max(nrm, math.Abs(v))
+			}
+			if res/(nrm*float64(n)) > 1e-13 || orth/float64(n) > 1e-13 {
+				t.Errorf("type %d mode %v: res %.2e orth %.2e", typ, mode, res, orth)
+			}
+			if ref == nil {
+				ref = d
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(d[i]-ref[i]) > 1e-11*nrm*float64(n) {
+					t.Errorf("type %d mode %v: eig %d differs: %v vs %v", typ, mode, i, d[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPanelBoundaryAroundK: panel sizes that straddle the deflation count k
+// in every possible alignment must stay correct (the matrix-independent DAG
+// dispatches empty panels at runtime).
+func TestPanelBoundaryAroundK(t *testing.T) {
+	// a matrix with a reproducible mid-range k at the root merge
+	n := 96
+	d0 := make([]float64, n)
+	e0 := make([]float64, n-1)
+	for i := range d0 {
+		d0[i] = 2 + 0.001*float64(i)
+	}
+	for i := range e0 {
+		e0[i] = 1
+	}
+	for nb := 1; nb <= 12; nb++ {
+		d := append([]float64(nil), d0...)
+		e := append([]float64(nil), e0...)
+		q := make([]float64, n*n)
+		if _, err := SolveDC(n, d, e, q, n, &Options{
+			Workers: 2, MinPartition: 16, PanelSize: nb,
+		}); err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		res, orth := residualAndOrth(n, d0, e0, d, q, n)
+		if res > 1e-11 || orth > 1e-12 {
+			t.Errorf("nb=%d: res %.2e orth %.2e", nb, res, orth)
+		}
+	}
+}
+
+// TestExtraWorkspaceEquivalence: the extra-workspace overlap option must not
+// change the numerical result (same sequential task semantics, different
+// schedule freedom).
+func TestExtraWorkspaceEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(60)
+		d0 := make([]float64, n)
+		e0 := make([]float64, n-1)
+		for i := range d0 {
+			d0[i] = rng.NormFloat64()
+		}
+		for i := range e0 {
+			e0[i] = rng.NormFloat64()
+		}
+		var got [2][]float64
+		for v, extra := range []bool{false, true} {
+			d := append([]float64(nil), d0...)
+			e := append([]float64(nil), e0...)
+			q := make([]float64, n*n)
+			if _, err := SolveDC(n, d, e, q, n, &Options{
+				Workers: 4, MinPartition: 12, PanelSize: 8, ExtraWorkspace: extra,
+			}); err != nil {
+				return false
+			}
+			got[v] = d
+		}
+		for i := 0; i < n; i++ {
+			if got[0][i] != got[1][i] {
+				// identical sequential semantics: results must agree to
+				// the last bit is too strict under scheduling variation;
+				// allow roundoff-level differences
+				if math.Abs(got[0][i]-got[1][i]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeafOnlyProblem: a problem at most one leaf wide takes the direct
+// Dsteqr path.
+func TestLeafOnlyProblem(t *testing.T) {
+	n := 30
+	rng := rand.New(rand.NewSource(807))
+	d0, e0 := randTridiag(rng, n)
+	d := append([]float64(nil), d0...)
+	e := append([]float64(nil), e0...)
+	q := make([]float64, n*n)
+	res, err := SolveDC(n, d, e, q, n, &Options{MinPartition: 64, CaptureGraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil && len(res.Graph.Tasks) > 0 {
+		t.Error("single-leaf problems should not build a task graph")
+	}
+	r, orth := residualAndOrth(n, d0, e0, d, q, n)
+	if r > 1e-12 || orth > 1e-13 {
+		t.Errorf("leaf-only: res %.2e orth %.2e", r, orth)
+	}
+}
+
+// TestStatsString smoke-tests the statistics report format.
+func TestStatsString(t *testing.T) {
+	rng := rand.New(rand.NewSource(809))
+	n := 80
+	d, e := randTridiag(rng, n)
+	q := make([]float64, n*n)
+	res, err := SolveDC(n, d, e, q, n, &Options{MinPartition: 16, PanelSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats.String()
+	for _, want := range []string{"UpdateVect", "LAED4", "tasks", "ops"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats report missing %q:\n%s", want, s)
+		}
+	}
+	if res.Stats.DeflationRatio() < 0 || res.Stats.DeflationRatio() > 1 {
+		t.Error("deflation ratio out of range")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats aggregates per-kernel operation counts and per-merge deflation data,
+// feeding the paper's cost-model experiments (Table I, Eq. 8).
+type Stats struct {
+	mu     sync.Mutex
+	Ops    map[string]int64 // approximate element operations per kernel class
+	Tasks  map[string]int64 // executed task count per kernel class
+	Merges []MergeStat
+}
+
+// MergeStat describes one merge: its tree level, size and secular size
+// (n - k eigenpairs were deflated).
+type MergeStat struct {
+	Level int
+	N     int
+	K     int
+}
+
+func newStats() *Stats {
+	return &Stats{Ops: make(map[string]int64), Tasks: make(map[string]int64)}
+}
+
+func (s *Stats) count(class string, ops int64) {
+	s.mu.Lock()
+	s.Ops[class] += ops
+	s.Tasks[class]++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordMerge(level, n, k int) {
+	s.mu.Lock()
+	s.Merges = append(s.Merges, MergeStat{Level: level, N: n, K: k})
+	s.mu.Unlock()
+}
+
+// DeflationRatio returns the fraction of eigenvalues deflated across all
+// merges (0 = nothing deflated, 1 = everything deflated).
+func (s *Stats) DeflationRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var tot, defl int
+	for _, m := range s.Merges {
+		tot += m.N
+		defl += m.N - m.K
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(defl) / float64(tot)
+}
+
+// OpsPerLevel sums UpdateVect operations per tree level, the dominant cubic
+// term of Eq. 8 (the last merge should dominate).
+func (s *Stats) OpsPerLevel() map[int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int64)
+	for _, m := range s.Merges {
+		// 2*n*k² flops for the two compressed GEMMs of one merge.
+		out[m.Level] += 2 * int64(m.N) * int64(m.K) * int64(m.K)
+	}
+	return out
+}
+
+// String formats the statistics as a small report.
+func (s *Stats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	classes := make([]string, 0, len(s.Ops))
+	for c := range s.Ops {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(&b, "%-20s %10s %14s\n", "kernel", "tasks", "ops")
+	for _, c := range classes {
+		fmt.Fprintf(&b, "%-20s %10d %14d\n", c, s.Tasks[c], s.Ops[c])
+	}
+	return b.String()
+}

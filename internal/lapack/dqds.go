@@ -1,0 +1,217 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DqdsEigen computes all eigenvalues of the symmetric positive semidefinite
+// tridiagonal matrix B·Bᵀ given by its qd representation — B lower
+// bidiagonal with B(i,i)=√q[i] and B(i+1,i)=√e[i] — using the differential
+// quotient-difference algorithm with aggressive shifts (the role of LAPACK's
+// DLASQ family, with a simplified shift strategy safeguarded by retry).
+//
+// All q[i] must be ≥ 0 and e[i] ≥ 0. On exit q holds the eigenvalues in
+// ascending order, computed to high relative accuracy; e is destroyed.
+func DqdsEigen(n int, q, e []float64) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: DqdsEigen: negative n")
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if q[i] < 0 || math.IsNaN(q[i]) {
+			return fmt.Errorf("lapack: DqdsEigen: q[%d]=%v must be nonnegative", i, q[i])
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if e[i] < 0 || math.IsNaN(e[i]) {
+			return fmt.Errorf("lapack: DqdsEigen: e[%d]=%v must be nonnegative", i, e[i])
+		}
+	}
+
+	vals := make([]float64, 0, n)
+	type seg struct {
+		lo, hi int
+		sigma  float64
+	}
+	stack := []seg{{0, n, 0}}
+	// scratch for speculative shifted sweeps
+	qt := make([]float64, n)
+	et := make([]float64, n)
+
+	eps2 := Eps * Eps
+	maxSweeps := 60*n + 200
+	sweeps := 0
+
+	for len(stack) > 0 {
+		sg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		qs := q[sg.lo:sg.hi]
+		es := e[sg.lo:]
+		m := sg.hi - sg.lo
+		sigma := sg.sigma
+		dmin := math.Inf(1)
+		haveDmin := false
+
+		for m > 0 {
+			// Trailing deflation.
+			if m == 1 {
+				vals = append(vals, qs[0]+sigma)
+				m = 0
+				break
+			}
+			deflated := false
+			for m >= 2 && es[m-2] <= eps2*(sigma+qs[m-1]) {
+				vals = append(vals, qs[m-1]+sigma)
+				m--
+				deflated = true
+				if m == 1 {
+					vals = append(vals, qs[0]+sigma)
+					m = 0
+				}
+			}
+			if m == 0 {
+				break
+			}
+			if m == 2 {
+				// Closed form on the 2×2 trailing block of B·Bᵀ.
+				rt1, rt2 := Dlae2(qs[0], math.Sqrt(es[0]*qs[0]), es[0]+qs[1])
+				// eigenvalues of a PSD matrix; clamp tiny negatives
+				vals = append(vals, math.Max(rt1, 0)+sigma, math.Max(rt2, 0)+sigma)
+				m = 0
+				break
+			}
+			// Interior split at negligible couplings.
+			split := -1
+			for i := 0; i < m-1; i++ {
+				if es[i] <= eps2*(sigma+math.Min(qs[i], qs[i+1])) {
+					split = i
+					break
+				}
+			}
+			if split >= 0 {
+				es[split] = 0
+				stack = append(stack, seg{sg.lo + split + 1, sg.lo + m, sigma})
+				m = split + 1
+				haveDmin = false
+				continue
+			}
+			if deflated {
+				haveDmin = false
+			}
+
+			if sweeps++; sweeps > maxSweeps {
+				return fmt.Errorf("lapack: DqdsEigen: no convergence after %d sweeps (%d values left)", sweeps, m)
+			}
+
+			// Choose the shift: a safe fraction of the smallest pivot seen
+			// in the previous sweep; zero on the first sweep of a segment.
+			s := 0.0
+			if haveDmin && dmin > 0 {
+				s = 0.75 * dmin
+			}
+			// Speculative shifted sweep with retry on breakdown.
+			for try := 0; ; try++ {
+				copy(qt[:m], qs[:m])
+				copy(et[:m-1], es[:m-1])
+				d, ok := dqdsSweep(qt, et, m, s)
+				if ok {
+					copy(qs[:m], qt[:m])
+					copy(es[:m-1], et[:m-1])
+					sigma += s
+					dmin = d
+					haveDmin = true
+					break
+				}
+				if try >= 6 {
+					s = 0 // the unshifted dqd transform cannot break down
+					continue
+				}
+				s *= 0.25
+			}
+		}
+	}
+
+	sort.Float64s(vals)
+	copy(q[:n], vals)
+	return nil
+}
+
+// dqdsSweep performs one differential qds transform with shift s on the
+// m-element qd arrays, reporting the minimal pivot. It fails (ok=false)
+// when the shift exceeds the smallest eigenvalue (a pivot turns negative).
+func dqdsSweep(q, e []float64, m int, s float64) (dmin float64, ok bool) {
+	d := q[0] - s
+	dmin = d
+	if d < 0 {
+		return 0, false
+	}
+	for i := 0; i < m-1; i++ {
+		qi := d + e[i]
+		if qi == 0 {
+			// exact singularity: treat as breakdown unless unshifted
+			if s != 0 {
+				return 0, false
+			}
+			qi = SafeMin
+		}
+		t := q[i+1] / qi
+		e[i] *= t
+		d = d*t - s
+		if d < 0 {
+			return 0, false
+		}
+		if d < dmin {
+			dmin = d
+		}
+		q[i] = qi
+	}
+	q[m-1] = d
+	return dmin, true
+}
+
+// DqdsSingularValues computes the singular values (descending) of the upper
+// bidiagonal matrix with diagonal d and superdiagonal e, to high relative
+// accuracy, by running dqds on the squared qd arrays (LAPACK DLASQ1's role).
+// d and e are not modified.
+func DqdsSingularValues(n int, d, e []float64) ([]float64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	// Scale to avoid overflow in the squares.
+	mx := 0.0
+	for i := 0; i < n; i++ {
+		mx = math.Max(mx, math.Abs(d[i]))
+	}
+	for i := 0; i < n-1; i++ {
+		mx = math.Max(mx, math.Abs(e[i]))
+	}
+	if mx == 0 {
+		return make([]float64, n), nil
+	}
+	scale := 1.0
+	if mx > RMax || mx < RMin {
+		scale = 1 / mx
+	}
+	q := make([]float64, n)
+	ee := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := d[i] * scale
+		q[i] = v * v
+	}
+	for i := 0; i < n-1; i++ {
+		v := e[i] * scale
+		ee[i] = v * v
+	}
+	if err := DqdsEigen(n, q, ee); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Sqrt(q[n-1-i]) / scale
+	}
+	return out, nil
+}

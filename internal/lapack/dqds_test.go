@@ -1,0 +1,215 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// qdToTridiag builds the symmetric tridiagonal B·Bᵀ for qd arrays (q, e):
+// diagonal q[i]+e[i-1], off-diagonal sqrt(q[i]·e[i]).
+func qdToTridiag(n int, q, e []float64) (d, off []float64) {
+	d = make([]float64, n)
+	off = make([]float64, max(n-1, 1))
+	for i := 0; i < n; i++ {
+		d[i] = q[i]
+		if i > 0 {
+			d[i] += e[i-1]
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		off[i] = math.Sqrt(q[i] * e[i])
+	}
+	return d, off[:n-1]
+}
+
+func TestDqdsMatchesSteqr(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for _, n := range []int{1, 2, 3, 5, 20, 100, 300} {
+		q := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		for i := range q {
+			q[i] = 0.1 + rng.Float64()
+		}
+		for i := 0; i < n-1; i++ {
+			e[i] = 0.1 + rng.Float64()
+		}
+		d, off := qdToTridiag(n, q, e)
+		want := append([]float64(nil), d...)
+		offc := append([]float64(nil), off...)
+		if err := Dsterf(n, want, offc); err != nil {
+			t.Fatal(err)
+		}
+		qc := append([]float64(nil), q...)
+		ec := append([]float64(nil), e...)
+		if err := DqdsEigen(n, qc, ec); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		scale := want[n-1] + 1
+		for i := 0; i < n; i++ {
+			if math.Abs(qc[i]-want[i]) > 1e-12*scale*float64(n) {
+				t.Errorf("n=%d eig %d: dqds %v sterf %v", n, i, qc[i], want[i])
+			}
+			if qc[i] < 0 {
+				t.Errorf("n=%d eig %d negative: %v", n, i, qc[i])
+			}
+		}
+	}
+}
+
+func TestDqdsRelativeAccuracyGraded(t *testing.T) {
+	// Graded qd arrays spanning 12 orders of magnitude: dqds must deliver
+	// the tiny eigenvalues to high RELATIVE accuracy, which QR cannot.
+	n := 40
+	q := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		q[i] = math.Pow(10, -12*float64(i)/float64(n-1))
+	}
+	for i := 0; i < n-1; i++ {
+		e[i] = q[i] * 1e-3
+	}
+	qc := append([]float64(nil), q...)
+	ec := append([]float64(nil), e...)
+	if err := DqdsEigen(n, qc, ec); err != nil {
+		t.Fatal(err)
+	}
+	// With weak coupling the eigenvalues are near q[i]+e[i-1]+e[i] (Gerschgorin
+	// within a relative 2e-3); check the smallest one's relative position.
+	if qc[0] <= 0 {
+		t.Fatalf("smallest eigenvalue nonpositive: %v", qc[0])
+	}
+	rel := qc[0] / 1e-12
+	if rel < 0.99 || rel > 1.01 {
+		t.Errorf("smallest eigenvalue lost relative accuracy: %v (rel %v)", qc[0], rel)
+	}
+}
+
+func TestDqdsZeroAndSplitCases(t *testing.T) {
+	// zero coupling: eigenvalues are exactly the q values
+	n := 6
+	q := []float64{3, 1, 4, 1.5, 9, 2.6}
+	e := make([]float64, n-1)
+	qc := append([]float64(nil), q...)
+	if err := DqdsEigen(n, qc, e); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), q...)
+	sortFloats(want)
+	for i := range want {
+		if math.Abs(qc[i]-want[i]) > 1e-14 {
+			t.Errorf("diag case %d: %v vs %v", i, qc[i], want[i])
+		}
+	}
+	// zero matrix
+	zq := make([]float64, 4)
+	ze := make([]float64, 3)
+	if err := DqdsEigen(4, zq, ze); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zq {
+		if v != 0 {
+			t.Errorf("zero matrix eigenvalue %v", v)
+		}
+	}
+	// invalid input
+	if err := DqdsEigen(2, []float64{-1, 1}, []float64{0.5}); err == nil {
+		t.Error("negative q must error")
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestDqdsSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	n := 50
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	s, err := DqdsSingularValues(n, d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the Golub-Kahan route via Dsterf.
+	nn := 2 * n
+	gd := make([]float64, nn)
+	ge := make([]float64, nn-1)
+	for i := 0; i < n; i++ {
+		ge[2*i] = d[i]
+		if i < n-1 {
+			ge[2*i+1] = e[i]
+		}
+	}
+	if err := Dsterf(nn, gd, ge); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		want := gd[nn-1-j]
+		if math.Abs(s[j]-want) > 1e-11*(math.Abs(want)+1) {
+			t.Errorf("sigma %d: dqds %v gk %v", j, s[j], want)
+		}
+		if j > 0 && s[j] > s[j-1] {
+			t.Errorf("singular values not descending at %d", j)
+		}
+	}
+}
+
+func TestDqdsSingularValuesScaled(t *testing.T) {
+	for _, scale := range []float64{1e-160, 1e160} {
+		n := 10
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = scale * float64(i+1)
+		}
+		for i := range e {
+			e[i] = scale * 0.5
+		}
+		s, err := DqdsSingularValues(n, d, e)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("scale %g: non-finite singular value", scale)
+			}
+		}
+		if s[0] < scale*float64(n)/2 || s[0] > scale*float64(n)*2 {
+			t.Errorf("scale %g: largest sigma %v implausible", scale, s[0])
+		}
+	}
+}
+
+func TestDqdsLargeRandomPerformanceShape(t *testing.T) {
+	// Not a benchmark, but guards against quadratic sweep blowup: a 1000
+	// value problem must finish (the sweep cap would trip otherwise).
+	rng := rand.New(rand.NewSource(707))
+	n := 1000
+	q := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range q {
+		q[i] = 0.01 + rng.Float64()
+	}
+	for i := range e {
+		e[i] = 0.01 + rng.Float64()
+	}
+	if err := DqdsEigen(n, q, e); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if q[i] < q[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package lapack
+
+import (
+	"fmt"
+
+	"tridiag/internal/blas"
+)
+
+// Dgebd2 reduces a real m×n matrix (m >= n) to upper bidiagonal form
+// B = Q1ᵀ A P1 by an unblocked sequence of Householder reflections
+// (LAPACK DGEBD2, upper path). On exit the diagonal of B is in d (length n),
+// the superdiagonal in e (length n-1), and the reflectors defining Q1 and P1
+// are stored in a below the diagonal and right of the superdiagonal, with
+// scales in tauq and taup.
+func Dgebd2(m, n int, a []float64, lda int, d, e, tauq, taup []float64) error {
+	if m < n {
+		return fmt.Errorf("lapack: Dgebd2: m=%d < n=%d (transpose the input)", m, n)
+	}
+	if lda < m {
+		return fmt.Errorf("lapack: Dgebd2: lda=%d < m=%d", lda, m)
+	}
+	work := make([]float64, max(m, n))
+	for i := 0; i < n; i++ {
+		// Column reflector H(i) annihilates a(i+1:m, i).
+		beta, tq := Dlarfg(m-i, a[i+i*lda], a[min(i+1, m-1)+i*lda:], 1)
+		d[i] = beta
+		tauq[i] = tq
+		a[i+i*lda] = 1
+		// Apply H(i) to a(i:m, i+1:n) from the left.
+		if i < n-1 && tq != 0 {
+			v := a[i+i*lda:]
+			mm := m - i
+			nn := n - i - 1
+			c := a[i+(i+1)*lda:]
+			blas.Dgemv(true, mm, nn, 1, c, lda, v, 1, 0, work, 1)
+			blas.Dger(mm, nn, -tq, v, 1, work, 1, c, lda)
+		}
+		a[i+i*lda] = d[i]
+
+		if i < n-1 {
+			// Row reflector G(i) annihilates a(i, i+2:n).
+			beta, tp := Dlarfg(n-i-1, a[i+(i+1)*lda], a[i+min(i+2, n-1)*lda:], lda)
+			e[i] = beta
+			taup[i] = tp
+			a[i+(i+1)*lda] = 1
+			// Apply G(i) to a(i+1:m, i+1:n) from the right.
+			if tp != 0 {
+				mm := m - i - 1
+				nn := n - i - 1
+				c := a[i+1+(i+1)*lda:]
+				// work = C * v where v is the row a(i, i+1:n) with stride lda
+				blas.Dgemv(false, mm, nn, 1, c, lda, a[i+(i+1)*lda:], lda, 0, work, 1)
+				blas.Dger(mm, nn, -tp, work, 1, a[i+(i+1)*lda:], lda, c, lda)
+			}
+			a[i+(i+1)*lda] = e[i]
+		} else if i < n {
+			// no row reflector for the last column
+			if i < len(taup) {
+				taup[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// DormbrQ applies Q1 from a Dgebd2 factorization to the m×k matrix C from
+// the left: C = Q1 * C (trans=false) or Q1ᵀ * C. Q1 = H(0) H(1) ... H(n-1).
+func DormbrQ(trans bool, m, n, k int, a []float64, lda int, tauq []float64, c []float64, ldc int) {
+	w := make([]float64, k)
+	apply := func(i int) {
+		tq := tauq[i]
+		if tq == 0 {
+			return
+		}
+		save := a[i+i*lda]
+		a[i+i*lda] = 1
+		v := a[i+i*lda:]
+		mm := m - i
+		blas.Dgemv(true, mm, k, 1, c[i:], ldc, v, 1, 0, w, 1)
+		blas.Dger(mm, k, -tq, v, 1, w, 1, c[i:], ldc)
+		a[i+i*lda] = save
+	}
+	if !trans {
+		for i := n - 1; i >= 0; i-- {
+			apply(i)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			apply(i)
+		}
+	}
+}
+
+// DormbrP applies P1 from a Dgebd2 factorization to the n×k matrix C from
+// the left: C = P1 * C (trans=false) or P1ᵀ * C. P1 = G(0) G(1) ... G(n-2),
+// where G(i) acts on rows i+1..n-1 with v stored in row i of a (stride lda).
+func DormbrP(trans bool, n, k int, a []float64, lda int, taup []float64, c []float64, ldc int) {
+	if n <= 1 {
+		return
+	}
+	w := make([]float64, k)
+	apply := func(i int) {
+		tp := taup[i]
+		if tp == 0 {
+			return
+		}
+		save := a[i+(i+1)*lda]
+		a[i+(i+1)*lda] = 1
+		v := a[i+(i+1)*lda:] // stride lda, length n-1-i
+		mm := n - 1 - i
+		blas.Dgemv(true, mm, k, 1, c[i+1:], ldc, v, lda, 0, w, 1)
+		// C(i+1:n, :) -= tp * v * wᵀ with strided v
+		for j := 0; j < k; j++ {
+			t := -tp * w[j]
+			if t == 0 {
+				continue
+			}
+			col := c[i+1+j*ldc:]
+			iv := 0
+			for r := 0; r < mm; r++ {
+				col[r] += t * v[iv]
+				iv += lda
+			}
+		}
+		a[i+(i+1)*lda] = save
+	}
+	if !trans {
+		for i := n - 2; i >= 0; i-- {
+			apply(i)
+		}
+	} else {
+		for i := 0; i <= n-2; i++ {
+			apply(i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the dense
+// symmetric n×n matrix a (column-major, full storage; destroyed) by the
+// cyclic Jacobi method with a threshold strategy — the classical iterative
+// eigensolver the paper's related-work section contrasts with ("it is not
+// that efficient"), provided here as the high-accuracy reference baseline.
+// On exit w holds the ascending eigenvalues and v (n×n) the eigenvectors.
+func JacobiEigen(n int, a []float64, lda int, w []float64, v []float64, ldv int) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: JacobiEigen: negative n")
+	}
+	if n == 0 {
+		return nil
+	}
+	if lda < n || ldv < n {
+		return fmt.Errorf("lapack: JacobiEigen: leading dimensions too small")
+	}
+	for j := 0; j < n; j++ {
+		col := v[j*ldv : j*ldv+n]
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+	}
+	if n == 1 {
+		w[0] = a[0]
+		return nil
+	}
+
+	off := func() float64 {
+		var s float64
+		for j := 0; j < n; j++ {
+			for i := j + 1; i < n; i++ {
+				s += a[i+j*lda] * a[i+j*lda]
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+	var fro float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			fro += a[i+j*lda] * a[i+j*lda]
+		}
+	}
+	fro = math.Sqrt(fro)
+	if fro == 0 {
+		for i := 0; i < n; i++ {
+			w[i] = 0
+		}
+		return nil
+	}
+
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if off() <= Eps*fro {
+			break
+		}
+		if sweep == maxSweeps-1 {
+			return fmt.Errorf("lapack: JacobiEigen: no convergence after %d sweeps", maxSweeps)
+		}
+		// Threshold: early sweeps skip tiny rotations to speed convergence.
+		thresh := 0.0
+		if sweep < 3 {
+			thresh = 0.2 * off() / float64(n*n)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[q+p*lda]
+				if math.Abs(apq) <= thresh {
+					if math.Abs(apq) < Eps*math.Sqrt(math.Abs(a[p+p*lda]*a[q+q*lda]))+SafeMin {
+						a[q+p*lda] = 0
+						a[p+q*lda] = 0
+						continue
+					}
+				}
+				if apq == 0 {
+					continue
+				}
+				// Classical Jacobi rotation annihilating a(p,q).
+				theta := (a[q+q*lda] - a[p+p*lda]) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				app, aqq := a[p+p*lda], a[q+q*lda]
+				a[p+p*lda] = app - t*apq
+				a[q+q*lda] = aqq + t*apq
+				a[q+p*lda] = 0
+				a[p+q*lda] = 0
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip := a[i+p*lda]
+					aiq := a[i+q*lda]
+					a[i+p*lda] = c*aip - s*aiq
+					a[i+q*lda] = s*aip + c*aiq
+					a[p+i*lda] = a[i+p*lda]
+					a[q+i*lda] = a[i+q*lda]
+				}
+				for i := 0; i < n; i++ {
+					vip := v[i+p*ldv]
+					viq := v[i+q*ldv]
+					v[i+p*ldv] = c*vip - s*viq
+					v[i+q*ldv] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		w[i] = a[i+i*lda]
+	}
+	// Selection sort with eigenvector column swaps (ascending).
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if w[j] < w[k] {
+				k = j
+			}
+		}
+		if k != i {
+			w[i], w[k] = w[k], w[i]
+			for r := 0; r < n; r++ {
+				v[r+i*ldv], v[r+k*ldv] = v[r+k*ldv], v[r+i*ldv]
+			}
+		}
+	}
+	return nil
+}

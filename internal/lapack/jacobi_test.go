@@ -1,0 +1,105 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJacobiEigenRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, n := range []int{1, 2, 3, 10, 40} {
+		a := randSym(rng, n, n)
+		aorig := append([]float64(nil), a...)
+		w := make([]float64, n)
+		v := make([]float64, n*n)
+		if err := JacobiEigen(n, a, n, w, v, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// A v = λ v and VᵀV = I
+		var anorm float64
+		for _, x := range aorig {
+			anorm = math.Max(anorm, math.Abs(x))
+		}
+		if anorm == 0 {
+			anorm = 1
+		}
+		worst := 0.0
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				var s float64
+				for l := 0; l < n; l++ {
+					s += aorig[i+l*n] * v[l+j*n]
+				}
+				worst = math.Max(worst, math.Abs(s-w[j]*v[i+j*n]))
+			}
+		}
+		if worst/(anorm*float64(n)) > 1e-14 {
+			t.Errorf("n=%d: Jacobi residual %.3e", n, worst/(anorm*float64(n)))
+		}
+		if o := orthogonality(n, v, n); o > 1e-14*float64(n) {
+			t.Errorf("n=%d: Jacobi orthogonality %.3e", n, o)
+		}
+		for i := 1; i < n; i++ {
+			if w[i] < w[i-1] {
+				t.Errorf("n=%d: not ascending", n)
+			}
+		}
+	}
+}
+
+func TestJacobiMatchesDCViaTridiagonal(t *testing.T) {
+	// Same dense matrix through Jacobi and through sytrd+stedc+ormtr must
+	// agree on the eigenvalues.
+	rng := rand.New(rand.NewSource(153))
+	n := 30
+	a := randSym(rng, n, n)
+	aj := append([]float64(nil), a...)
+	w := make([]float64, n)
+	v := make([]float64, n*n)
+	if err := JacobiEigen(n, aj, n, w, v, n); err != nil {
+		t.Fatal(err)
+	}
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	tau := make([]float64, n-1)
+	if err := Dsytrd(n, a, n, d, e, tau, 8); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, n*n)
+	if err := Dstedc(n, d, e, q, n, &DCConfig{SmallSize: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(w[i]-d[i]) > 1e-12*float64(n)*(math.Abs(d[i])+1) {
+			t.Errorf("eig %d: jacobi %v dc %v", i, w[i], d[i])
+		}
+	}
+}
+
+func TestJacobiZeroAndDiagonal(t *testing.T) {
+	n := 5
+	a := make([]float64, n*n)
+	w := make([]float64, n)
+	v := make([]float64, n*n)
+	if err := JacobiEigen(n, a, n, w, v, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != 0 {
+			t.Error("zero matrix")
+		}
+	}
+	for i, x := range []float64{4, -1, 3, 0, 2} {
+		a[i+i*n] = x
+	}
+	if err := JacobiEigen(n, a, n, w, v, n); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 2, 3, 4}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("diag case %d: %v want %v", i, w[i], want[i])
+		}
+	}
+}

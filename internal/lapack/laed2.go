@@ -1,0 +1,282 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/blas"
+)
+
+// Column types produced by the deflation scan, matching LAPACK DLAED2:
+// type 1 columns are nonzero only in their first n1 rows (from the first
+// subproblem), type 2 columns are dense (Givens-coupled across the cut),
+// type 3 columns are nonzero only in their last n2 rows, and type 4 columns
+// are deflated.
+const (
+	colTop = iota // 1 in LAPACK numbering
+	colDense
+	colBottom
+	colDeflated
+)
+
+// Deflation holds the outcome of the deflation scan for one D&C merge: the
+// size K of the surviving secular problem, the normalized rank-one weight
+// Rho, the secular poles Dlamda and weights W (both ascending), and the
+// permutation that groups the eigenvector columns into the four type classes.
+// It contains no eigenvector data; column movement is done separately (and,
+// in the task-flow solver, per panel) via PermutePanel and friends.
+type Deflation struct {
+	N, N1, K       int
+	Rho            float64
+	Dlamda         []float64 // len K: non-deflated eigenvalues, ascending
+	W              []float64 // len K: secular weights (carry the original signs)
+	Perm           []int     // len N: grouped position -> source column of Q
+	GroupToSecular []int     // len K: grouped position -> secular index
+	Ctot           [4]int    // column counts per type
+	DeflD          []float64 // len N-K: deflated eigenvalues in final order for d[K:]
+}
+
+// C12 returns the number of columns with a nonzero top block (types 1+2).
+func (df *Deflation) C12() int { return df.Ctot[colTop] + df.Ctot[colDense] }
+
+// C23 returns the number of columns with a nonzero bottom block (types 2+3).
+func (df *Deflation) C23() int { return df.Ctot[colDense] + df.Ctot[colBottom] }
+
+// Dlaed2Deflate performs the deflation phase of a D&C merge (LAPACK DLAED2
+// without the eigenvector copies). On entry d[0:n1] and d[n1:n] hold the two
+// children's eigenvalues, q is the n×n block-diagonal eigenvector matrix,
+// indxq sorts each child's eigenvalues ascending (second half holds indices
+// local to the second child), rho is the off-diagonal coupling β, and z is
+// the concatenation of the last row of Q1 and the first row of Q2.
+//
+// Givens rotations between deflatable close pairs are applied to q in place;
+// z and d are used as scratch and destroyed.
+func Dlaed2Deflate(n, n1 int, d []float64, q []float64, ldq int, indxq []int, rho float64, z []float64) (*Deflation, error) {
+	if n1 < 1 || n1 >= n {
+		return nil, fmt.Errorf("lapack: Dlaed2Deflate: invalid cut %d of %d", n1, n)
+	}
+	n2 := n - n1
+	df := &Deflation{
+		N:              n,
+		N1:             n1,
+		Dlamda:         make([]float64, 0, n),
+		W:              make([]float64, 0, n),
+		Perm:           make([]int, n),
+		GroupToSecular: nil,
+	}
+
+	// Normalize z to unit norm. z is the concatenation of two unit-norm
+	// rows, so its norm is sqrt(2); a negative rho flips the second half.
+	if rho < 0 {
+		blas.Dscal(n2, -1, z[n1:], 1)
+	}
+	t := 1 / math.Sqrt2
+	blas.Dscal(n, t, z, 1)
+	rho = math.Abs(2 * rho)
+	df.Rho = rho
+
+	// Global indices for the second child's sorted order.
+	for i := n1; i < n; i++ {
+		indxq[i] += n1
+	}
+
+	// Merge the two sorted eigenvalue lists.
+	dlamda := make([]float64, n) // scratch for the merged sort keys
+	for i := 0; i < n; i++ {
+		dlamda[i] = d[indxq[i]]
+	}
+	indxc := make([]int, n)
+	Dlamrg(n1, n2, dlamda, 1, 1, indxc)
+	indx := make([]int, n) // ascending order of all eigenvalues -> column
+	for i := 0; i < n; i++ {
+		indx[i] = indxq[indxc[i]]
+	}
+
+	// Deflation tolerance.
+	imax := blas.Idamax(n, z, 1)
+	jmax := blas.Idamax(n, d, 1)
+	tol := 8 * Eps * math.Max(math.Abs(d[jmax]), math.Abs(z[imax]))
+
+	coltyp := make([]int, n)
+	for i := 0; i < n1; i++ {
+		coltyp[i] = colTop
+	}
+	for i := n1; i < n; i++ {
+		coltyp[i] = colBottom
+	}
+
+	indxp := make([]int, n) // positions 0..k-1 non-deflated asc; k..n-1 deflated desc
+	k := 0
+	k2 := n
+
+	if rho*math.Abs(z[imax]) <= tol {
+		// Everything deflates: columns are simply sorted ascending.
+		df.K = 0
+		df.DeflD = make([]float64, n)
+		for j := 0; j < n; j++ {
+			df.Perm[j] = indx[j]
+			df.DeflD[j] = d[indx[j]]
+			coltyp[indx[j]] = colDeflated
+		}
+		df.Ctot[colDeflated] = n
+		df.GroupToSecular = []int{}
+		return df, nil
+	}
+
+	pj := -1
+	for j := 0; j < n; j++ {
+		nj := indx[j]
+		if rho*math.Abs(z[nj]) <= tol {
+			// Deflate due to small z component.
+			k2--
+			coltyp[nj] = colDeflated
+			indxp[k2] = nj
+			continue
+		}
+		if pj < 0 {
+			pj = nj
+			continue
+		}
+		// Check if the two eigenvalues are close enough to deflate.
+		s := z[pj]
+		c := z[nj]
+		tau := Dlapy2(c, s)
+		tdiff := d[nj] - d[pj]
+		c /= tau
+		s = -s / tau
+		if math.Abs(tdiff*c*s) <= tol {
+			// Deflation is possible: rotate the pair so z[pj] becomes 0.
+			z[nj] = tau
+			z[pj] = 0
+			if coltyp[nj] != coltyp[pj] {
+				coltyp[nj] = colDense
+			}
+			coltyp[pj] = colDeflated
+			blas.Drot(n, q[pj*ldq:], 1, q[nj*ldq:], 1, c, s)
+			t := d[pj]*c*c + d[nj]*s*s
+			d[nj] = d[pj]*s*s + d[nj]*c*c
+			d[pj] = t
+			// Insert pj into the (descending) deflated tail, keeping order.
+			k2--
+			i := 0
+			for {
+				if k2+i+1 < n && d[pj] < d[indxp[k2+i+1]] {
+					indxp[k2+i] = indxp[k2+i+1]
+					i++
+				} else {
+					indxp[k2+i] = pj
+					break
+				}
+			}
+			pj = nj
+		} else {
+			// Record pj as a non-deflated eigenvalue.
+			df.Dlamda = append(df.Dlamda, d[pj])
+			df.W = append(df.W, z[pj])
+			indxp[k] = pj
+			k++
+			pj = nj
+		}
+	}
+	// Record the last non-deflated eigenvalue.
+	df.Dlamda = append(df.Dlamda, d[pj])
+	df.W = append(df.W, z[pj])
+	indxp[k] = pj
+	k++
+	df.K = k
+
+	// Count column types and compute the grouped permutation, which places
+	// type-1 columns first, then type-2, type-3 and finally the deflated
+	// type-4 columns.
+	var ctot [4]int
+	for _, js := range indxp[:k] {
+		ctot[coltyp[js]]++
+	}
+	ctot[colDeflated] = n - k
+	df.Ctot = ctot
+
+	var psm [4]int
+	psm[0] = 0
+	psm[1] = ctot[0]
+	psm[2] = ctot[0] + ctot[1]
+	psm[3] = k
+	df.GroupToSecular = make([]int, k)
+	for j := 0; j < n; j++ {
+		js := indxp[j]
+		ct := coltyp[js]
+		df.Perm[psm[ct]] = js
+		if ct != colDeflated {
+			df.GroupToSecular[psm[ct]] = j
+		}
+		psm[ct]++
+	}
+
+	// Deflated eigenvalues in their final order (descending).
+	df.DeflD = make([]float64, n-k)
+	for j := 0; j < n-k; j++ {
+		df.DeflD[j] = d[df.Perm[k+j]]
+	}
+	return df, nil
+}
+
+// MergeWorkspace holds the compressed eigenvector storage for one merge:
+// Q2Top packs the first n1 rows of the grouped type-1 and type-2 columns,
+// Q2Bot the last n2 rows of the type-2 and type-3 columns, Q2Defl the full
+// deflated columns, and S the k×k secular matrix (delta columns, later
+// overwritten by the updated eigenvectors, as in LAPACK).
+type MergeWorkspace struct {
+	Q2Top  []float64 // n1 × c12
+	Q2Bot  []float64 // n2 × c23
+	Q2Defl []float64 // n × c4
+	S      []float64 // k × k
+	WLoc   []float64 // k, scratch for Gu's product (sequential path)
+}
+
+// NewMergeWorkspace allocates buffers sized for the given deflation outcome.
+func NewMergeWorkspace(df *Deflation) *MergeWorkspace {
+	n1, n2 := df.N1, df.N-df.N1
+	k := df.K
+	return &MergeWorkspace{
+		Q2Top:  make([]float64, n1*df.C12()),
+		Q2Bot:  make([]float64, n2*df.C23()),
+		Q2Defl: make([]float64, df.N*df.Ctot[colDeflated]),
+		S:      make([]float64, max(k*k, 1)),
+		WLoc:   make([]float64, k),
+	}
+}
+
+// PermutePanel copies grouped columns [g0, g1) of q into the compressed
+// workspace (the paper's PermuteV task). Deflated columns land in Q2Defl.
+func (df *Deflation) PermutePanel(q []float64, ldq int, ws *MergeWorkspace, g0, g1 int) {
+	n1 := df.N1
+	n2 := df.N - n1
+	c1 := df.Ctot[colTop]
+	c12 := df.C12()
+	k := df.K
+	for g := g0; g < g1; g++ {
+		js := df.Perm[g]
+		src := q[js*ldq:]
+		switch {
+		case g < c1:
+			copy(ws.Q2Top[g*n1:g*n1+n1], src[:n1])
+		case g < c12:
+			copy(ws.Q2Top[g*n1:g*n1+n1], src[:n1])
+			copy(ws.Q2Bot[(g-c1)*n2:(g-c1)*n2+n2], src[n1:n1+n2])
+		case g < k:
+			copy(ws.Q2Bot[(g-c1)*n2:(g-c1)*n2+n2], src[n1:n1+n2])
+		default:
+			copy(ws.Q2Defl[(g-k)*df.N:(g-k)*df.N+df.N], src[:df.N])
+		}
+	}
+}
+
+// CopyBackPanel writes deflated columns [j0, j1) (relative to the deflated
+// group) back into q at final positions K+j (the paper's CopyBackDeflated
+// task), together with their eigenvalues into d.
+func (df *Deflation) CopyBackPanel(q []float64, ldq int, d []float64, ws *MergeWorkspace, j0, j1 int) {
+	n := df.N
+	for j := j0; j < j1; j++ {
+		copy(q[(df.K+j)*ldq:(df.K+j)*ldq+n], ws.Q2Defl[j*n:j*n+n])
+		d[df.K+j] = df.DeflD[j]
+	}
+}

@@ -1,0 +1,148 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/blas"
+)
+
+// SecularPanel solves the secular equation for secular indices [j0, j1)
+// (the paper's LAED4 task). Column j of ws.S receives the delta vector
+// (d[i]-λ_j accurately) and d[j] the eigenvalue. For K <= 2 the closed forms
+// of Dlaed4 fill S columns with LAPACK's special-case semantics, handled by
+// VectorsPanel.
+func (df *Deflation) SecularPanel(ws *MergeWorkspace, d []float64, j0, j1 int) error {
+	k := df.K
+	for j := j0; j < j1; j++ {
+		lam, err := Dlaed4(k, j, df.Dlamda, df.W, ws.S[j*k:j*k+k], df.Rho)
+		if err != nil {
+			return fmt.Errorf("secular equation failed at index %d: %w", j, err)
+		}
+		d[j] = lam
+	}
+	return nil
+}
+
+// LocalWPanel accumulates this panel's factors of Gu's stabilization product
+// into wloc (the paper's ComputeLocalW task). wloc must be initialized to 1;
+// after all panels have been multiplied together, FinishW produces the
+// stabilized ẑ. A no-op for K <= 2, where LAPACK skips the recomputation.
+func (df *Deflation) LocalWPanel(ws *MergeWorkspace, wloc []float64, j0, j1 int) {
+	k := df.K
+	if k <= 2 {
+		return
+	}
+	for j := j0; j < j1; j++ {
+		col := ws.S[j*k : j*k+k]
+		for i := 0; i < j; i++ {
+			wloc[i] *= col[i] / (df.Dlamda[i] - df.Dlamda[j])
+		}
+		wloc[j] *= col[j] // the diagonal factor dlamda(j) - λ_j
+		for i := j + 1; i < k; i++ {
+			wloc[i] *= col[i] / (df.Dlamda[i] - df.Dlamda[j])
+		}
+	}
+}
+
+// FinishW combines the panel-local products (element-wise across wlocs) into
+// the stabilized secular weights ẑ, stored into what (length K), restoring
+// the signs of the original W (the paper's ReduceW join task). Nil entries in
+// wlocs are skipped: they correspond to panels whose index range lies beyond
+// K, which the matrix-independent DAG submits but which carry no work.
+func (df *Deflation) FinishW(what []float64, wlocs ...[]float64) {
+	k := df.K
+	if k <= 2 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		p := 1.0
+		for _, wl := range wlocs {
+			if wl == nil {
+				continue
+			}
+			p *= wl[i]
+		}
+		what[i] = Sign(math.Sqrt(-p), df.W[i])
+	}
+}
+
+// VectorsPanel forms the normalized eigenvectors of the rank-one secular
+// system for columns [j0, j1), overwriting the delta columns of ws.S in
+// place with rows in grouped order (the paper's ComputeVect task). what is
+// the stabilized ẑ from FinishW (ignored for K <= 2).
+func (df *Deflation) VectorsPanel(ws *MergeWorkspace, what []float64, j0, j1 int) {
+	k := df.K
+	if k == 1 {
+		ws.S[0] = 1
+		return
+	}
+	if k == 2 {
+		// Dlaed5 left normalized vector components in the delta columns
+		// (secular row order); permute rows into grouped order.
+		var tmp [2]float64
+		for j := j0; j < j1; j++ {
+			col := ws.S[j*k : j*k+k]
+			tmp[0], tmp[1] = col[0], col[1]
+			col[0] = tmp[df.GroupToSecular[0]]
+			col[1] = tmp[df.GroupToSecular[1]]
+		}
+		return
+	}
+	s := make([]float64, k)
+	for j := j0; j < j1; j++ {
+		col := ws.S[j*k : j*k+k]
+		for i := 0; i < k; i++ {
+			s[i] = what[i] / col[i]
+		}
+		nrm := blas.Dnrm2(k, s, 1)
+		for i := 0; i < k; i++ {
+			col[i] = s[df.GroupToSecular[i]] / nrm
+		}
+	}
+}
+
+// UpdatePanel computes the final eigenvectors V(:, j0:j1) = Q2 * S(:, j0:j1)
+// as two compressed GEMMs (the paper's UpdateVect task), writing into q.
+// gemm allows the caller to substitute a multithreaded kernel (the fork/join
+// baseline) — pass nil for the serial kernel.
+func (df *Deflation) UpdatePanel(q []float64, ldq int, ws *MergeWorkspace, j0, j1 int, gemm GemmFunc) {
+	if gemm == nil {
+		gemm = blas.Dgemm
+	}
+	n1 := df.N1
+	n2 := df.N - n1
+	c1 := df.Ctot[colTop]
+	c12 := df.C12()
+	c23 := df.C23()
+	k := df.K
+	ncol := j1 - j0
+	if ncol <= 0 || k == 0 {
+		return
+	}
+	// Top block: rows 0..n1-1 from type-1/2 columns (S rows 0..c12-1).
+	if c12 != 0 {
+		gemm(false, false, n1, ncol, c12, 1, ws.Q2Top, n1, ws.S[j0*k:], k, 0, q[j0*ldq:], ldq)
+	} else {
+		for j := j0; j < j1; j++ {
+			col := q[j*ldq : j*ldq+n1]
+			for i := range col {
+				col[i] = 0
+			}
+		}
+	}
+	// Bottom block: rows n1..n-1 from type-2/3 columns (S rows c1..c1+c23-1).
+	if c23 != 0 {
+		gemm(false, false, n2, ncol, c23, 1, ws.Q2Bot, n2, ws.S[j0*k+c1:], k, 0, q[j0*ldq+n1:], ldq)
+	} else {
+		for j := j0; j < j1; j++ {
+			col := q[j*ldq+n1 : j*ldq+n1+n2]
+			for i := range col {
+				col[i] = 0
+			}
+		}
+	}
+}
+
+// GemmFunc is the signature of blas.Dgemm, allowing a parallel substitute.
+type GemmFunc func(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int)

@@ -1,0 +1,354 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dlaed4 computes the i-th (0-based) eigenvalue of the rank-one modified
+// diagonal matrix D + rho * z * zᵀ, following LAPACK DLAED4 (rational
+// interpolation, the "middle way", with bisection safeguards).
+//
+// Requirements: d is strictly increasing, rho > 0, and z has unit 2-norm with
+// no zero components (the deflation step guarantees all of these).
+//
+// On return, lam is the eigenvalue and delta[j] holds d[j]-lam computed
+// without cancellation (the difference is accumulated relative to the origin
+// pole). For k == 1, delta[0] = 1; for k == 2 delta holds the normalized
+// eigenvector components instead (see Dlaed5), matching LAPACK semantics.
+func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err error) {
+	const maxit = 75
+	switch {
+	case k <= 0:
+		return 0, fmt.Errorf("lapack: Dlaed4: k=%d", k)
+	case i < 0 || i >= k:
+		return 0, fmt.Errorf("lapack: Dlaed4: index %d out of range [0,%d)", i, k)
+	case k == 1:
+		delta[0] = 1
+		return d[0] + rho*z[0]*z[0], nil
+	case k == 2:
+		return Dlaed5(i, d, z, delta, rho)
+	}
+
+	eps := Eps
+	rhoinv := 1 / rho
+
+	if i == k-1 {
+		// The last eigenvalue: root in (d[k-1], d[k-1]+rho).
+		n := k
+		ii := n - 2 // index of the second-to-last pole (0-based)
+
+		// Initial guess: evaluate at the midpoint d[n-1] + rho/2.
+		midpt := rho / 2
+		for j := 0; j < n; j++ {
+			delta[j] = (d[j] - d[n-1]) - midpt
+		}
+		var psi float64
+		for j := 0; j < n-2; j++ {
+			psi += z[j] * z[j] / delta[j]
+		}
+		c := rhoinv + psi
+		w := c + z[ii]*z[ii]/delta[n-2] + z[n-1]*z[n-1]/delta[n-1]
+
+		var tau, dltlb, dltub float64
+		if w <= 0 {
+			// Root in [d[n-1]+rho/2, d[n-1]+rho].
+			temp := z[n-2]*z[n-2]/(d[n-1]-d[n-2]+rho) + z[n-1]*z[n-1]/rho
+			if c <= temp {
+				tau = rho
+			} else {
+				del := d[n-1] - d[n-2]
+				a := -c*del + z[n-2]*z[n-2] + z[n-1]*z[n-1]
+				b := z[n-1] * z[n-1] * del
+				if a < 0 {
+					tau = 2 * b / (math.Sqrt(a*a+4*b*c) - a)
+				} else {
+					tau = (a + math.Sqrt(a*a+4*b*c)) / (2 * c)
+				}
+			}
+			dltlb, dltub = midpt, rho
+		} else {
+			del := d[n-1] - d[n-2]
+			a := -c*del + z[n-2]*z[n-2] + z[n-1]*z[n-1]
+			b := z[n-1] * z[n-1] * del
+			if a < 0 {
+				tau = 2 * b / (math.Sqrt(a*a+4*b*c) - a)
+			} else {
+				tau = (a + math.Sqrt(a*a+4*b*c)) / (2 * c)
+			}
+			dltlb, dltub = 0, midpt
+		}
+		for j := 0; j < n; j++ {
+			delta[j] = (d[j] - d[n-1]) - tau
+		}
+
+		evaluate := func() (w, dpsi, dphi, erretm float64) {
+			var psi float64
+			for j := 0; j <= n-2; j++ {
+				temp := z[j] / delta[j]
+				psi += z[j] * temp
+				dpsi += temp * temp
+				erretm += psi
+			}
+			erretm = math.Abs(erretm)
+			temp := z[n-1] / delta[n-1]
+			phi := z[n-1] * temp
+			dphi = temp * temp
+			erretm = 8*(-phi-psi) + erretm - phi + rhoinv + math.Abs(tau)*(dpsi+dphi)
+			w = rhoinv + phi + psi
+			return w, dpsi, dphi, erretm
+		}
+
+		w, dpsi, dphi, erretm := evaluate()
+		if math.Abs(w) <= eps*erretm {
+			return d[n-1] + tau, nil
+		}
+		if w <= 0 {
+			dltlb = math.Max(dltlb, tau)
+		} else {
+			dltub = math.Min(dltub, tau)
+		}
+
+		for iter := 0; iter < maxit; iter++ {
+			c := w - delta[n-2]*dpsi - delta[n-1]*dphi
+			a := (delta[n-2]+delta[n-1])*w - delta[n-2]*delta[n-1]*(dpsi+dphi)
+			b := delta[n-2] * delta[n-1] * w
+			if c < 0 {
+				c = math.Abs(c)
+			}
+			var eta float64
+			switch {
+			case c == 0:
+				eta = dltub - tau
+			case a >= 0:
+				eta = (a + math.Sqrt(math.Abs(a*a-4*b*c))) / (2 * c)
+			default:
+				eta = 2 * b / (a - math.Sqrt(math.Abs(a*a-4*b*c)))
+			}
+			// eta should have sign opposite to w; fall back to Newton.
+			if w*eta > 0 {
+				eta = -w / (dpsi + dphi)
+			}
+			if temp := tau + eta; temp > dltub || temp < dltlb {
+				if w < 0 {
+					eta = (dltub - tau) / 2
+				} else {
+					eta = (dltlb - tau) / 2
+				}
+			}
+			for j := 0; j < n; j++ {
+				delta[j] -= eta
+			}
+			tau += eta
+
+			w, dpsi, dphi, erretm = evaluate()
+			if math.Abs(w) <= eps*erretm {
+				return d[n-1] + tau, nil
+			}
+			if w <= 0 {
+				dltlb = math.Max(dltlb, tau)
+			} else {
+				dltub = math.Min(dltub, tau)
+			}
+		}
+		return d[n-1] + tau, fmt.Errorf("lapack: Dlaed4: no convergence for last eigenvalue (i=%d, k=%d)", i, k)
+	}
+
+	// Interior eigenvalue: root in (d[i], d[i+1]).
+	ip1 := i + 1
+	del := d[ip1] - d[i]
+	midpt := del / 2
+	for j := 0; j < k; j++ {
+		delta[j] = (d[j] - d[i]) - midpt
+	}
+
+	var psi0 float64
+	for j := 0; j < i; j++ {
+		psi0 += z[j] * z[j] / delta[j]
+	}
+	var phi0 float64
+	for j := k - 1; j >= i+2; j-- {
+		phi0 += z[j] * z[j] / delta[j]
+	}
+	c := rhoinv + psi0 + phi0
+	w := c + z[i]*z[i]/delta[i] + z[ip1]*z[ip1]/delta[ip1]
+
+	var orgati bool
+	var tau, dltlb, dltub float64
+	if w > 0 {
+		// Root is in the left half: origin at d[i].
+		orgati = true
+		a := c*del + z[i]*z[i] + z[ip1]*z[ip1]
+		b := z[i] * z[i] * del
+		if a > 0 {
+			tau = 2 * b / (a + math.Sqrt(math.Abs(a*a-4*b*c)))
+		} else {
+			tau = (a - math.Sqrt(math.Abs(a*a-4*b*c))) / (2 * c)
+		}
+		dltlb, dltub = 0, midpt
+	} else {
+		// Root is in the right half: origin at d[i+1].
+		orgati = false
+		a := c*del - z[i]*z[i] - z[ip1]*z[ip1]
+		b := z[ip1] * z[ip1] * del
+		if a < 0 {
+			tau = 2 * b / (a - math.Sqrt(math.Abs(a*a+4*b*c)))
+		} else {
+			tau = -(a + math.Sqrt(math.Abs(a*a+4*b*c))) / (2 * c)
+		}
+		dltlb, dltub = -midpt, 0
+	}
+
+	org := d[i]
+	ii := i
+	if !orgati {
+		org = d[ip1]
+		ii = ip1
+	}
+	for j := 0; j < k; j++ {
+		delta[j] = (d[j] - org) - tau
+	}
+
+	evaluate := func() (w, dw, dpsi, dphi, erretm float64) {
+		var psi float64
+		for j := 0; j <= ii-1; j++ {
+			temp := z[j] / delta[j]
+			psi += z[j] * temp
+			dpsi += temp * temp
+			erretm += psi
+		}
+		erretm = math.Abs(erretm)
+		var phi float64
+		for j := k - 1; j >= ii+1; j-- {
+			temp := z[j] / delta[j]
+			phi += z[j] * temp
+			dphi += temp * temp
+			erretm += phi
+		}
+		erretm = math.Abs(erretm)
+		w = rhoinv + phi + psi
+		// Add back the ii-th (origin) term.
+		temp := z[ii] / delta[ii]
+		dw = dpsi + dphi + temp*temp
+		temp = z[ii] * temp
+		w += temp
+		erretm = 8*(phi-psi) + erretm + 2*rhoinv + 3*math.Abs(temp) + math.Abs(tau)*dw
+		return w, dw, dpsi, dphi, erretm
+	}
+
+	w, dw, dpsi, dphi, erretm := evaluate()
+	if math.Abs(w) <= eps*erretm {
+		return org + tau, nil
+	}
+	if w <= 0 {
+		dltlb = math.Max(dltlb, tau)
+	} else {
+		dltub = math.Min(dltub, tau)
+	}
+
+	for iter := 0; iter < maxit; iter++ {
+		// Middle-way rational step on the two neighbouring poles.
+		var cc float64
+		if orgati {
+			t := z[i] / delta[i]
+			cc = w - delta[ip1]*dw - (d[i]-d[ip1])*t*t
+		} else {
+			t := z[ip1] / delta[ip1]
+			cc = w - delta[i]*dw - (d[ip1]-d[i])*t*t
+		}
+		a := (delta[i]+delta[ip1])*w - delta[i]*delta[ip1]*dw
+		b := delta[i] * delta[ip1] * w
+		var eta float64
+		switch {
+		case cc == 0:
+			if a == 0 {
+				if orgati {
+					a = z[i]*z[i] + delta[ip1]*delta[ip1]*(dpsi+dphi)
+				} else {
+					a = z[ip1]*z[ip1] + delta[i]*delta[i]*(dpsi+dphi)
+				}
+			}
+			eta = b / a
+		case a <= 0:
+			eta = (a - math.Sqrt(math.Abs(a*a-4*b*cc))) / (2 * cc)
+		default:
+			eta = 2 * b / (a + math.Sqrt(math.Abs(a*a-4*b*cc)))
+		}
+		if w*eta >= 0 {
+			eta = -w / dw
+		}
+		if temp := tau + eta; temp > dltub || temp < dltlb {
+			if w < 0 {
+				eta = (dltub - tau) / 2
+			} else {
+				eta = (dltlb - tau) / 2
+			}
+		}
+		for j := 0; j < k; j++ {
+			delta[j] -= eta
+		}
+		tau += eta
+
+		w, dw, dpsi, dphi, erretm = evaluate()
+		if math.Abs(w) <= eps*erretm {
+			return org + tau, nil
+		}
+		if w <= 0 {
+			dltlb = math.Max(dltlb, tau)
+		} else {
+			dltub = math.Min(dltub, tau)
+		}
+	}
+	return org + tau, fmt.Errorf("lapack: Dlaed4: no convergence for eigenvalue %d of %d", i, k)
+}
+
+// Dlaed5 computes the i-th eigenvalue of a 2×2 rank-one modification
+// D + rho*z*zᵀ in closed form (LAPACK DLAED5). delta receives the normalized
+// eigenvector components, as in LAPACK.
+func Dlaed5(i int, d, z, delta []float64, rho float64) (float64, error) {
+	if i < 0 || i > 1 {
+		return 0, fmt.Errorf("lapack: Dlaed5: index %d", i)
+	}
+	del := d[1] - d[0]
+	var lam float64
+	if i == 0 {
+		w := 1 + 2*rho*(z[1]*z[1]-z[0]*z[0])/del
+		if w > 0 {
+			b := del + rho*(z[0]*z[0]+z[1]*z[1])
+			c := rho * z[0] * z[0] * del
+			// b > 0 always
+			tau := 2 * c / (b + math.Sqrt(math.Abs(b*b-4*c)))
+			lam = d[0] + tau
+			delta[0] = -z[0] / tau
+			delta[1] = z[1] / (del - tau)
+		} else {
+			b := -del + rho*(z[0]*z[0]+z[1]*z[1])
+			c := rho * z[1] * z[1] * del
+			var tau float64
+			if b > 0 {
+				tau = -2 * c / (b + math.Sqrt(b*b+4*c))
+			} else {
+				tau = (b - math.Sqrt(b*b+4*c)) / 2
+			}
+			lam = d[1] + tau
+			delta[0] = -z[0] / (del + tau)
+			delta[1] = -z[1] / tau
+		}
+	} else {
+		b := -del + rho*(z[0]*z[0]+z[1]*z[1])
+		c := rho * z[1] * z[1] * del
+		var tau float64
+		if b > 0 {
+			tau = (b + math.Sqrt(b*b+4*c)) / 2
+		} else {
+			tau = 2 * c / (-b + math.Sqrt(b*b+4*c))
+		}
+		lam = d[1] + tau
+		delta[0] = -z[0] / (del + tau)
+		delta[1] = -z[1] / tau
+	}
+	temp := math.Sqrt(delta[0]*delta[0] + delta[1]*delta[1])
+	delta[0] /= temp
+	delta[1] /= temp
+	return lam, nil
+}

@@ -1,0 +1,259 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// secularSetup builds a valid Dlaed4 input: strictly increasing d, unit-norm
+// z with no tiny components.
+func secularSetup(rng *rand.Rand, k int, spread float64) (d, z []float64, rho float64) {
+	d = make([]float64, k)
+	cur := rng.NormFloat64()
+	for i := 0; i < k; i++ {
+		cur += spread * (0.1 + rng.Float64())
+		d[i] = cur
+	}
+	z = make([]float64, k)
+	var nrm float64
+	for i := range z {
+		z[i] = 0.05 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			z[i] = -z[i]
+		}
+		nrm += z[i] * z[i]
+	}
+	nrm = math.Sqrt(nrm)
+	for i := range z {
+		z[i] /= nrm
+	}
+	rho = 0.1 + 3*rng.Float64()
+	return d, z, rho
+}
+
+// secularValue evaluates f(lam) = 1/rho + sum z_j^2/(d_j-lam) given the
+// accurately computed delta array.
+func secularValueFromDelta(z, delta []float64, rho float64) float64 {
+	s := 1 / rho
+	for j := range z {
+		s += z[j] * z[j] / delta[j]
+	}
+	return s
+}
+
+func TestDlaed4Interlacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, k := range []int{3, 4, 8, 25, 60} {
+		for trial := 0; trial < 5; trial++ {
+			d, z, rho := secularSetup(rng, k, 1.0)
+			delta := make([]float64, k)
+			lams := make([]float64, k)
+			for i := 0; i < k; i++ {
+				lam, err := Dlaed4(k, i, d, z, delta, rho)
+				if err != nil {
+					t.Fatalf("k=%d i=%d: %v", k, i, err)
+				}
+				lams[i] = lam
+				if lam <= d[i] {
+					t.Errorf("k=%d i=%d: lam=%v <= d[i]=%v", k, i, lam, d[i])
+				}
+				if i < k-1 && lam >= d[i+1] {
+					t.Errorf("k=%d i=%d: lam=%v >= d[i+1]=%v", k, i, lam, d[i+1])
+				}
+				if i == k-1 && lam > d[k-1]+rho {
+					t.Errorf("k=%d last: lam=%v > d+rho=%v", k, lam, d[k-1]+rho)
+				}
+				// residual of the secular equation, using delta for accuracy
+				f := secularValueFromDelta(z, delta, rho)
+				// scale by the derivative-free magnitude of the terms
+				var mag float64 = 1 / rho
+				for j := range z {
+					mag += math.Abs(z[j] * z[j] / delta[j])
+				}
+				if math.Abs(f) > 1e-11*mag {
+					t.Errorf("k=%d i=%d: secular residual %.3e (mag %.3e)", k, i, f, mag)
+				}
+			}
+			if !sort.Float64sAreSorted(lams) {
+				t.Errorf("k=%d: eigenvalues not sorted", k)
+			}
+			// trace identity: sum(lam) = sum(d) + rho since ||z||=1
+			var sd, sl float64
+			for i := 0; i < k; i++ {
+				sd += d[i]
+				sl += lams[i]
+			}
+			if math.Abs(sl-(sd+rho)) > 1e-10*(math.Abs(sd)+rho+1)*float64(k) {
+				t.Errorf("k=%d: trace mismatch: %v vs %v", k, sl, sd+rho)
+			}
+		}
+	}
+}
+
+func TestDlaed4EigenvectorResidual(t *testing.T) {
+	// v_j = (z_i/(d_i - lam_j))_i normalized must satisfy
+	// (D + rho z zᵀ) v = lam v to high accuracy.
+	rng := rand.New(rand.NewSource(37))
+	for _, k := range []int{3, 5, 12, 40} {
+		d, z, rho := secularSetup(rng, k, 1.0)
+		delta := make([]float64, k)
+		for j := 0; j < k; j++ {
+			lam, err := Dlaed4(k, j, d, z, delta, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := make([]float64, k)
+			var nrm float64
+			for i := 0; i < k; i++ {
+				v[i] = z[i] / delta[i]
+				nrm += v[i] * v[i]
+			}
+			nrm = math.Sqrt(nrm)
+			var ztv float64
+			for i := 0; i < k; i++ {
+				v[i] /= nrm
+				ztv += z[i] * v[i]
+			}
+			worst := 0.0
+			for i := 0; i < k; i++ {
+				r := d[i]*v[i] + rho*z[i]*ztv - lam*v[i]
+				worst = math.Max(worst, math.Abs(r))
+			}
+			scale := math.Abs(lam) + math.Abs(d[k-1]) + rho
+			if worst > 1e-13*scale*float64(k) {
+				t.Errorf("k=%d j=%d: eigvec residual %.3e (scale %v)", k, j, worst, scale)
+			}
+		}
+	}
+}
+
+func TestDlaed4ClusteredPoles(t *testing.T) {
+	// Nearly equal d values stress the relative accuracy of tau.
+	for _, gap := range []float64{1e-3, 1e-7, 1e-12} {
+		k := 6
+		d := []float64{0, gap, 2 * gap, 1, 1 + gap, 2}
+		z := make([]float64, k)
+		for i := range z {
+			z[i] = 1 / math.Sqrt(float64(k))
+		}
+		rho := 0.5
+		delta := make([]float64, k)
+		prev := math.Inf(-1)
+		for i := 0; i < k; i++ {
+			lam, err := Dlaed4(k, i, d, z, delta, rho)
+			if err != nil {
+				t.Fatalf("gap=%g i=%d: %v", gap, i, err)
+			}
+			if lam <= d[i] || (i < k-1 && lam >= d[i+1]) {
+				t.Errorf("gap=%g i=%d: interlacing violated: %v", gap, i, lam)
+			}
+			if lam <= prev {
+				t.Errorf("gap=%g i=%d: not increasing", gap, i)
+			}
+			prev = lam
+			f := secularValueFromDelta(z, delta, rho)
+			var mag float64 = 1 / rho
+			for j := range z {
+				mag += math.Abs(z[j] * z[j] / delta[j])
+			}
+			if math.Abs(f) > 1e-10*mag {
+				t.Errorf("gap=%g i=%d: residual %.3e", gap, i, f)
+			}
+		}
+	}
+}
+
+func TestDlaed4TinyRho(t *testing.T) {
+	// rho -> 0 means eigenvalues barely move off the poles.
+	k := 5
+	d := []float64{-2, -1, 0, 1, 2}
+	z := make([]float64, k)
+	for i := range z {
+		z[i] = 1 / math.Sqrt(float64(k))
+	}
+	delta := make([]float64, k)
+	for i := 0; i < k; i++ {
+		lam, err := Dlaed4(k, i, d, z, delta, 1e-14)
+		if err != nil {
+			t.Fatalf("i=%d: %v", i, err)
+		}
+		if math.Abs(lam-d[i]) > 1e-13 {
+			t.Errorf("i=%d: lam=%v too far from pole %v", i, lam, d[i])
+		}
+	}
+}
+
+func TestDlaed4K1K2(t *testing.T) {
+	// k=1 closed form
+	delta := make([]float64, 2)
+	lam, err := Dlaed4(1, 0, []float64{3}, []float64{1}, delta, 0.5)
+	if err != nil || lam != 3.5 || delta[0] != 1 {
+		t.Errorf("k=1: lam=%v delta=%v err=%v", lam, delta[0], err)
+	}
+	// k=2: check against direct 2x2 eigendecomposition
+	d := []float64{1, 2}
+	z := []float64{math.Sqrt(0.5), math.Sqrt(0.5)}
+	rho := 0.8
+	// matrix [[1+0.4, 0.4],[0.4, 2+0.4]]
+	a, b, c := d[0]+rho*z[0]*z[0], rho*z[0]*z[1], d[1]+rho*z[1]*z[1]
+	rt1, rt2 := Dlae2(a, b, c)
+	lo, hi := math.Min(rt1, rt2), math.Max(rt1, rt2)
+	l0, err := Dlaed4(2, 0, d, z, delta, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := Dlaed4(2, 1, d, z, delta, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l0-lo) > 1e-13 || math.Abs(l1-hi) > 1e-13 {
+		t.Errorf("k=2: got %v %v want %v %v", l0, l1, lo, hi)
+	}
+}
+
+func TestDlaed4ErrorCases(t *testing.T) {
+	delta := make([]float64, 3)
+	if _, err := Dlaed4(0, 0, nil, nil, delta, 1); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := Dlaed4(3, 3, []float64{1, 2, 3}, []float64{0.6, 0.6, 0.5}, delta, 1); err == nil {
+		t.Error("expected error for i out of range")
+	}
+}
+
+func TestDlaed4SkewedWeights(t *testing.T) {
+	// Highly non-uniform z: some roots hug their left pole, others the right.
+	rng := rand.New(rand.NewSource(53))
+	k := 20
+	d := make([]float64, k)
+	for i := range d {
+		d[i] = float64(i)
+	}
+	z := make([]float64, k)
+	var nrm float64
+	for i := range z {
+		z[i] = math.Pow(10, -6*rng.Float64()) // spans 1e-6 .. 1
+		nrm += z[i] * z[i]
+	}
+	nrm = math.Sqrt(nrm)
+	for i := range z {
+		z[i] /= nrm
+	}
+	delta := make([]float64, k)
+	for i := 0; i < k; i++ {
+		lam, err := Dlaed4(k, i, d, z, delta, 2.5)
+		if err != nil {
+			t.Fatalf("i=%d: %v", i, err)
+		}
+		f := secularValueFromDelta(z, delta, 2.5)
+		var mag float64 = 1 / 2.5
+		for j := range z {
+			mag += math.Abs(z[j] * z[j] / delta[j])
+		}
+		if math.Abs(f) > 1e-10*mag {
+			t.Errorf("i=%d: residual %.3e lam=%v", i, f, lam)
+		}
+	}
+}

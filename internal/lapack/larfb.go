@@ -1,0 +1,123 @@
+package lapack
+
+import "tridiag/internal/blas"
+
+// Dlarft forms the upper-triangular factor T of the block reflector
+// H = I - V·T·Vᵀ = H(0)·H(1)···H(k-1), with the reflectors' vectors in the
+// columns of the m×k matrix v (dense storage: the implicit unit/zero
+// structure must already be materialized) and scales in tau
+// (LAPACK DLARFT, 'Forward', 'Columnwise').
+func Dlarft(m, k int, v []float64, ldv int, tau []float64, t []float64, ldt int) {
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for j := 0; j < i; j++ {
+				t[j+i*ldt] = 0
+			}
+		} else {
+			// t(0:i, i) = -tau[i] * V(:, 0:i)ᵀ * V(:, i)
+			blas.Dgemv(true, m, i, -tau[i], v, ldv, v[i*ldv:], 1, 0, t[i*ldt:], 1)
+			// t(0:i, i) = T(0:i, 0:i) * t(0:i, i): upper-triangular matvec,
+			// in place. Entry j reads only positions l >= j, so an
+			// ascending sweep overwrites safely.
+			for j := 0; j < i; j++ {
+				s := 0.0
+				for l := j; l < i; l++ {
+					s += t[j+l*ldt] * t[l+i*ldt]
+				}
+				t[j+i*ldt] = s
+			}
+		}
+		t[i+i*ldt] = tau[i]
+	}
+}
+
+// Dlarfb applies the block reflector H = I - V·T·Vᵀ (or its transpose) to
+// the m×n matrix C from the left (LAPACK DLARFB 'Left', 'Forward',
+// 'Columnwise' with dense V). work must have at least n*k elements.
+func Dlarfb(trans bool, m, n, k int, v []float64, ldv int, t []float64, ldt int, c []float64, ldc int, work []float64) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// W = Cᵀ V  (n×k)
+	blas.Dgemm(true, false, n, k, m, 1, c, ldc, v, ldv, 0, work, n)
+	// W = W · Tᵀ (no-trans H) or W · T (transposed H)
+	applyT(trans, n, k, t, ldt, work, n)
+	// C = C - V·Wᵀ
+	blas.Dgemm(false, true, m, n, k, -1, v, ldv, work, n, 1, c, ldc)
+}
+
+// applyT computes W = W·Tᵀ (trans=false: applying H = I-V·T·Vᵀ needs Tᵀ on
+// the right of W) or W = W·T, with T upper triangular k×k and W n×k.
+func applyT(trans bool, n, k int, t []float64, ldt int, w []float64, ldw int) {
+	if !trans {
+		// W·Tᵀ: process columns left to right; column j of the result
+		// sums W(:, j:k-1) weighted by row j of T.
+		for j := 0; j < k; j++ {
+			// result column j = sum_{l>=j} T(j,l) * W(:,l); compute in place
+			// by scaling column j and accumulating the later columns.
+			wj := w[j*ldw : j*ldw+n]
+			blas.Dscal(n, t[j+j*ldt], wj, 1)
+			for l := j + 1; l < k; l++ {
+				blas.Daxpy(n, t[j+l*ldt], w[l*ldw:], 1, wj, 1)
+			}
+		}
+		return
+	}
+	// W·T: process columns right to left.
+	for j := k - 1; j >= 0; j-- {
+		wj := w[j*ldw : j*ldw+n]
+		blas.Dscal(n, t[j+j*ldt], wj, 1)
+		for l := 0; l < j; l++ {
+			blas.Daxpy(n, t[l+j*ldt], w[l*ldw:], 1, wj, 1)
+		}
+	}
+}
+
+// DormtrBlocked is the blocked (level-3) variant of Dormtr: it applies the
+// orthogonal Q from Dsytrd (lower storage) to the n×m matrix C from the
+// left in panels of nb reflectors via Dlarft/Dlarfb.
+func DormtrBlocked(trans bool, n, m int, a []float64, lda int, tau []float64, c []float64, ldc int, nb int) {
+	if n <= 1 || m == 0 {
+		return
+	}
+	k := n - 1 // number of reflectors
+	if nb < 2 || k < 2*nb {
+		dormtrUnblocked(trans, n, m, a, lda, tau, c, ldc)
+		return
+	}
+	vbuf := make([]float64, (n-1)*nb)
+	tbuf := make([]float64, nb*nb)
+	work := make([]float64, m*nb)
+
+	applyBlock := func(i, ib int) {
+		// Reflector i+j acts on rows (i+j+1)..n-1 of C with
+		// v = [1, a(i+j+2 : n, i+j)]. Materialize the dense V panel over
+		// rows i+1..n-1 (length mrows), zeros above each unit.
+		mrows := n - 1 - i
+		for j := 0; j < ib; j++ {
+			col := vbuf[j*mrows : j*mrows+mrows]
+			for r := 0; r < j; r++ {
+				col[r] = 0
+			}
+			col[j] = 1
+			g := i + j // global reflector index
+			for r := j + 1; r < mrows; r++ {
+				col[r] = a[(i+1+r)+g*lda]
+			}
+		}
+		Dlarft(mrows, ib, vbuf, mrows, tau[i:i+ib], tbuf, nb)
+		Dlarfb(trans, mrows, m, ib, vbuf, mrows, tbuf, nb, c[i+1:], ldc, work)
+	}
+
+	if !trans {
+		// Q·C: blocks of H(0)...H(k-1) applied in reverse block order.
+		start := ((k - 1) / nb) * nb
+		for i := start; i >= 0; i -= nb {
+			applyBlock(i, min(nb, k-i))
+		}
+	} else {
+		for i := 0; i < k; i += nb {
+			applyBlock(i, min(nb, k-i))
+		}
+	}
+}

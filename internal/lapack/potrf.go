@@ -1,0 +1,88 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/blas"
+)
+
+// Dpotf2 computes the unblocked Cholesky factorization A = L·Lᵀ of a
+// symmetric positive definite matrix stored in the lower triangle of a
+// (LAPACK DPOTF2, lower). Returns an error naming the first non-positive
+// pivot if A is not positive definite.
+func Dpotf2(n int, a []float64, lda int) error {
+	for j := 0; j < n; j++ {
+		ajj := a[j+j*lda] - blas.Ddot(j, a[j:], lda, a[j:], lda)
+		if ajj <= 0 || math.IsNaN(ajj) {
+			return fmt.Errorf("lapack: Dpotf2: leading minor of order %d is not positive definite", j+1)
+		}
+		ajj = math.Sqrt(ajj)
+		a[j+j*lda] = ajj
+		if j < n-1 {
+			// a(j+1:n, j) = (a(j+1:n, j) - A(j+1:n, 0:j)·a(j, 0:j)ᵀ) / ajj
+			blas.Dgemv(false, n-j-1, j, -1, a[j+1:], lda, a[j:], lda, 1, a[j+1+j*lda:], 1)
+			blas.Dscal(n-j-1, 1/ajj, a[j+1+j*lda:], 1)
+		}
+	}
+	return nil
+}
+
+// Dpotrf computes the blocked Cholesky factorization A = L·Lᵀ (lower):
+// panel Dpotf2, triangular solve of the sub-panel, rank-k trailing update.
+func Dpotrf(n int, a []float64, lda int, nb int) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: Dpotrf: negative n")
+	}
+	if lda < max(n, 1) {
+		return fmt.Errorf("lapack: Dpotrf: lda=%d < n=%d", lda, n)
+	}
+	if nb <= 1 || n <= nb {
+		return Dpotf2(n, a, lda)
+	}
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		// diagonal block: A(j:j+jb, j:j+jb) -= A(j:j+jb, 0:j)·A(j:j+jb, 0:j)ᵀ
+		blas.Dsyrk(jb, j, -1, a[j:], lda, 1, a[j+j*lda:], lda)
+		if err := Dpotf2(jb, a[j+j*lda:], lda); err != nil {
+			return fmt.Errorf("lapack: Dpotrf: block at %d: %w", j, err)
+		}
+		if j+jb < n {
+			m := n - j - jb
+			// A21 -= A(j+jb:, 0:j)·A(j:j+jb, 0:j)ᵀ
+			blas.Dgemm(false, true, m, jb, j, -1, a[j+jb:], lda, a[j:], lda, 1, a[j+jb+j*lda:], lda)
+			// A21 = A21·L11⁻ᵀ
+			blas.DtrsmRightLowerTrans(m, jb, a[j+j*lda:], lda, a[j+jb+j*lda:], lda)
+		}
+	}
+	return nil
+}
+
+// Dsygst reduces the generalized symmetric-definite eigenproblem
+// A·x = λ·B·x (itype 1) to standard form using the Cholesky factor
+// B = L·Lᵀ: C = L⁻¹·A·L⁻ᵀ, overwriting a (full symmetric storage on entry
+// AND exit). l holds the Cholesky factor in its lower triangle.
+func Dsygst(n int, a []float64, lda int, l []float64, ldl int) {
+	// X = L⁻¹·A  (solve L·X = A column-wise)
+	blas.DtrsmLeftLowerNoTrans(n, n, l, ldl, a, lda)
+	// C = X·L⁻ᵀ: transpose, solve, transpose back — done in place by
+	// solving along rows: C(i,:) satisfies L·C(i,:)ᵀ = X(i,:)ᵀ.
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = a[i+j*lda]
+		}
+		blas.DtrsmLeftLowerNoTrans(n, 1, l, ldl, row, n)
+		for j := 0; j < n; j++ {
+			a[i+j*lda] = row[j]
+		}
+	}
+	// enforce exact symmetry (roundoff from the two solves)
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			s := 0.5 * (a[i+j*lda] + a[j+i*lda])
+			a[i+j*lda] = s
+			a[j+i*lda] = s
+		}
+	}
+}

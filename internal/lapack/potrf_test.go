@@ -1,0 +1,196 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tridiag/internal/blas"
+)
+
+// randSPD builds a random symmetric positive definite matrix A = MMᵀ + n·I.
+func randSPD(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	blas.Dgemm(false, true, n, n, n, 1, m, n, m, n, 0, a, n)
+	for i := 0; i < n; i++ {
+		a[i+i*n] += float64(n)
+	}
+	return a
+}
+
+func TestDpotrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for _, tc := range []struct{ n, nb int }{{1, 4}, {5, 4}, {16, 4}, {33, 8}, {50, 16}, {20, 1}} {
+		a := randSPD(rng, tc.n)
+		orig := append([]float64(nil), a...)
+		if err := Dpotrf(tc.n, a, tc.n, tc.nb); err != nil {
+			t.Fatalf("n=%d nb=%d: %v", tc.n, tc.nb, err)
+		}
+		// L·Lᵀ must reproduce the lower triangle of the original.
+		for j := 0; j < tc.n; j++ {
+			for i := j; i < tc.n; i++ {
+				var s float64
+				for k := 0; k <= j; k++ {
+					s += a[i+k*tc.n] * a[j+k*tc.n]
+				}
+				if math.Abs(s-orig[i+j*tc.n]) > 1e-11*float64(tc.n)*(math.Abs(orig[i+j*tc.n])+1) {
+					t.Fatalf("n=%d nb=%d: LLᵀ(%d,%d)=%v want %v", tc.n, tc.nb, i, j, s, orig[i+j*tc.n])
+				}
+			}
+		}
+	}
+}
+
+func TestDpotrfRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // eigenvalues 3, -1
+	if err := Dpotrf(2, a, 2, 4); err == nil {
+		t.Error("indefinite matrix must be rejected")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	n, m := 12, 5
+	l := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			l[i+j*n] = rng.NormFloat64()
+		}
+		l[j+j*n] = 2 + rng.Float64()
+	}
+	x0 := make([]float64, n*m)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	// B = L·X, solve, compare
+	b := make([]float64, n*m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k <= i; k++ {
+				s += l[i+k*n] * x0[k+j*n]
+			}
+			b[i+j*n] = s
+		}
+	}
+	blas.DtrsmLeftLowerNoTrans(n, m, l, n, b, n)
+	for i := range b {
+		if math.Abs(b[i]-x0[i]) > 1e-10 {
+			t.Fatalf("LeftLowerNoTrans at %d: %v vs %v", i, b[i], x0[i])
+		}
+	}
+	// B = Lᵀ·X, solve transpose
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := i; k < n; k++ {
+				s += l[k+i*n] * x0[k+j*n]
+			}
+			b[i+j*n] = s
+		}
+	}
+	blas.DtrsmLeftLowerTrans(n, m, l, n, b, n)
+	for i := range b {
+		if math.Abs(b[i]-x0[i]) > 1e-10 {
+			t.Fatalf("LeftLowerTrans at %d: %v vs %v", i, b[i], x0[i])
+		}
+	}
+	// B = X·Lᵀ (m×n), solve right-transpose
+	br := make([]float64, m*n)
+	xr := make([]float64, m*n)
+	for i := range xr {
+		xr[i] = rng.NormFloat64()
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += xr[i+k*m] * l[j+k*n] // (X·Lᵀ)(i,j) = Σ_k X(i,k)·L(j,k)
+			}
+			br[i+j*m] = s
+		}
+	}
+	blas.DtrsmRightLowerTrans(m, n, l, n, br, m)
+	for i := range br {
+		if math.Abs(br[i]-xr[i]) > 1e-10 {
+			t.Fatalf("RightLowerTrans at %d: %v vs %v", i, br[i], xr[i])
+		}
+	}
+}
+
+func TestDsyrkMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	n, k := 9, 4
+	a := make([]float64, n*k)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	c := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := rng.NormFloat64()
+			c[i+j*n] = v
+			c[j+i*n] = v
+		}
+	}
+	want := append([]float64(nil), c...)
+	blas.Dgemm(false, true, n, n, k, -1, a, n, a, n, 1, want, n)
+	blas.Dsyrk(n, k, -1, a, n, 1, c, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if math.Abs(c[i+j*n]-want[i+j*n]) > 1e-12 {
+				t.Fatalf("Dsyrk (%d,%d): %v vs %v", i, j, c[i+j*n], want[i+j*n])
+			}
+		}
+	}
+}
+
+func TestDsygstStandardForm(t *testing.T) {
+	// Generalized problem vs explicit inv(L)·A·inv(Lᵀ): eigenvalues of the
+	// reduced matrix must equal the generalized eigenvalues.
+	rng := rand.New(rand.NewSource(181))
+	n := 20
+	a := randSym(rng, n, n)
+	b := randSPD(rng, n)
+	// mirror b's lower to upper for the reference computation
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			b[j+i*n] = b[i+j*n]
+		}
+	}
+	aorig := append([]float64(nil), a...)
+	borig := append([]float64(nil), b...)
+
+	if err := Dpotrf(n, b, n, 8); err != nil {
+		t.Fatal(err)
+	}
+	Dsygst(n, a, n, b, n)
+	w := make([]float64, n)
+	v := make([]float64, n*n)
+	ac := append([]float64(nil), a...)
+	if err := JacobiEigen(n, ac, n, w, v, n); err != nil {
+		t.Fatal(err)
+	}
+	// verify A x = λ B x with x = L⁻ᵀ y
+	blas.DtrsmLeftLowerTrans(n, n, b, n, v, n)
+	var anorm float64
+	for _, x := range aorig {
+		anorm = math.Max(anorm, math.Abs(x))
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var ax, bx float64
+			for l := 0; l < n; l++ {
+				ax += aorig[i+l*n] * v[l+j*n]
+				bx += borig[i+l*n] * v[l+j*n]
+			}
+			if math.Abs(ax-w[j]*bx) > 1e-11*anorm*float64(n) {
+				t.Fatalf("generalized residual at (%d,%d): %v", i, j, ax-w[j]*bx)
+			}
+		}
+	}
+}

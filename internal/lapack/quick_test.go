@@ -1,0 +1,237 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based invariants of the core kernels, via testing/quick.
+
+func TestQuickDsteqrInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 3
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64() * 3
+		}
+		dc := append([]float64(nil), d...)
+		ec := append([]float64(nil), e...)
+		z := make([]float64, n*n)
+		if err := Dsteqr(CompIdentity, n, dc, ec, z, n); err != nil {
+			return false
+		}
+		// trace preserved
+		var trT, trL float64
+		for i := 0; i < n; i++ {
+			trT += d[i]
+			trL += dc[i]
+		}
+		if math.Abs(trT-trL) > 1e-11*float64(n)*(math.Abs(trT)+1) {
+			return false
+		}
+		// Frobenius norm preserved (orthogonal similarity)
+		nf := Dlanst('F', n, d, e)
+		var sl float64
+		for i := 0; i < n; i++ {
+			sl += dc[i] * dc[i]
+		}
+		if math.Abs(math.Sqrt(sl)-nf) > 1e-10*(nf+1) {
+			return false
+		}
+		// ascending order
+		for i := 1; i < n; i++ {
+			if dc[i] < dc[i-1] {
+				return false
+			}
+		}
+		return orthogonality(n, z, n) < 1e-12*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDlaed4Interlacing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(20)
+		d := make([]float64, k)
+		z := make([]float64, k)
+		cur := rng.NormFloat64()
+		var nrm float64
+		for i := 0; i < k; i++ {
+			cur += 0.01 + rng.Float64()
+			d[i] = cur
+			z[i] = 0.01 + rng.Float64()
+			nrm += z[i] * z[i]
+		}
+		nrm = math.Sqrt(nrm)
+		for i := range z {
+			z[i] /= nrm
+		}
+		rho := 0.01 + 3*rng.Float64()
+		delta := make([]float64, k)
+		prev := math.Inf(-1)
+		for i := 0; i < k; i++ {
+			lam, err := Dlaed4(k, i, d, z, delta, rho)
+			if err != nil {
+				return false
+			}
+			if lam <= d[i] || lam <= prev {
+				return false
+			}
+			if i < k-1 && lam >= d[i+1] {
+				return false
+			}
+			if i == k-1 && lam > d[k-1]+rho+1e-12 {
+				return false
+			}
+			prev = lam
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDqdsTracePreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		q := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		// trace(B·Bᵀ) = Σ q_i + Σ e_i
+		var tr float64
+		for i := range q {
+			q[i] = rng.Float64() * 5
+			tr += q[i]
+		}
+		for i := 0; i < n-1; i++ {
+			e[i] = rng.Float64() * 2
+			tr += e[i]
+		}
+		if err := DqdsEigen(n, q, e); err != nil {
+			return false
+		}
+		var sl float64
+		for i := 0; i < n; i++ {
+			if q[i] < 0 {
+				return false
+			}
+			if i > 0 && q[i] < q[i-1] {
+				return false
+			}
+			sl += q[i]
+		}
+		return math.Abs(sl-tr) <= 1e-10*float64(n)*(tr+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDlamrgIsSortingPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 1 + rng.Intn(15)
+		n2 := 1 + rng.Intn(15)
+		a := make([]float64, n1+n2)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		// sort each block ascending (insertion)
+		for b, lo := 0, 0; b < 2; b++ {
+			hi := n1
+			if b == 1 {
+				lo, hi = n1, n1+n2
+			}
+			for i := lo + 1; i < hi; i++ {
+				for j := i; j > lo && a[j] < a[j-1]; j-- {
+					a[j], a[j-1] = a[j-1], a[j]
+				}
+			}
+		}
+		idx := make([]int, n1+n2)
+		Dlamrg(n1, n2, a, 1, 1, idx)
+		seen := make([]bool, n1+n2)
+		prev := math.Inf(-1)
+		for _, ix := range idx {
+			if ix < 0 || ix >= n1+n2 || seen[ix] || a[ix] < prev {
+				return false
+			}
+			seen[ix] = true
+			prev = a[ix]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDlartgComposition(t *testing.T) {
+	// Composing a rotation with its inverse restores the input.
+	f := func(a, b float64) bool {
+		a = math.Remainder(a, 1e100)
+		b = math.Remainder(b, 1e100)
+		if math.IsNaN(a) || math.IsNaN(b) || (a == 0 && b == 0) {
+			return true
+		}
+		c, s, r := Dlartg(a, b)
+		// inverse rotation Gᵀ applied to (r, 0)
+		x := c * r
+		y := s * r
+		// rotating forward again must give (r, 0)
+		fx := c*x + s*y
+		fy := -s*x + c*y
+		scale := math.Abs(r) + 1
+		return math.Abs(fx-r) < 1e-12*scale && math.Abs(fy) < 1e-12*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDsytrdPreservesSpectrum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		a := randSym(rng, n, n)
+		// eigenvalues of A via full pipeline vs eigenvalues of T
+		d := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		tau := make([]float64, max(n-1, 1))
+		// reference trace and Frobenius norm
+		var tr, fr float64
+		for j := 0; j < n; j++ {
+			tr += a[j+j*n]
+			for i := 0; i < n; i++ {
+				fr += a[i+j*n] * a[i+j*n]
+			}
+		}
+		if err := Dsytrd(n, a, n, d, e, tau, 4); err != nil {
+			return false
+		}
+		var trT, frT float64
+		for i := 0; i < n; i++ {
+			trT += d[i]
+			frT += d[i] * d[i]
+		}
+		for i := 0; i < n-1; i++ {
+			frT += 2 * e[i] * e[i]
+		}
+		return math.Abs(tr-trT) < 1e-10*(math.Abs(tr)+1)*float64(n) &&
+			math.Abs(fr-frT) < 1e-9*(fr+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

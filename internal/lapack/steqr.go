@@ -1,0 +1,328 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tridiag/internal/blas"
+)
+
+// CompZ selects the eigenvector mode of Dsteqr.
+type CompZ int
+
+const (
+	// CompNone computes eigenvalues only.
+	CompNone CompZ = iota
+	// CompIdentity initializes Z to the identity and returns the
+	// eigenvectors of the tridiagonal matrix.
+	CompIdentity
+	// CompVectors multiplies the caller-supplied Z by the accumulated
+	// rotations (eigenvectors of an original matrix reduced to T).
+	CompVectors
+)
+
+// Dsteqr computes all eigenvalues and, optionally, eigenvectors of a
+// symmetric tridiagonal matrix using the implicit QL or QR method
+// (LAPACK DSTEQR). On exit d holds the eigenvalues in ascending order, e is
+// destroyed, and z (n×n, leading dimension ldz, used unless compz ==
+// CompNone) holds the corresponding eigenvectors.
+func Dsteqr(compz CompZ, n int, d, e []float64, z []float64, ldz int) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: Dsteqr: negative n=%d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	wantz := compz != CompNone
+	if wantz && ldz < n {
+		return fmt.Errorf("lapack: Dsteqr: ldz=%d < n=%d", ldz, n)
+	}
+	if n == 1 {
+		if compz == CompIdentity {
+			z[0] = 1
+		}
+		return nil
+	}
+
+	const maxit = 30
+	eps := Eps
+	eps2 := eps * eps
+	safmin := SafeMin
+	safmax := 1 / safmin
+	ssfmax := math.Sqrt(safmax) / 3
+	ssfmin := math.Sqrt(safmin) / eps2
+
+	if compz == CompIdentity {
+		for j := 0; j < n; j++ {
+			col := z[j*ldz : j*ldz+n]
+			for i := range col {
+				col[i] = 0
+			}
+			col[j] = 1
+		}
+	}
+
+	nmaxit := n * maxit
+	jtot := 0
+	failed := false
+
+	// rotCols applies the 2×2 rotation to columns j and j+1 of Z:
+	// col_j' = c*col_j + s*col_{j+1}; col_{j+1}' = -s*col_j + c*col_{j+1}.
+	rotCols := func(j int, c, s float64) {
+		blas.Drot(n, z[j*ldz:], 1, z[(j+1)*ldz:], 1, c, s)
+	}
+
+	// Determine where the matrix splits and choose QL or QR iteration for
+	// each unreduced block, working from l1 upward.
+	l1 := 0
+	for !failed {
+		if l1 > n-1 {
+			break
+		}
+		if l1 > 0 {
+			e[l1-1] = 0
+		}
+		m := n - 1
+		for mm := l1; mm <= n-2; mm++ {
+			tst := math.Abs(e[mm])
+			if tst == 0 {
+				m = mm
+				break
+			}
+			if tst <= (math.Sqrt(math.Abs(d[mm]))*math.Sqrt(math.Abs(d[mm+1])))*eps {
+				e[mm] = 0
+				m = mm
+				break
+			}
+		}
+
+		l := l1
+		lsv := l
+		lend := m
+		lendsv := lend
+		l1 = m + 1
+		if lend == l {
+			continue
+		}
+
+		// Scale the block to the safe range.
+		anorm := Dlanst('M', lend-l+1, d[l:], e[l:])
+		iscale := 0
+		if anorm == 0 {
+			continue
+		}
+		if anorm > ssfmax {
+			iscale = 1
+			Dlascl(lend-l+1, 1, anorm, ssfmax, d[l:], n)
+			Dlascl(lend-l, 1, anorm, ssfmax, e[l:], n)
+		} else if anorm < ssfmin {
+			iscale = 2
+			Dlascl(lend-l+1, 1, anorm, ssfmin, d[l:], n)
+			Dlascl(lend-l, 1, anorm, ssfmin, e[l:], n)
+		}
+
+		// Choose between QL and QR.
+		if math.Abs(d[lend]) < math.Abs(d[l]) {
+			lend, l = l, lend
+		}
+
+		if lend > l {
+			// QL iteration: look for small subdiagonal element.
+		ql:
+			for {
+				m := lend
+				if l != lend {
+					for mm := l; mm <= lend-1; mm++ {
+						tst := e[mm] * e[mm]
+						if tst <= eps2*math.Abs(d[mm])*math.Abs(d[mm+1])+safmin {
+							m = mm
+							break
+						}
+					}
+				}
+				if m < lend {
+					e[m] = 0
+				}
+				p := d[l]
+				if m == l {
+					// Eigenvalue found.
+					d[l] = p
+					l++
+					if l <= lend {
+						continue
+					}
+					break
+				}
+				if m == l+1 {
+					// 2×2 block: use the closed form.
+					var rt1, rt2 float64
+					if wantz {
+						var c, s float64
+						rt1, rt2, c, s = Dlaev2(d[l], e[l], d[l+1])
+						rotCols(l, c, s)
+					} else {
+						rt1, rt2 = Dlae2(d[l], e[l], d[l+1])
+					}
+					d[l] = rt1
+					d[l+1] = rt2
+					e[l] = 0
+					l += 2
+					if l <= lend {
+						continue
+					}
+					break
+				}
+				if jtot == nmaxit {
+					failed = true
+					break ql
+				}
+				jtot++
+
+				// Form shift (Wilkinson).
+				g := (d[l+1] - p) / (2 * e[l])
+				r := Dlapy2(g, 1)
+				g = d[m] - p + e[l]/(g+Sign(r, g))
+				s, c := 1.0, 1.0
+				p = 0
+				// Inner bulge-chase loop.
+				for i := m - 1; i >= l; i-- {
+					f := s * e[i]
+					b := c * e[i]
+					c, s, r = Dlartg(g, f)
+					if i != m-1 {
+						e[i+1] = r
+					}
+					g = d[i+1] - p
+					r = (d[i]-g)*s + 2*c*b
+					p = s * r
+					d[i+1] = g + p
+					g = c*r - b
+					if wantz {
+						rotCols(i, c, -s)
+					}
+				}
+				d[l] -= p
+				e[l] = g
+			}
+		} else {
+			// QR iteration: look for small superdiagonal element.
+		qr:
+			for {
+				m := lend
+				if l != lend {
+					for mm := l; mm >= lend+1; mm-- {
+						tst := e[mm-1] * e[mm-1]
+						if tst <= eps2*math.Abs(d[mm])*math.Abs(d[mm-1])+safmin {
+							m = mm
+							break
+						}
+					}
+				}
+				if m > lend {
+					e[m-1] = 0
+				}
+				p := d[l]
+				if m == l {
+					d[l] = p
+					l--
+					if l >= lend {
+						continue
+					}
+					break
+				}
+				if m == l-1 {
+					var rt1, rt2 float64
+					if wantz {
+						var c, s float64
+						rt1, rt2, c, s = Dlaev2(d[l-1], e[l-1], d[l])
+						rotCols(l-1, c, s)
+					} else {
+						rt1, rt2 = Dlae2(d[l-1], e[l-1], d[l])
+					}
+					d[l-1] = rt1
+					d[l] = rt2
+					e[l-1] = 0
+					l -= 2
+					if l >= lend {
+						continue
+					}
+					break
+				}
+				if jtot == nmaxit {
+					failed = true
+					break qr
+				}
+				jtot++
+
+				g := (d[l-1] - p) / (2 * e[l-1])
+				r := Dlapy2(g, 1)
+				g = d[m] - p + e[l-1]/(g+Sign(r, g))
+				s, c := 1.0, 1.0
+				p = 0
+				for i := m; i <= l-1; i++ {
+					f := s * e[i]
+					b := c * e[i]
+					c, s, r = Dlartg(g, f)
+					if i != m {
+						e[i-1] = r
+					}
+					g = d[i] - p
+					r = (d[i+1]-g)*s + 2*c*b
+					p = s * r
+					d[i] = g + p
+					g = c*r - b
+					if wantz {
+						rotCols(i, c, s)
+					}
+				}
+				d[l] -= p
+				e[l-1] = g
+			}
+		}
+
+		// Undo scaling for this block.
+		switch iscale {
+		case 1:
+			Dlascl(lendsv-lsv+1, 1, ssfmax, anorm, d[lsv:], n)
+			Dlascl(lendsv-lsv, 1, ssfmax, anorm, e[lsv:], n)
+		case 2:
+			Dlascl(lendsv-lsv+1, 1, ssfmin, anorm, d[lsv:], n)
+			Dlascl(lendsv-lsv, 1, ssfmin, anorm, e[lsv:], n)
+		}
+	}
+
+	if failed {
+		bad := 0
+		for i := 0; i < n-1; i++ {
+			if e[i] != 0 {
+				bad++
+			}
+		}
+		return fmt.Errorf("lapack: Dsteqr failed to converge: %d off-diagonal elements did not reach zero", bad)
+	}
+
+	// Order eigenvalues (and eigenvectors).
+	if !wantz {
+		sort.Float64s(d)
+		return nil
+	}
+	// Selection sort to minimize eigenvector swaps, as in LAPACK.
+	for ii := 1; ii < n; ii++ {
+		i := ii - 1
+		k := i
+		p := d[i]
+		for j := ii; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			blas.Dswap(n, z[i*ldz:], 1, z[k*ldz:], 1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDsteqrOneTwoOneSpectrum(t *testing.T) {
+	// The (1,2,1) tridiagonal matrix has eigenvalues 2-2cos(kπ/(n+1)).
+	for _, n := range []int{1, 2, 3, 10, 50} {
+		d := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		for i := range d {
+			d[i] = 2
+		}
+		for i := 0; i < n-1; i++ {
+			e[i] = 1
+		}
+		dc, ec := append([]float64(nil), d...), append([]float64(nil), e...)
+		z := make([]float64, n*n)
+		if err := Dsteqr(CompIdentity, n, dc, ec, z, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for k := 1; k <= n; k++ {
+			want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+			if math.Abs(dc[k-1]-want) > 1e-12 {
+				t.Errorf("n=%d eigenvalue %d: got %v want %v", n, k, dc[k-1], want)
+			}
+		}
+		checkEigenDecomp(t, "one-two-one", n, d, e, dc, z, n, 30)
+	}
+}
+
+func TestDsteqrRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 3, 5, 16, 40, 97} {
+		d, e := randTridiag(rng, n)
+		dc, ec := append([]float64(nil), d...), append([]float64(nil), e...)
+		z := make([]float64, n*n)
+		if err := Dsteqr(CompIdentity, n, dc, ec, z, n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkEigenDecomp(t, "random", n, d, e, dc, z, n, 50)
+	}
+}
+
+func TestDsteqrSplitBlocks(t *testing.T) {
+	// A matrix that splits: zero off-diagonal in the middle.
+	n := 20
+	rng := rand.New(rand.NewSource(5))
+	d, e := randTridiag(rng, n)
+	e[7] = 0
+	e[13] = 0
+	dc, ec := append([]float64(nil), d...), append([]float64(nil), e...)
+	z := make([]float64, n*n)
+	if err := Dsteqr(CompIdentity, n, dc, ec, z, n); err != nil {
+		t.Fatal(err)
+	}
+	checkEigenDecomp(t, "split", n, d, e, dc, z, n, 50)
+}
+
+func TestDsteqrDiagonalMatrix(t *testing.T) {
+	n := 8
+	d := []float64{5, -3, 2, 0, 7, -1, 4, 1}
+	e := make([]float64, n-1)
+	dc := append([]float64(nil), d...)
+	z := make([]float64, n*n)
+	if err := Dsteqr(CompIdentity, n, dc, e, z, n); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), d...)
+	sort.Float64s(want)
+	for i := range want {
+		if dc[i] != want[i] {
+			t.Errorf("diagonal case: eigenvalue %d got %v want %v", i, dc[i], want[i])
+		}
+	}
+	checkEigenDecomp(t, "diag", n, d, e, dc, z, n, 10)
+}
+
+func TestDsteqrExtremeScales(t *testing.T) {
+	// Very large and very small entries must be handled by block scaling.
+	for _, scale := range []float64{1e-290, 1e290} {
+		n := 12
+		rng := rand.New(rand.NewSource(9))
+		d, e := randTridiag(rng, n)
+		for i := range d {
+			d[i] *= scale
+		}
+		for i := range e {
+			e[i] *= scale
+		}
+		dc, ec := append([]float64(nil), d...), append([]float64(nil), e...)
+		z := make([]float64, n*n)
+		if err := Dsteqr(CompIdentity, n, dc, ec, z, n); err != nil {
+			t.Fatalf("scale=%g: %v", scale, err)
+		}
+		for _, v := range dc {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("scale=%g produced non-finite eigenvalue %v", scale, v)
+			}
+		}
+		if orth := orthogonality(n, z, n); orth > 100*Eps*float64(n) {
+			t.Errorf("scale=%g: orthogonality %v", scale, orth)
+		}
+	}
+}
+
+func TestDsteqrCompVectorsAccumulates(t *testing.T) {
+	// With CompVectors and Z = Q0, result must be Q0 * (eigenvectors of T).
+	n := 15
+	rng := rand.New(rand.NewSource(17))
+	d, e := randTridiag(rng, n)
+
+	d1, e1 := append([]float64(nil), d...), append([]float64(nil), e...)
+	z1 := make([]float64, n*n)
+	if err := Dsteqr(CompIdentity, n, d1, e1, z1, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// Q0: a fixed permutation matrix (orthogonal, easy to verify product).
+	q0 := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		q0[((j+3)%n)+j*n] = 1
+	}
+	z2 := append([]float64(nil), q0...)
+	d2, e2 := append([]float64(nil), d...), append([]float64(nil), e...)
+	if err := Dsteqr(CompVectors, n, d2, e2, z2, n); err != nil {
+		t.Fatal(err)
+	}
+	// z2 should equal P*z1 where P is the permutation (row shift by 3).
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			want := z1[i+j*n]
+			got := z2[((i+3)%n)+j*n]
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("CompVectors mismatch at (%d,%d): got %v want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDsterfMatchesDsteqr(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 5, 30, 80} {
+		d, e := randTridiag(rng, n)
+		d1 := append([]float64(nil), d...)
+		e1 := append([]float64(nil), e...)
+		if err := Dsterf(n, d1, e1); err != nil {
+			t.Fatalf("Dsterf n=%d: %v", n, err)
+		}
+		d2 := append([]float64(nil), d...)
+		e2 := append([]float64(nil), e...)
+		if err := Dsteqr(CompNone, n, d2, e2, nil, 0); err != nil {
+			t.Fatalf("Dsteqr n=%d: %v", n, err)
+		}
+		nrm := Dlanst('M', n, d, e) + 1
+		for i := 0; i < n; i++ {
+			if math.Abs(d1[i]-d2[i]) > 1e-12*nrm*float64(n) {
+				t.Errorf("n=%d eigenvalue %d: sterf %v steqr %v", n, i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+func TestDsteqrWilkinson(t *testing.T) {
+	// Wilkinson W21+ has famously close eigenvalue pairs; a good stress test.
+	n := 21
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		d[i] = math.Abs(float64(i - 10))
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	dc, ec := append([]float64(nil), d...), append([]float64(nil), e...)
+	z := make([]float64, n*n)
+	if err := Dsteqr(CompIdentity, n, dc, ec, z, n); err != nil {
+		t.Fatal(err)
+	}
+	checkEigenDecomp(t, "wilkinson", n, d, e, dc, z, n, 50)
+	// The two largest eigenvalues agree to ~1e-15 but must both be ≈10.746.
+	if math.Abs(dc[n-1]-10.746194182903393) > 1e-9 {
+		t.Errorf("largest eigenvalue %v", dc[n-1])
+	}
+}

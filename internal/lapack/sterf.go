@@ -1,0 +1,252 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dsterf computes all eigenvalues of a symmetric tridiagonal matrix using the
+// Pal–Walker–Kahan variant of the QL/QR algorithm (LAPACK DSTERF). It is the
+// root-free, eigenvalues-only counterpart of Dsteqr. On exit d holds the
+// eigenvalues in ascending order and e is destroyed.
+func Dsterf(n int, d, e []float64) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: Dsterf: negative n=%d", n)
+	}
+	if n <= 1 {
+		return nil
+	}
+
+	const maxit = 30
+	eps := Eps
+	eps2 := eps * eps
+	safmin := SafeMin
+	safmax := 1 / safmin
+	ssfmax := math.Sqrt(safmax) / 3
+	ssfmin := math.Sqrt(safmin) / eps2
+
+	nmaxit := n * maxit
+	jtot := 0
+	failed := false
+
+	l1 := 0
+	for !failed {
+		if l1 > n-1 {
+			break
+		}
+		if l1 > 0 {
+			e[l1-1] = 0
+		}
+		m := n - 1
+		for mm := l1; mm <= n-2; mm++ {
+			if math.Abs(e[mm]) <= math.Sqrt(math.Abs(d[mm]))*math.Sqrt(math.Abs(d[mm+1]))*eps {
+				e[mm] = 0
+				m = mm
+				break
+			}
+		}
+
+		l := l1
+		lsv := l
+		lend := m
+		lendsv := lend
+		l1 = m + 1
+		if lend == l {
+			continue
+		}
+
+		anorm := Dlanst('M', lend-l+1, d[l:], e[l:])
+		iscale := 0
+		if anorm == 0 {
+			continue
+		}
+		if anorm > ssfmax {
+			iscale = 1
+			Dlascl(lend-l+1, 1, anorm, ssfmax, d[l:], n)
+			Dlascl(lend-l, 1, anorm, ssfmax, e[l:], n)
+		} else if anorm < ssfmin {
+			iscale = 2
+			Dlascl(lend-l+1, 1, anorm, ssfmin, d[l:], n)
+			Dlascl(lend-l, 1, anorm, ssfmin, e[l:], n)
+		}
+
+		// Work with squared off-diagonals (root-free iteration).
+		for i := l; i < lend; i++ {
+			e[i] *= e[i]
+		}
+
+		if math.Abs(d[lend]) < math.Abs(d[l]) {
+			lend, l = l, lend
+		}
+
+		if lend >= l {
+			// QL variant.
+		ql:
+			for {
+				m := lend
+				if l != lend {
+					for mm := l; mm <= lend-1; mm++ {
+						if math.Abs(e[mm]) <= eps2*math.Abs(d[mm]*d[mm+1]) {
+							m = mm
+							break
+						}
+					}
+				}
+				if m < lend {
+					e[m] = 0
+				}
+				p := d[l]
+				if m == l {
+					d[l] = p
+					l++
+					if l <= lend {
+						continue
+					}
+					break
+				}
+				if m == l+1 {
+					rte := math.Sqrt(e[l])
+					rt1, rt2 := Dlae2(d[l], rte, d[l+1])
+					d[l] = rt1
+					d[l+1] = rt2
+					e[l] = 0
+					l += 2
+					if l <= lend {
+						continue
+					}
+					break
+				}
+				if jtot == nmaxit {
+					failed = true
+					break ql
+				}
+				jtot++
+
+				rte := math.Sqrt(e[l])
+				sigma := (d[l+1] - p) / (2 * rte)
+				r := Dlapy2(sigma, 1)
+				sigma = p - rte/(sigma+Sign(r, sigma))
+
+				c := 1.0
+				s := 0.0
+				gamma := d[m] - sigma
+				p = gamma * gamma
+				for i := m - 1; i >= l; i-- {
+					bb := e[i]
+					r := p + bb
+					if i != m-1 {
+						e[i+1] = s * r
+					}
+					oldc := c
+					c = p / r
+					s = bb / r
+					oldgam := gamma
+					alpha := d[i]
+					gamma = c*(alpha-sigma) - s*oldgam
+					d[i+1] = oldgam + (alpha - gamma)
+					if c != 0 {
+						p = gamma * gamma / c
+					} else {
+						p = oldc * bb
+					}
+				}
+				e[l] = s * p
+				d[l] = sigma + gamma
+			}
+		} else {
+			// QR variant.
+		qr:
+			for {
+				m := lend
+				if l != lend {
+					for mm := l; mm >= lend+1; mm-- {
+						if math.Abs(e[mm-1]) <= eps2*math.Abs(d[mm]*d[mm-1]) {
+							m = mm
+							break
+						}
+					}
+				}
+				if m > lend {
+					e[m-1] = 0
+				}
+				p := d[l]
+				if m == l {
+					d[l] = p
+					l--
+					if l >= lend {
+						continue
+					}
+					break
+				}
+				if m == l-1 {
+					rte := math.Sqrt(e[l-1])
+					rt1, rt2 := Dlae2(d[l], rte, d[l-1])
+					d[l] = rt1
+					d[l-1] = rt2
+					e[l-1] = 0
+					l -= 2
+					if l >= lend {
+						continue
+					}
+					break
+				}
+				if jtot == nmaxit {
+					failed = true
+					break qr
+				}
+				jtot++
+
+				rte := math.Sqrt(e[l-1])
+				sigma := (d[l-1] - p) / (2 * rte)
+				r := Dlapy2(sigma, 1)
+				sigma = p - rte/(sigma+Sign(r, sigma))
+
+				c := 1.0
+				s := 0.0
+				gamma := d[m] - sigma
+				p = gamma * gamma
+				for i := m; i <= l-1; i++ {
+					bb := e[i]
+					r := p + bb
+					if i != m {
+						e[i-1] = s * r
+					}
+					oldc := c
+					c = p / r
+					s = bb / r
+					oldgam := gamma
+					alpha := d[i+1]
+					gamma = c*(alpha-sigma) - s*oldgam
+					d[i] = oldgam + (alpha - gamma)
+					if c != 0 {
+						p = gamma * gamma / c
+					} else {
+						p = oldc * bb
+					}
+				}
+				e[l-1] = s * p
+				d[l] = sigma + gamma
+			}
+		}
+
+		switch iscale {
+		case 1:
+			Dlascl(lendsv-lsv+1, 1, ssfmax, anorm, d[lsv:], n)
+		case 2:
+			Dlascl(lendsv-lsv+1, 1, ssfmin, anorm, d[lsv:], n)
+		}
+	}
+
+	if failed {
+		bad := 0
+		for i := 0; i < n-1; i++ {
+			if e[i] != 0 {
+				bad++
+			}
+		}
+		return fmt.Errorf("lapack: Dsterf failed to converge: %d off-diagonal elements did not reach zero", bad)
+	}
+	sort.Float64s(d)
+	return nil
+}

@@ -1,0 +1,210 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/blas"
+)
+
+// Dlarfg generates an elementary Householder reflector H = I - tau*v*vᵀ with
+// v[0] = 1 such that H*(alpha, x)ᵀ = (beta, 0)ᵀ (LAPACK DLARFG). On return x
+// holds v[1:], and beta and tau are returned.
+func Dlarfg(n int, alpha float64, x []float64, incx int) (beta, tau float64) {
+	if n <= 1 {
+		return alpha, 0
+	}
+	xnorm := blas.Dnrm2(n-1, x, incx)
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	beta = -Sign(Dlapy2(alpha, xnorm), alpha)
+	safmin := SafeMin / Eps
+	knt := 0
+	if math.Abs(beta) < safmin {
+		// xnorm and beta may be inaccurate; scale x and recompute.
+		rsafmn := 1 / safmin
+		for math.Abs(beta) < safmin && knt < 20 {
+			knt++
+			blas.Dscal(n-1, rsafmn, x, incx)
+			beta *= rsafmn
+			alpha *= rsafmn
+		}
+		xnorm = blas.Dnrm2(n-1, x, incx)
+		beta = -Sign(Dlapy2(alpha, xnorm), alpha)
+	}
+	tau = (beta - alpha) / beta
+	blas.Dscal(n-1, 1/(alpha-beta), x, incx)
+	for i := 0; i < knt; i++ {
+		beta *= safmin
+	}
+	return beta, tau
+}
+
+// Dsytd2 reduces a symmetric matrix stored in the lower triangle of a to
+// tridiagonal form by an unblocked orthogonal similarity Qᵀ A Q = T
+// (LAPACK DSYTD2, lower variant). On exit d and e hold the tridiagonal, tau
+// the reflector scales, and the Householder vectors are stored below the
+// first subdiagonal of a.
+func Dsytd2(n int, a []float64, lda int, d, e, tau []float64) {
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < n-1; i++ {
+		// Generate H(i) to annihilate a(i+2:n, i).
+		m := n - i - 1 // length of the column below the diagonal
+		beta, taui := Dlarfg(m, a[i+1+i*lda], a[min(i+2, n-1)+i*lda:], 1)
+		e[i] = beta
+		if taui != 0 {
+			// Apply H(i) from both sides to a(i+1:n, i+1:n).
+			a[i+1+i*lda] = 1
+			v := a[i+1+i*lda:] // v, stride 1, length m
+			w := tau[i:]       // use tau[i:] as scratch for w, as LAPACK does
+			blas.Dsymv(m, taui, a[i+1+(i+1)*lda:], lda, v, 1, 0, w, 1)
+			alpha := -0.5 * taui * blas.Ddot(m, w, 1, v, 1)
+			blas.Daxpy(m, alpha, v, 1, w, 1)
+			blas.Dsyr2(m, -1, v, 1, w, 1, a[i+1+(i+1)*lda:], lda)
+			a[i+1+i*lda] = e[i]
+		}
+		d[i] = a[i+i*lda]
+		tau[i] = taui
+	}
+	d[n-1] = a[n-1+(n-1)*lda]
+}
+
+// Dlatrd reduces the first nb columns of a symmetric matrix (lower storage)
+// to tridiagonal form and returns the matrix W needed to apply the remaining
+// update as a rank-2nb update A := A - V*Wᵀ - W*Vᵀ (LAPACK DLATRD, lower).
+func Dlatrd(n, nb int, a []float64, lda int, e, tau []float64, w []float64, ldw int) {
+	for i := 0; i < nb; i++ {
+		m := n - i // rows i..n-1
+		// Update a(i:n, i) with the transformations computed so far.
+		if i > 0 {
+			blas.Dgemv(false, m, i, -1, a[i:], lda, w[i:], ldw, 1, a[i+i*lda:], 1)
+			blas.Dgemv(false, m, i, -1, w[i:], ldw, a[i:], lda, 1, a[i+i*lda:], 1)
+		}
+		if i < n-1 {
+			// Generate H(i) to annihilate a(i+2:n, i).
+			mm := n - i - 1
+			beta, taui := Dlarfg(mm, a[i+1+i*lda], a[min(i+2, n-1)+i*lda:], 1)
+			e[i] = beta
+			tau[i] = taui
+			a[i+1+i*lda] = 1
+			v := a[i+1+i*lda:]
+			// w(i+1:n, i) = tau * (A - V Wᵀ - W Vᵀ)(i+1:n, i+1:n) * v
+			wi := w[i+1+i*ldw:]
+			blas.Dsymv(mm, 1, a[i+1+(i+1)*lda:], lda, v, 1, 0, wi, 1)
+			if i > 0 {
+				wtop := w[i*ldw:] // w(0:i, i) scratch
+				blas.Dgemv(true, mm, i, 1, w[i+1:], ldw, v, 1, 0, wtop, 1)
+				blas.Dgemv(false, mm, i, -1, a[i+1:], lda, wtop, 1, 1, wi, 1)
+				blas.Dgemv(true, mm, i, 1, a[i+1:], lda, v, 1, 0, wtop, 1)
+				blas.Dgemv(false, mm, i, -1, w[i+1:], ldw, wtop, 1, 1, wi, 1)
+			}
+			blas.Dscal(mm, taui, wi, 1)
+			alpha := -0.5 * taui * blas.Ddot(mm, wi, 1, v, 1)
+			blas.Daxpy(mm, alpha, v, 1, wi, 1)
+		}
+	}
+}
+
+// Dsytrd reduces a symmetric matrix stored in the lower triangle of a to
+// tridiagonal form using the blocked algorithm (LAPACK DSYTRD, lower): panel
+// reductions via Dlatrd followed by rank-2k trailing updates via Dsyr2k.
+// nb is the block size (<= 1 selects the unblocked algorithm).
+func Dsytrd(n int, a []float64, lda int, d, e, tau []float64, nb int) error {
+	return DsytrdParallel(n, a, lda, d, e, tau, nb, 1)
+}
+
+// DsytrdParallel is Dsytrd with the rank-2k trailing updates — the level-3
+// bulk of the reduction — partitioned over `workers` goroutines (fork/join,
+// the multithreaded-BLAS execution model).
+func DsytrdParallel(n int, a []float64, lda int, d, e, tau []float64, nb, workers int) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: Dsytrd: negative n")
+	}
+	if n == 0 {
+		return nil
+	}
+	if lda < n {
+		return fmt.Errorf("lapack: Dsytrd: lda=%d < n=%d", lda, n)
+	}
+	if nb <= 1 || n <= nb+16 {
+		Dsytd2(n, a, lda, d, e, tau)
+		return nil
+	}
+	w := make([]float64, n*nb)
+	i := 0
+	for ; i < n-nb-16; i += nb {
+		m := n - i
+		Dlatrd(m, nb, a[i+i*lda:], lda, e[i:], tau[i:], w, m)
+		// Trailing update: A(i+nb:n, i+nb:n) -= V*Wᵀ + W*Vᵀ.
+		blas.Dsyr2kParallel(workers, m-nb, nb, -1, a[i+nb+i*lda:], lda, w[nb:], m, 1, a[i+nb+(i+nb)*lda:], lda)
+		// Restore the subdiagonal entries overwritten by the panel.
+		for j := i; j < i+nb; j++ {
+			a[j+1+j*lda] = e[j]
+			d[j] = a[j+j*lda]
+		}
+	}
+	Dsytd2(n-i, a[i+i*lda:], lda, d[i:], e[i:], tau[i:])
+	return nil
+}
+
+// Dormtr applies the orthogonal matrix Q from Dsytrd (lower storage) to the
+// n×m matrix C from the left: C = Q*C, or QᵀC when trans is true
+// (LAPACK DORMTR 'L','L'). a and tau are Dsytrd's outputs. Large problems
+// dispatch to the blocked (level-3) Dlarft/Dlarfb path.
+func Dormtr(trans bool, n, m int, a []float64, lda int, tau []float64, c []float64, ldc int) {
+	if n >= 129 && m >= 8 {
+		DormtrBlocked(trans, n, m, a, lda, tau, c, ldc, 32)
+		return
+	}
+	dormtrUnblocked(trans, n, m, a, lda, tau, c, ldc)
+}
+
+// dormtrUnblocked applies the reflectors one at a time (level-2).
+func dormtrUnblocked(trans bool, n, m int, a []float64, lda int, tau []float64, c []float64, ldc int) {
+	if n <= 1 || m == 0 {
+		return
+	}
+	w := make([]float64, m)
+	apply := func(i int) {
+		// Reflector i acts on rows i+1..n-1 of C with v = [1, a(i+2:n, i)].
+		taui := tau[i]
+		if taui == 0 {
+			return
+		}
+		mm := n - i - 1
+		save := a[i+1+i*lda]
+		a[i+1+i*lda] = 1
+		v := a[i+1+i*lda:]
+		// w = C(i+1:n, :)ᵀ v ; C(i+1:n, :) -= tau * v * wᵀ
+		blas.Dgemv(true, mm, m, 1, c[i+1:], ldc, v, 1, 0, w, 1)
+		blas.Dger(mm, m, -taui, v, 1, w, 1, c[i+1:], ldc)
+		a[i+1+i*lda] = save
+	}
+	if !trans {
+		// Q*C = H(0)·H(1)···H(n-2)·C: apply in reverse order.
+		for i := n - 2; i >= 0; i-- {
+			apply(i)
+		}
+	} else {
+		for i := 0; i <= n-2; i++ {
+			apply(i)
+		}
+	}
+}
+
+// Dorgtr explicitly forms the orthogonal matrix Q from Dsytrd's reflectors
+// (LAPACK DORGTR, lower): Q is written into q (n×n).
+func Dorgtr(n int, a []float64, lda int, tau []float64, q []float64, ldq int) {
+	// Start from the identity and apply Q from the left.
+	for j := 0; j < n; j++ {
+		col := q[j*ldq : j*ldq+n]
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+	}
+	Dormtr(false, n, n, a, lda, tau, q, ldq)
+}

@@ -1,0 +1,260 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSym(rng *rand.Rand, n, lda int) []float64 {
+	a := make([]float64, lda*n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := rng.NormFloat64()
+			a[i+j*lda] = v
+			a[j+i*lda] = v
+		}
+	}
+	return a
+}
+
+func TestDlarfg(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, n := range []int{1, 2, 5, 20} {
+		alpha := rng.NormFloat64()
+		x := make([]float64, n-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		orig := append([]float64{alpha}, x...)
+		beta, tau := Dlarfg(n, alpha, x, 1)
+		if n == 1 {
+			if beta != alpha || tau != 0 {
+				t.Errorf("n=1: beta=%v tau=%v", beta, tau)
+			}
+			continue
+		}
+		// H*(alpha, xorig) = (beta, 0): v = (1, x), H = I - tau v vᵀ
+		v := append([]float64{1}, x...)
+		var vy float64
+		for i := range v {
+			vy += v[i] * orig[i]
+		}
+		for i := range v {
+			got := orig[i] - tau*v[i]*vy
+			want := 0.0
+			if i == 0 {
+				want = beta
+			}
+			if math.Abs(got-want) > 1e-13*(math.Abs(beta)+1) {
+				t.Errorf("n=%d: H*y[%d]=%v want %v", n, i, got, want)
+			}
+		}
+		// H orthogonal: tau(2 - tau*vᵀv) == 0 condition: tau*vᵀv = 2 for symmetric H...
+		var vv float64
+		for _, vi := range v {
+			vv += vi * vi
+		}
+		if tau != 0 && math.Abs(tau*vv-2) > 1e-12 {
+			t.Errorf("n=%d: tau*|v|²=%v, want 2", n, tau*vv)
+		}
+	}
+	// zero tail: tau must be zero
+	beta, tau := Dlarfg(4, 5, []float64{0, 0, 0}, 1)
+	if beta != 5 || tau != 0 {
+		t.Errorf("zero tail: beta=%v tau=%v", beta, tau)
+	}
+	// tiny values: scaling path
+	x := []float64{1e-310, 2e-310}
+	beta, tau = Dlarfg(3, 3e-310, x, 1)
+	if math.IsNaN(beta) || math.IsNaN(tau) || beta == 0 {
+		t.Errorf("tiny: beta=%v tau=%v", beta, tau)
+	}
+}
+
+// reconstruct checks Qᵀ A Q = T by computing A*Q - Q*T columnwise.
+func checkTridiagReduction(t *testing.T, name string, n int, aorig []float64, d, e []float64, q []float64) {
+	t.Helper()
+	// residual ||A*Q - Q*T|| / (||A||*n)
+	var anorm float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			anorm = math.Max(anorm, math.Abs(aorig[i+j*n]))
+		}
+	}
+	if anorm == 0 {
+		anorm = 1
+	}
+	worst := 0.0
+	aq := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// aq = A * q(:,j)
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += aorig[i+l*n] * q[l+j*n]
+			}
+			aq[i] = s
+		}
+		// qt = Q * T e_j = d_j q(:,j) + e_{j-1} q(:,j-1) + e_j q(:,j+1)
+		for i := 0; i < n; i++ {
+			s := d[j] * q[i+j*n]
+			if j > 0 {
+				s += e[j-1] * q[i+(j-1)*n]
+			}
+			if j < n-1 {
+				s += e[j] * q[i+(j+1)*n]
+			}
+			worst = math.Max(worst, math.Abs(aq[i]-s))
+		}
+	}
+	if worst/anorm > 1e-13*float64(n) {
+		t.Errorf("%s: reduction residual %.3e", name, worst/anorm)
+	}
+	if orth := orthogonality(n, q, n); orth > 1e-13*float64(n) {
+		t.Errorf("%s: Q orthogonality %.3e", name, orth)
+	}
+}
+
+func TestDsytd2Reduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for _, n := range []int{1, 2, 3, 8, 30} {
+		a := randSym(rng, n, n)
+		aorig := append([]float64(nil), a...)
+		d := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		tau := make([]float64, max(n-1, 1))
+		Dsytd2(n, a, n, d, e, tau)
+		q := make([]float64, n*n)
+		Dorgtr(n, a, n, tau, q, n)
+		checkTridiagReduction(t, "dsytd2", n, aorig, d, e, q)
+	}
+}
+
+func TestDsytrdBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{40, 70, 129} {
+		a1 := randSym(rng, n, n)
+		a2 := append([]float64(nil), a1...)
+		aorig := append([]float64(nil), a1...)
+
+		d1 := make([]float64, n)
+		e1 := make([]float64, n-1)
+		tau1 := make([]float64, n-1)
+		Dsytd2(n, a1, n, d1, e1, tau1)
+
+		d2 := make([]float64, n)
+		e2 := make([]float64, n-1)
+		tau2 := make([]float64, n-1)
+		if err := Dsytrd(n, a2, n, d2, e2, tau2, 8); err != nil {
+			t.Fatal(err)
+		}
+		// The tridiagonal matrices should agree to roundoff.
+		for i := 0; i < n; i++ {
+			if math.Abs(d1[i]-d2[i]) > 1e-10*(math.Abs(d1[i])+1) {
+				t.Errorf("n=%d d[%d]: %v vs %v", n, i, d1[i], d2[i])
+			}
+		}
+		for i := 0; i < n-1; i++ {
+			if math.Abs(e1[i]-e2[i]) > 1e-10*(math.Abs(e1[i])+1) {
+				t.Errorf("n=%d e[%d]: %v vs %v", n, i, e1[i], e2[i])
+			}
+		}
+		q := make([]float64, n*n)
+		Dorgtr(n, a2, n, tau2, q, n)
+		checkTridiagReduction(t, "dsytrd-blocked", n, aorig, d2, e2, q)
+	}
+}
+
+func TestDormtrTransposeInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	n, m := 25, 7
+	a := randSym(rng, n, n)
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	tau := make([]float64, n-1)
+	Dsytd2(n, a, n, d, e, tau)
+	c := make([]float64, n*m)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), c...)
+	Dormtr(false, n, m, a, n, tau, c, n)
+	Dormtr(true, n, m, a, n, tau, c, n)
+	for i := range c {
+		if math.Abs(c[i]-orig[i]) > 1e-12 {
+			t.Fatalf("QᵀQ C != C at %d: %v vs %v", i, c[i], orig[i])
+		}
+	}
+}
+
+// TestFullSymmetricPipeline: dense symmetric A -> tridiagonal -> D&C ->
+// back-transform, checking A V = V Λ.
+func TestFullSymmetricPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, n := range []int{10, 45, 90} {
+		a := randSym(rng, n, n)
+		aorig := append([]float64(nil), a...)
+		d := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		tau := make([]float64, max(n-1, 1))
+		if err := Dsytrd(n, a, n, d, e, tau, 8); err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, n*n)
+		if err := Dstedc(n, d, e, q, n, &DCConfig{SmallSize: 12}); err != nil {
+			t.Fatal(err)
+		}
+		Dormtr(false, n, n, a, n, tau, q, n)
+		// check A*v_j = d_j*v_j
+		var anorm float64
+		for _, v := range aorig {
+			anorm = math.Max(anorm, math.Abs(v))
+		}
+		worst := 0.0
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				var s float64
+				for l := 0; l < n; l++ {
+					s += aorig[i+l*n] * q[l+j*n]
+				}
+				worst = math.Max(worst, math.Abs(s-d[j]*q[i+j*n]))
+			}
+		}
+		if worst/anorm > 1e-13*float64(n) {
+			t.Errorf("n=%d: pipeline residual %.3e", n, worst/anorm)
+		}
+		if orth := orthogonality(n, q, n); orth > 1e-13*float64(n) {
+			t.Errorf("n=%d: pipeline orthogonality %.3e", n, orth)
+		}
+	}
+}
+
+func TestDsytrdParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	n := 150
+	a1 := randSym(rng, n, n)
+	a2 := append([]float64(nil), a1...)
+	d1 := make([]float64, n)
+	e1 := make([]float64, n-1)
+	tau1 := make([]float64, n-1)
+	if err := Dsytrd(n, a1, n, d1, e1, tau1, 16); err != nil {
+		t.Fatal(err)
+	}
+	d2 := make([]float64, n)
+	e2 := make([]float64, n-1)
+	tau2 := make([]float64, n-1)
+	if err := DsytrdParallel(n, a2, n, d2, e2, tau2, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(d1[i]-d2[i]) > 1e-12*(math.Abs(d1[i])+1) {
+			t.Fatalf("d[%d]: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if math.Abs(e1[i]-e2[i]) > 1e-12*(math.Abs(e1[i])+1) {
+			t.Fatalf("e[%d]: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}

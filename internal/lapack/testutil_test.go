@@ -1,0 +1,86 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tridiagResidual returns max column norm of T*V - V*diag(lam), a measure of
+// ||T - V Λ Vᵀ|| when V is orthogonal.
+func tridiagResidual(n int, d, e, lam, z []float64, ldz int) float64 {
+	worst := 0.0
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := z[j*ldz : j*ldz+n]
+		for i := 0; i < n; i++ {
+			s := d[i] * v[i]
+			if i > 0 {
+				s += e[i-1] * v[i-1]
+			}
+			if i < n-1 {
+				s += e[i] * v[i+1]
+			}
+			y[i] = s - lam[j]*v[i]
+		}
+		var nrm float64
+		for _, t := range y {
+			nrm += t * t
+		}
+		worst = math.Max(worst, math.Sqrt(nrm))
+	}
+	return worst
+}
+
+// orthogonality returns max |(VᵀV - I)(i,j)|.
+func orthogonality(n int, z []float64, ldz int) float64 {
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			var s float64
+			zi, zj := z[i*ldz:i*ldz+n], z[j*ldz:j*ldz+n]
+			for k := 0; k < n; k++ {
+				s += zi[k] * zj[k]
+			}
+			if i == j {
+				s -= 1
+			}
+			worst = math.Max(worst, math.Abs(s))
+		}
+	}
+	return worst
+}
+
+func randTridiag(rng *rand.Rand, n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	return d, e
+}
+
+func checkEigenDecomp(t *testing.T, name string, n int, d, e, lam, z []float64, ldz int, tolScale float64) {
+	t.Helper()
+	nrm := Dlanst('M', n, d, e)
+	if nrm == 0 {
+		nrm = 1
+	}
+	res := tridiagResidual(n, d, e, lam, z, ldz) / (nrm * float64(n))
+	orth := orthogonality(n, z, ldz) / float64(n)
+	bound := tolScale * Eps
+	if res > bound {
+		t.Errorf("%s: relative residual %.3e exceeds %.3e", name, res, bound)
+	}
+	if orth > bound {
+		t.Errorf("%s: orthogonality %.3e exceeds %.3e", name, orth, bound)
+	}
+	for i := 1; i < n; i++ {
+		if lam[i] < lam[i-1] {
+			t.Errorf("%s: eigenvalues not ascending at %d: %v > %v", name, i, lam[i-1], lam[i])
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package lapack
+
+import (
+	"fmt"
+
+	"tridiag/internal/blas"
+)
+
+// Dsyrdb reduces a dense symmetric matrix (full storage, both triangles) to
+// symmetric band form with bandwidth b by successive-band-reduction panels
+// (Bischof–Lang–Sun SBR; the first stage of the two-stage tridiagonalization
+// the paper's reduction reference [3] builds on): each panel QR-factorizes
+// the block below the band and applies the block reflector from both sides.
+//
+// On exit a holds the symmetric band matrix (entries beyond bandwidth b are
+// zeroed) and, if q is non-nil (n×n), q is overwritten with Q1 such that
+// A_in = Q1 · A_out · Q1ᵀ (q must hold the identity — or any orthogonal
+// matrix to accumulate onto — on entry).
+func Dsyrdb(n int, a []float64, lda, b int, q []float64, ldq int) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: Dsyrdb: negative n")
+	}
+	if b < 1 {
+		return fmt.Errorf("lapack: Dsyrdb: bandwidth %d", b)
+	}
+	if lda < n {
+		return fmt.Errorf("lapack: Dsyrdb: lda=%d < n=%d", lda, n)
+	}
+	if n <= b+1 {
+		return nil // already within the band
+	}
+	tau := make([]float64, b)
+	tmat := make([]float64, b*b)
+	for j := 0; j+b < n-1; j += b {
+		m := n - j - b   // rows of the panel block
+		k := min(b, n-j) // panel width
+		if k <= 0 || m <= 1 {
+			break
+		}
+		if k > m {
+			k = m
+		}
+		panel := a[j+b+j*lda:] // A[j+b : n, j : j+k], leading dimension lda
+
+		// Unblocked QR of the panel (DGEQR2): reflectors stored below R.
+		for c := 0; c < k; c++ {
+			mm := m - c
+			if mm < 1 {
+				break
+			}
+			beta, t := Dlarfg(mm, panel[c+c*lda], panel[min(c+1, m-1)+c*lda:], 1)
+			tau[c] = t
+			if t != 0 && c < k-1 {
+				// apply H(c) to the remaining panel columns
+				save := panel[c+c*lda]
+				panel[c+c*lda] = 1
+				v := panel[c+c*lda:]
+				w := make([]float64, k-c-1)
+				blas.Dgemv(true, mm, k-c-1, 1, panel[c+(c+1)*lda:], lda, v, 1, 0, w, 1)
+				blas.Dger(mm, k-c-1, -t, v, 1, w, 1, panel[c+(c+1)*lda:], lda)
+				panel[c+c*lda] = save
+			}
+			panel[c+c*lda] = beta
+		}
+
+		// Materialize the dense V (m×k, unit lower trapezoidal) and T.
+		v := make([]float64, m*k)
+		for c := 0; c < k; c++ {
+			col := v[c*m : c*m+m]
+			col[c] = 1
+			for r := c + 1; r < m; r++ {
+				col[r] = panel[r+c*lda]
+			}
+		}
+		Dlarft(m, k, v, m, tau[:k], tmat, b)
+
+		// Zero the annihilated part of the panel (and its symmetric mirror).
+		for c := 0; c < k; c++ {
+			for r := c + 1; r < m; r++ {
+				a[(j+b+r)+(j+c)*lda] = 0
+				a[(j+c)+(j+b+r)*lda] = 0
+			}
+			// mirror R into the upper triangle
+			for r := 0; r <= c; r++ {
+				a[(j+c)+(j+b+r)*lda] = a[(j+b+r)+(j+c)*lda]
+			}
+		}
+
+		// A narrow final panel (k < b) leaves columns j+k..j+b-1 with
+		// in-band entries in the reflector's row range: apply Qᵀ to them
+		// from the left (and mirror for symmetry). Full panels have no
+		// such gap.
+		if k < b && j+k < j+b {
+			w := min(j+b, n) - (j + k)
+			g := a[(j+b)+(j+k)*lda:] // m × w block
+			vg := make([]float64, k*w)
+			blas.Dgemm(true, false, k, w, m, 1, v, m, g, lda, 0, vg, k)
+			tv := make([]float64, k*w)
+			blas.Dgemm(true, false, k, w, k, 1, tmat, b, vg, k, 0, tv, k)
+			blas.Dgemm(false, false, m, w, k, -1, v, m, tv, k, 1, g, lda)
+			for c := 0; c < w; c++ {
+				for r := 0; r < m; r++ {
+					a[(j+k+c)+(j+b+r)*lda] = a[(j+b+r)+(j+k+c)*lda]
+				}
+			}
+		}
+
+		// Two-sided update of the trailing block A22 = A[j+b:, j+b:]:
+		// A22 ← Qᵀ A22 Q with Q = I - V·T·Vᵀ, via the symmetric rank-2k
+		// form A22 - V·Wᵀ - W·Vᵀ, W = P - ½·V·S, P = A22·V·T, S = Tᵀ·Vᵀ·P.
+		a22 := a[(j+b)+(j+b)*lda:]
+		av := make([]float64, m*k)
+		// av = A22 · V (A22 symmetric, full storage: plain GEMM)
+		blas.Dgemm(false, false, m, k, m, 1, a22, lda, v, m, 0, av, m)
+		p := make([]float64, m*k)
+		blas.Dgemm(false, false, m, k, k, 1, av, m, tmat, b, 0, p, m)
+		s := make([]float64, k*k)
+		vp := make([]float64, k*k)
+		blas.Dgemm(true, false, k, k, m, 1, v, m, p, m, 0, vp, k)
+		blas.Dgemm(true, false, k, k, k, 1, tmat, b, vp, k, 0, s, k)
+		// W = P - 0.5·V·S
+		blas.Dgemm(false, false, m, k, k, -0.5, v, m, s, k, 1, p, m)
+		// A22 -= V·Wᵀ + W·Vᵀ (update BOTH triangles: full storage)
+		blas.Dgemm(false, true, m, m, k, -1, v, m, p, m, 1, a22, lda)
+		blas.Dgemm(false, true, m, m, k, -1, p, m, v, m, 1, a22, lda)
+
+		// Accumulate Q1 ← Q1 · (I - V·T·Vᵀ) on rows j+b..n-1.
+		if q != nil {
+			qv := make([]float64, n*k)
+			blas.Dgemm(false, false, n, k, m, 1, q[(j+b)*ldq:], ldq, v, m, 0, qv, n)
+			qvt := make([]float64, n*k)
+			blas.Dgemm(false, false, n, k, k, 1, qv, n, tmat, b, 0, qvt, n)
+			blas.Dgemm(false, true, n, m, k, -1, qvt, n, v, m, 1, q[(j+b)*ldq:], ldq)
+		}
+	}
+	// Clean roundoff outside the band.
+	for j := 0; j < n; j++ {
+		for i := j + b + 1; i < n; i++ {
+			a[i+j*lda] = 0
+			a[j+i*lda] = 0
+		}
+	}
+	return nil
+}
+
+// Dsbtrd reduces a symmetric band matrix (full storage, bandwidth b) to
+// tridiagonal form by Givens bulge chasing (Schwarz/Kaufman; the second
+// stage of the two-stage reduction). On exit d and e hold the tridiagonal;
+// if q is non-nil the rotations are accumulated into it (right-multiplied),
+// so A_in = Q · T · Qᵀ continues to hold when q entered holding the
+// first-stage transformation.
+//
+// Rotations are applied across the full rows/columns for simplicity; the
+// matrix stays banded plus a single bulge, so a windowed variant would cut
+// the constant but not change the result.
+func Dsbtrd(n int, a []float64, lda, b int, d, e []float64, q []float64, ldq int) error {
+	if n < 0 {
+		return fmt.Errorf("lapack: Dsbtrd: negative n")
+	}
+	if b < 1 || lda < n {
+		return fmt.Errorf("lapack: Dsbtrd: bad arguments b=%d lda=%d", b, lda)
+	}
+	rot := func(p int, c, s float64) {
+		// two-sided rotation in plane (p, p+1): columns then rows
+		blas.Drot(n, a[p*lda:], 1, a[(p+1)*lda:], 1, c, s)
+		blas.Drot(n, a[p:], lda, a[p+1:], lda, c, s)
+		if q != nil {
+			blas.Drot(n, q[p*ldq:], 1, q[(p+1)*ldq:], 1, c, s)
+		}
+	}
+	if b > 1 {
+		for j := 0; j < n-2; j++ {
+			for i := min(j+b, n-1); i >= j+2; i-- {
+				if a[i+j*lda] == 0 {
+					continue
+				}
+				// annihilate A(i, j) with plane (i-1, i)
+				c, s, r := Dlartg(a[(i-1)+j*lda], a[i+j*lda])
+				rot(i-1, c, s)
+				a[(i-1)+j*lda] = r
+				a[i+j*lda] = 0
+				a[j+(i-1)*lda] = r
+				a[j+i*lda] = 0
+				// chase the bulge down the band
+				for k := i; k+b < n; k += b {
+					// bulge at (k+b, k-1)
+					if a[(k+b)+(k-1)*lda] == 0 {
+						break
+					}
+					c, s, r := Dlartg(a[(k+b-1)+(k-1)*lda], a[(k+b)+(k-1)*lda])
+					rot(k+b-1, c, s)
+					a[(k+b-1)+(k-1)*lda] = r
+					a[(k+b)+(k-1)*lda] = 0
+					a[(k-1)+(k+b-1)*lda] = r
+					a[(k-1)+(k+b)*lda] = 0
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		d[i] = a[i+i*lda]
+		if i < n-1 {
+			e[i] = a[i+1+i*lda]
+		}
+	}
+	return nil
+}
+
+// Dsytrd2Stage reduces a dense symmetric matrix to tridiagonal form through
+// the band intermediate (dense → band(b) → tridiagonal). If q is non-nil it
+// must be n×n and receives the full orthogonal transformation:
+// A_in = Q · tridiag(d, e) · Qᵀ.
+func Dsytrd2Stage(n int, a []float64, lda, b int, d, e []float64, q []float64, ldq int) error {
+	if q != nil {
+		for j := 0; j < n; j++ {
+			col := q[j*ldq : j*ldq+n]
+			for i := range col {
+				col[i] = 0
+			}
+			col[j] = 1
+		}
+	}
+	if err := Dsyrdb(n, a, lda, b, q, ldq); err != nil {
+		return err
+	}
+	return Dsbtrd(n, a, lda, b, d, e, q, ldq)
+}

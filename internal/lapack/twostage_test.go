@@ -1,0 +1,230 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDsyrdbBandForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for _, tc := range []struct{ n, b int }{{20, 4}, {50, 8}, {65, 16}, {30, 1}} {
+		a := randSym(rng, tc.n, tc.n)
+		aorig := append([]float64(nil), a...)
+		q := make([]float64, tc.n*tc.n)
+		for i := 0; i < tc.n; i++ {
+			q[i+i*tc.n] = 1
+		}
+		if err := Dsyrdb(tc.n, a, tc.n, tc.b, q, tc.n); err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+		// banded
+		for j := 0; j < tc.n; j++ {
+			for i := j + tc.b + 1; i < tc.n; i++ {
+				if a[i+j*tc.n] != 0 {
+					t.Fatalf("n=%d b=%d: entry (%d,%d)=%v outside band", tc.n, tc.b, i, j, a[i+j*tc.n])
+				}
+			}
+		}
+		// symmetric
+		for j := 0; j < tc.n; j++ {
+			for i := 0; i < tc.n; i++ {
+				if math.Abs(a[i+j*tc.n]-a[j+i*tc.n]) > 1e-12 {
+					t.Fatalf("asymmetry at (%d,%d)", i, j)
+				}
+			}
+		}
+		// A_in = Q · A_band · Qᵀ
+		checkSimilarity(t, tc.n, aorig, a, q)
+	}
+}
+
+// checkSimilarity verifies Aorig = Q·B·Qᵀ with everything dense.
+func checkSimilarity(t *testing.T, n int, aorig, b, q []float64) {
+	t.Helper()
+	qb := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += q[i+l*n] * b[l+j*n]
+			}
+			qb[i+j*n] = s
+		}
+	}
+	var anorm float64
+	for _, v := range aorig {
+		anorm = math.Max(anorm, math.Abs(v))
+	}
+	if anorm == 0 {
+		anorm = 1
+	}
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += qb[i+l*n] * q[j+l*n]
+			}
+			worst = math.Max(worst, math.Abs(s-aorig[i+j*n]))
+		}
+	}
+	if worst/(anorm*float64(n)) > 1e-13 {
+		t.Errorf("similarity residual %.3e", worst/(anorm*float64(n)))
+	}
+	if o := orthogonality(n, q, n); o > 1e-13*float64(n) {
+		t.Errorf("Q orthogonality %.3e", o)
+	}
+}
+
+func TestDsytrd2StageMatchesOneStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for _, tc := range []struct{ n, b int }{{30, 4}, {60, 8}, {100, 16}, {45, 45}, {25, 2}} {
+		a := randSym(rng, tc.n, tc.n)
+		aorig := append([]float64(nil), a...)
+		d := make([]float64, tc.n)
+		e := make([]float64, tc.n-1)
+		q := make([]float64, tc.n*tc.n)
+		if err := Dsytrd2Stage(tc.n, a, tc.n, tc.b, d, e, q, tc.n); err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+		// spectrum must match the one-stage route
+		d1 := append([]float64(nil), d...)
+		e1 := append([]float64(nil), e...)
+		if err := Dsteqr(CompNone, tc.n, d1, e1, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		a2 := append([]float64(nil), aorig...)
+		d2 := make([]float64, tc.n)
+		e2 := make([]float64, tc.n-1)
+		tau := make([]float64, tc.n-1)
+		if err := Dsytrd(tc.n, a2, tc.n, d2, e2, tau, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := Dsteqr(CompNone, tc.n, d2, e2, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		var scale float64
+		for _, v := range d1 {
+			scale = math.Max(scale, math.Abs(v))
+		}
+		for i := 0; i < tc.n; i++ {
+			if math.Abs(d1[i]-d2[i]) > 1e-12*(scale+1)*float64(tc.n) {
+				t.Errorf("n=%d b=%d eig %d: two-stage %v one-stage %v", tc.n, tc.b, i, d1[i], d2[i])
+			}
+		}
+		// full transformation: A = Q T Qᵀ
+		tt := make([]float64, tc.n*tc.n)
+		for i := 0; i < tc.n; i++ {
+			tt[i+i*tc.n] = d[i]
+			if i < tc.n-1 {
+				tt[i+1+i*tc.n] = e[i]
+				tt[i+(i+1)*tc.n] = e[i]
+			}
+		}
+		checkSimilarity(t, tc.n, aorig, tt, q)
+	}
+}
+
+func TestTwoStageFullEigenPipeline(t *testing.T) {
+	// dense → band → tridiagonal → D&C → back-transform via accumulated Q.
+	rng := rand.New(rand.NewSource(167))
+	n, b := 80, 12
+	a := randSym(rng, n, n)
+	aorig := append([]float64(nil), a...)
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	q := make([]float64, n*n)
+	if err := Dsytrd2Stage(n, a, n, b, d, e, q, n); err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, n*n)
+	if err := Dstedc(n, d, e, z, n, &DCConfig{SmallSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// V = Q · Z
+	v := make([]float64, n*n)
+	blasGemm(n, q, z, v)
+	worst := 0.0
+	var anorm float64
+	for _, x := range aorig {
+		anorm = math.Max(anorm, math.Abs(x))
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += aorig[i+l*n] * v[l+j*n]
+			}
+			worst = math.Max(worst, math.Abs(s-d[j]*v[i+j*n]))
+		}
+	}
+	if worst/(anorm*float64(n)) > 1e-13 {
+		t.Errorf("two-stage pipeline residual %.3e", worst/(anorm*float64(n)))
+	}
+	if o := orthogonality(n, v, n); o > 1e-13*float64(n) {
+		t.Errorf("two-stage pipeline orthogonality %.3e", o)
+	}
+}
+
+func blasGemm(n int, a, b, c []float64) {
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += a[i+l*n] * b[l+j*n]
+			}
+			c[i+j*n] = s
+		}
+	}
+}
+
+func TestDsbtrdDirectBand(t *testing.T) {
+	// Construct a band matrix directly and reduce it.
+	rng := rand.New(rand.NewSource(169))
+	n, b := 40, 5
+	a := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := j; i <= min(j+b, n-1); i++ {
+			v := rng.NormFloat64()
+			a[i+j*n] = v
+			a[j+i*n] = v
+		}
+	}
+	aorig := append([]float64(nil), a...)
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	q := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		q[i+i*n] = 1
+	}
+	if err := Dsbtrd(n, a, n, b, d, e, q, n); err != nil {
+		t.Fatal(err)
+	}
+	tt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		tt[i+i*n] = d[i]
+		if i < n-1 {
+			tt[i+1+i*n] = e[i]
+			tt[i+(i+1)*n] = e[i]
+		}
+	}
+	checkSimilarity(t, n, aorig, tt, q)
+}
+
+func TestTwoStageErrors(t *testing.T) {
+	if err := Dsyrdb(-1, nil, 1, 2, nil, 0); err == nil {
+		t.Error("negative n")
+	}
+	if err := Dsyrdb(5, make([]float64, 25), 5, 0, nil, 0); err == nil {
+		t.Error("zero bandwidth")
+	}
+	if err := Dsbtrd(5, make([]float64, 25), 3, 2, nil, nil, nil, 0); err == nil {
+		t.Error("lda < n")
+	}
+	// tiny matrix: no-op band reduction
+	a := []float64{3, 1, 1, 2}
+	if err := Dsyrdb(2, a, 2, 4, nil, 0); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,307 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dlartg generates a plane rotation with cosine c and sine s such that
+//
+//	[  c  s ] [ f ]   [ r ]
+//	[ -s  c ] [ g ] = [ 0 ]
+//
+// following LAPACK DLARTG (safe against overflow, r carries f's sign
+// convention).
+func Dlartg(f, g float64) (c, s, r float64) {
+	if g == 0 {
+		return 1, 0, f
+	}
+	if f == 0 {
+		return 0, 1, g
+	}
+	f1, g1 := f, g
+	scale := math.Max(math.Abs(f1), math.Abs(g1))
+	const safmn2 = 0x1p-512
+	const safmx2 = 0x1p+512
+	count := 0
+	if scale >= safmx2 {
+		for scale >= safmx2 {
+			count++
+			f1 *= safmn2
+			g1 *= safmn2
+			scale = math.Max(math.Abs(f1), math.Abs(g1))
+		}
+		r = math.Sqrt(f1*f1 + g1*g1)
+		c, s = f1/r, g1/r
+		for i := 0; i < count; i++ {
+			r *= safmx2
+		}
+	} else if scale <= safmn2*safmx2/2 { // very small
+		for scale <= SafeMin*safmx2 {
+			count++
+			f1 *= safmx2
+			g1 *= safmx2
+			scale = math.Max(math.Abs(f1), math.Abs(g1))
+		}
+		r = math.Sqrt(f1*f1 + g1*g1)
+		c, s = f1/r, g1/r
+		for i := 0; i < count; i++ {
+			r *= safmn2
+		}
+	} else {
+		r = math.Sqrt(f1*f1 + g1*g1)
+		c, s = f1/r, g1/r
+	}
+	if math.Abs(f) > math.Abs(g) && c < 0 {
+		c, s, r = -c, -s, -r
+	}
+	return c, s, r
+}
+
+// Dlanst returns a norm of the symmetric tridiagonal matrix with diagonal d
+// and off-diagonal e. norm is one of 'M' (max abs), '1'/'I' (one/infinity
+// norm, equal by symmetry) or 'F' (Frobenius).
+func Dlanst(norm byte, n int, d, e []float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	switch norm {
+	case 'M', 'm':
+		v := math.Abs(d[0])
+		for i := 1; i < n; i++ {
+			v = math.Max(v, math.Abs(d[i]))
+		}
+		for i := 0; i < n-1; i++ {
+			v = math.Max(v, math.Abs(e[i]))
+		}
+		return v
+	case '1', 'O', 'o', 'I', 'i':
+		if n == 1 {
+			return math.Abs(d[0])
+		}
+		v := math.Max(math.Abs(d[0])+math.Abs(e[0]), math.Abs(d[n-1])+math.Abs(e[n-2]))
+		for i := 1; i < n-1; i++ {
+			v = math.Max(v, math.Abs(d[i])+math.Abs(e[i-1])+math.Abs(e[i]))
+		}
+		return v
+	case 'F', 'f', 'E', 'e':
+		scale, ssq := 0.0, 1.0
+		acc := func(v float64) {
+			if v == 0 {
+				return
+			}
+			av := math.Abs(v)
+			if scale < av {
+				r := scale / av
+				ssq = 1 + ssq*r*r
+				scale = av
+			} else {
+				r := av / scale
+				ssq += r * r
+			}
+		}
+		for i := 0; i < n-1; i++ {
+			acc(e[i])
+			acc(e[i])
+		}
+		for i := 0; i < n; i++ {
+			acc(d[i])
+		}
+		return scale * math.Sqrt(ssq)
+	}
+	panic(fmt.Sprintf("lapack: unknown norm %q", norm))
+}
+
+// Dlascl multiplies the m×n column-major matrix A by cto/cfrom, done safely
+// in steps so intermediate values stay representable (LAPACK DLASCL, general
+// type only).
+func Dlascl(m, n int, cfrom, cto float64, a []float64, lda int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if cfrom == 0 || math.IsNaN(cfrom) || math.IsNaN(cto) {
+		panic("lapack: invalid scaling factors in Dlascl")
+	}
+	cfromc, ctoc := cfrom, cto
+	for {
+		cfrom1 := cfromc * SafeMin
+		var mul float64
+		var done bool
+		if cfrom1 == cfromc {
+			// cfromc is inf: mul is signed zero or nan
+			mul = ctoc / cfromc
+			done = true
+		} else {
+			cto1 := ctoc / (1 / SafeMin)
+			if cto1 == ctoc {
+				mul = ctoc
+				done = true
+				cfromc = 1
+			} else if math.Abs(cfrom1) > math.Abs(ctoc) && ctoc != 0 {
+				mul = SafeMin
+				done = false
+				cfromc = cfrom1
+			} else if math.Abs(cto1) > math.Abs(cfromc) {
+				mul = 1 / SafeMin
+				done = false
+				ctoc = cto1
+			} else {
+				mul = ctoc / cfromc
+				done = true
+			}
+		}
+		for j := 0; j < n; j++ {
+			col := a[j*lda : j*lda+m]
+			for i := range col {
+				col[i] *= mul
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// Dlamrg computes a permutation merging two sorted subsets of a into one
+// ascending list (LAPACK DLAMRG). The first n1 entries of a are sorted with
+// stride/order dtrd1 (±1), the next n2 with dtrd1... here dtrd1, dtrd2 are +1
+// or -1 giving each block's direction. index[i] (0-based) gives the position
+// in a of the i-th smallest element.
+func Dlamrg(n1, n2 int, a []float64, dtrd1, dtrd2 int, index []int) {
+	ind1 := 0
+	if dtrd1 < 0 {
+		ind1 = n1 - 1
+	}
+	ind2 := n1
+	if dtrd2 < 0 {
+		ind2 = n1 + n2 - 1
+	}
+	i := 0
+	for n1 > 0 && n2 > 0 {
+		if a[ind1] <= a[ind2] {
+			index[i] = ind1
+			ind1 += dtrd1
+			n1--
+		} else {
+			index[i] = ind2
+			ind2 += dtrd2
+			n2--
+		}
+		i++
+	}
+	for ; n1 > 0; n1-- {
+		index[i] = ind1
+		ind1 += dtrd1
+		i++
+	}
+	for ; n2 > 0; n2-- {
+		index[i] = ind2
+		ind2 += dtrd2
+		i++
+	}
+}
+
+// Dlae2 computes the eigenvalues of the symmetric 2×2 matrix [[a, b], [b, c]].
+// rt1 is the eigenvalue of larger absolute value (LAPACK DLAE2).
+func Dlae2(a, b, c float64) (rt1, rt2 float64) {
+	sm := a + c
+	df := a - c
+	adf := math.Abs(df)
+	tb := b + b
+	ab := math.Abs(tb)
+	acmx, acmn := c, a
+	if math.Abs(a) > math.Abs(c) {
+		acmx, acmn = a, c
+	}
+	var rt float64
+	switch {
+	case adf > ab:
+		r := ab / adf
+		rt = adf * math.Sqrt(1+r*r)
+	case adf < ab:
+		r := adf / ab
+		rt = ab * math.Sqrt(1+r*r)
+	default:
+		rt = ab * math.Sqrt2
+	}
+	switch {
+	case sm < 0:
+		rt1 = 0.5 * (sm - rt)
+		rt2 = (acmx/rt1)*acmn - (b/rt1)*b
+	case sm > 0:
+		rt1 = 0.5 * (sm + rt)
+		rt2 = (acmx/rt1)*acmn - (b/rt1)*b
+	default:
+		rt1 = 0.5 * rt
+		rt2 = -0.5 * rt
+	}
+	return rt1, rt2
+}
+
+// Dlaev2 computes the eigendecomposition of the symmetric 2×2 matrix
+// [[a, b], [b, c]]: eigenvalues rt1 (larger magnitude), rt2 and the unit
+// right eigenvector (cs1, sn1) for rt1 (LAPACK DLAEV2).
+func Dlaev2(a, b, c float64) (rt1, rt2, cs1, sn1 float64) {
+	sm := a + c
+	df := a - c
+	adf := math.Abs(df)
+	tb := b + b
+	ab := math.Abs(tb)
+	acmx, acmn := c, a
+	if math.Abs(a) > math.Abs(c) {
+		acmx, acmn = a, c
+	}
+	var rt float64
+	switch {
+	case adf > ab:
+		r := ab / adf
+		rt = adf * math.Sqrt(1+r*r)
+	case adf < ab:
+		r := adf / ab
+		rt = ab * math.Sqrt(1+r*r)
+	default:
+		rt = ab * math.Sqrt2
+	}
+	var sgn1 float64
+	switch {
+	case sm < 0:
+		rt1 = 0.5 * (sm - rt)
+		sgn1 = -1
+		rt2 = (acmx/rt1)*acmn - (b/rt1)*b
+	case sm > 0:
+		rt1 = 0.5 * (sm + rt)
+		sgn1 = 1
+		rt2 = (acmx/rt1)*acmn - (b/rt1)*b
+	default:
+		rt1 = 0.5 * rt
+		rt2 = -0.5 * rt
+		sgn1 = 1
+	}
+	// compute the eigenvector
+	var cs, sgn2 float64
+	if df >= 0 {
+		cs = df + rt
+		sgn2 = 1
+	} else {
+		cs = df - rt
+		sgn2 = -1
+	}
+	acs := math.Abs(cs)
+	if acs > ab {
+		ct := -tb / cs
+		sn1 = 1 / math.Sqrt(1+ct*ct)
+		cs1 = ct * sn1
+	} else {
+		if ab == 0 {
+			cs1, sn1 = 1, 0
+		} else {
+			tn := -cs / tb
+			cs1 = 1 / math.Sqrt(1+tn*tn)
+			sn1 = tn * cs1
+		}
+	}
+	if sgn1 == sgn2 {
+		cs1, sn1 = -sn1, cs1
+	}
+	return rt1, rt2, cs1, sn1
+}

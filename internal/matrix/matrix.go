@@ -1,0 +1,123 @@
+// Package matrix provides a minimal column-major dense matrix type shared by
+// the numerical kernels. The layout matches LAPACK conventions: element (i,j)
+// of a matrix with leading dimension ld lives at Data[i+j*ld], so kernels
+// translated from LAPACK keep their index arithmetic unchanged.
+package matrix
+
+import "fmt"
+
+// Dense is a column-major matrix view. It may alias a sub-block of a larger
+// allocation; Stride is the leading dimension of the underlying allocation.
+type Dense struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// NewDense allocates a zeroed r×c matrix with a tight leading dimension.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", r, c))
+	}
+	ld := r
+	if ld < 1 {
+		ld = 1
+	}
+	return &Dense{Rows: r, Cols: c, Stride: ld, Data: make([]float64, ld*c)}
+}
+
+// FromColMajor wraps existing column-major data without copying.
+func FromColMajor(r, c, ld int, data []float64) *Dense {
+	if ld < r || (c > 0 && len(data) < ld*(c-1)+r) {
+		panic("matrix: data too short for dimensions")
+	}
+	return &Dense{Rows: r, Cols: c, Stride: ld, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i+j*m.Stride] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i+j*m.Stride] = v }
+
+// Col returns column j as a slice aliasing the matrix storage.
+func (m *Dense) Col(j int) []float64 {
+	return m.Data[j*m.Stride : j*m.Stride+m.Rows]
+}
+
+// View returns an r×c sub-matrix starting at (i, j), aliasing m's storage.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) outside %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i+j*m.Stride:]}
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("matrix: dimension mismatch in CopyFrom")
+	}
+	for j := 0; j < m.Cols; j++ {
+		copy(m.Col(j), src.Col(j))
+	}
+}
+
+// Clone returns a tight-stride deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	c.CopyFrom(m)
+	return c
+}
+
+// Zero clears all elements of the view.
+func (m *Dense) Zero() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// SetIdentity writes the identity pattern (1 on the diagonal, 0 elsewhere).
+func (m *Dense) SetIdentity() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+		if j < m.Rows {
+			col[j] = 1
+		}
+	}
+}
+
+// Transpose returns a new matrix holding mᵀ.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := 0; i < m.Rows; i++ {
+			t.Data[j+i*t.Stride] = col[i]
+		}
+	}
+	return t
+}
+
+// Equal reports whether two matrices have identical shape and elements.
+func Equal(a, b *Dense) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		ca, cb := a.Col(j), b.Col(j)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package matrix
+
+import "testing"
+
+func TestNewDenseAndAccessors(t *testing.T) {
+	m := NewDense(3, 2)
+	m.Set(2, 1, 5)
+	if m.At(2, 1) != 5 || m.Data[2+1*3] != 5 {
+		t.Error("Set/At column-major layout")
+	}
+	if len(m.Col(1)) != 3 || m.Col(1)[2] != 5 {
+		t.Error("Col slice")
+	}
+}
+
+func TestView(t *testing.T) {
+	m := NewDense(4, 4)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.View(1, 2, 2, 2)
+	if v.At(0, 0) != 12 || v.At(1, 1) != 23 {
+		t.Errorf("View values: %v %v", v.At(0, 0), v.At(1, 1))
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 2) != -1 {
+		t.Error("View must alias parent storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds View must panic")
+		}
+	}()
+	m.View(2, 2, 3, 3)
+}
+
+func TestIdentityZeroCloneEqual(t *testing.T) {
+	m := NewDense(3, 3)
+	m.SetIdentity()
+	if m.At(0, 0) != 1 || m.At(1, 0) != 0 || m.At(2, 2) != 1 {
+		t.Error("SetIdentity")
+	}
+	c := m.Clone()
+	if !Equal(m, c) {
+		t.Error("Clone/Equal")
+	}
+	c.Set(1, 1, 7)
+	if Equal(m, c) {
+		t.Error("Equal must detect difference")
+	}
+	c.Zero()
+	if c.At(1, 1) != 0 {
+		t.Error("Zero")
+	}
+	if Equal(m, NewDense(3, 2)) {
+		t.Error("Equal must check shape")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 4)
+	m.Set(1, 2, 7)
+	tt := m.Transpose()
+	if tt.Rows != 3 || tt.Cols != 2 || tt.At(1, 0) != 4 || tt.At(2, 1) != 7 {
+		t.Error("Transpose")
+	}
+}
+
+func TestFromColMajor(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := FromColMajor(2, 3, 2, data)
+	if m.At(1, 2) != 6 {
+		t.Error("FromColMajor")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short data must panic")
+		}
+	}()
+	FromColMajor(4, 3, 2, data)
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	b := NewDense(2, 2)
+	b.CopyFrom(a)
+	if b.At(0, 0) != 1 {
+		t.Error("CopyFrom")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch must panic")
+		}
+	}()
+	b.CopyFrom(NewDense(3, 2))
+}

@@ -1,0 +1,258 @@
+// Package mrrr implements the Multiple Relatively Robust Representations
+// eigensolver for symmetric tridiagonal matrices (Dhillon's algorithm), the
+// paper's main comparator (the MR³-SMP proxy of Figures 8–10). Eigenvalues
+// come from Sturm-count bisection; eigenvectors from twisted factorizations
+// of shifted LDLᵀ representations, with cluster recursion through
+// differential stationary qds transforms and an inverse-iteration fallback.
+package mrrr
+
+import (
+	"math"
+
+	"tridiag/internal/lapack"
+)
+
+// gerschgorin returns an enclosing interval [gl, gu] for all eigenvalues.
+func gerschgorin(n int, d, e []float64) (gl, gu float64) {
+	gl, gu = d[0], d[0]
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(e[i-1])
+		}
+		if i < n-1 {
+			r += math.Abs(e[i])
+		}
+		gl = math.Min(gl, d[i]-r)
+		gu = math.Max(gu, d[i]+r)
+	}
+	// widen slightly so strict inequalities hold at the ends
+	w := math.Max(gu-gl, math.Abs(gl)+math.Abs(gu))
+	gl -= 2 * lapack.Ulp * w
+	gu += 2 * lapack.Ulp * w
+	return gl, gu
+}
+
+// pivmin returns the minimum acceptable pivot magnitude for Sturm counts.
+func pivmin(n int, e []float64) float64 {
+	mx := lapack.SafeMin
+	for i := 0; i < n-1; i++ {
+		if v := e[i] * e[i] * lapack.SafeMin; v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// negcountT returns the number of eigenvalues of the tridiagonal (d, e)
+// strictly less than x (Sturm count via the LDLᵀ recurrence on T - xI).
+func negcountT(n int, d, e []float64, x, pmin float64) int {
+	count := 0
+	t := d[0] - x
+	if t <= 0 {
+		if t < 0 {
+			count++
+		}
+		if t > -pmin && t < pmin {
+			t = -pmin
+		}
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(t) < pmin {
+			t = -pmin
+		}
+		t = d[i] - x - e[i-1]*e[i-1]/t
+		if t < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// negcountLDL returns the number of eigenvalues of L D Lᵀ strictly less than
+// x, computed by the differential stationary qds transform.
+func negcountLDL(n int, dd, ll []float64, x, pmin float64) int {
+	count := 0
+	s := -x
+	for i := 0; i < n-1; i++ {
+		dplus := dd[i] + s
+		if dplus < 0 {
+			count++
+		}
+		if math.Abs(dplus) < pmin {
+			dplus = -pmin
+		}
+		s = s*(dd[i]*ll[i]/dplus)*ll[i] - x
+		if math.IsNaN(s) {
+			// restart non-differentially from here (rare)
+			s = -x
+		}
+	}
+	if dd[n-1]+s < 0 {
+		count++
+	}
+	return count
+}
+
+// bisectEig finds eigenvalue index i (0-based, ascending) of the operator
+// described by count (a monotone negcount function) within [lo, hi], to
+// absolute tolerance atol and relative tolerance rtol.
+func bisectEig(i int, lo, hi, atol, rtol float64, count func(x float64) int) float64 {
+	for iter := 0; iter < 120; iter++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		if count(mid) >= i+1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo <= atol+rtol*math.Max(math.Abs(lo), math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// factorLDL computes T - sigma*I = L D Lᵀ with unit lower bidiagonal L.
+// Returns false if a pivot collapses (caller should perturb sigma).
+func factorLDL(n int, d, e []float64, sigma float64, dd, ll []float64) bool {
+	dd[0] = d[0] - sigma
+	for i := 0; i < n-1; i++ {
+		if dd[i] == 0 || math.IsInf(dd[i], 0) || math.IsNaN(dd[i]) {
+			return false
+		}
+		ll[i] = e[i] / dd[i]
+		dd[i+1] = (d[i+1] - sigma) - ll[i]*e[i]
+	}
+	return !math.IsNaN(dd[n-1])
+}
+
+// stqds computes the child representation L+ D+ L+ᵀ = L D Lᵀ - tau*I via the
+// differential stationary qds transform. Returns the maximum absolute D+
+// entry (element growth measure) and false on breakdown.
+func stqds(n int, dd, ll []float64, tau float64, dp, lp []float64) (growth float64, ok bool) {
+	s := -tau
+	for i := 0; i < n-1; i++ {
+		dp[i] = dd[i] + s
+		if dp[i] == 0 || math.IsNaN(dp[i]) {
+			return 0, false
+		}
+		lp[i] = dd[i] * ll[i] / dp[i]
+		s = lp[i]*ll[i]*s - tau
+		if g := math.Abs(dp[i]); g > growth {
+			growth = g
+		}
+	}
+	dp[n-1] = dd[n-1] + s
+	if math.IsNaN(dp[n-1]) {
+		return 0, false
+	}
+	if g := math.Abs(dp[n-1]); g > growth {
+		growth = g
+	}
+	return growth, true
+}
+
+// getvec computes the eigenvector of L D Lᵀ for eigenvalue lam via the
+// twisted factorization, choosing the twist index that minimizes |γ_r|.
+// The result is written (normalized) into z. It returns the Rayleigh
+// quotient correction γ_r/‖z‖² (Dhillon's RQI step: lam + rqi is a better
+// eigenvalue approximation, converging cubically near the eigenvalue).
+func getvec(n int, dd, ll []float64, lam float64, z []float64, pmin float64) (rqi float64) {
+	if n == 1 {
+		z[0] = 1
+		return dd[0] - lam
+	}
+	lplus := make([]float64, n-1)
+	uminus := make([]float64, n-1)
+	svals := make([]float64, n) // s entering position i (forward)
+	pvals := make([]float64, n) // p at position i (backward)
+
+	// Differential stationary qds: forward sweep.
+	s := -lam
+	for i := 0; i < n-1; i++ {
+		svals[i] = s
+		dplus := dd[i] + s
+		if math.Abs(dplus) < pmin {
+			dplus = math.Copysign(pmin, dplus)
+			if dplus == 0 {
+				dplus = pmin
+			}
+		}
+		lplus[i] = dd[i] * ll[i] / dplus
+		s = lplus[i]*ll[i]*s - lam
+		if math.IsNaN(s) {
+			s = -lam
+		}
+	}
+	svals[n-1] = s
+
+	// Differential progressive qds: backward sweep.
+	p := dd[n-1] - lam
+	pvals[n-1] = p
+	for i := n - 2; i >= 0; i-- {
+		dminus := dd[i]*ll[i]*ll[i] + p
+		if math.Abs(dminus) < pmin {
+			dminus = math.Copysign(pmin, dminus)
+			if dminus == 0 {
+				dminus = pmin
+			}
+		}
+		t := dd[i] / dminus
+		uminus[i] = ll[i] * t
+		p = p*t - lam
+		if math.IsNaN(p) {
+			p = -lam
+		}
+		pvals[i] = p
+	}
+
+	// Twist index: minimize |γ_r| = |s_r + p_r + lam|.
+	r := 0
+	best := math.Inf(1)
+	gamma := 0.0
+	for i := 0; i < n; i++ {
+		g := svals[i] + pvals[i] + lam
+		ag := math.Abs(g)
+		if math.IsNaN(ag) {
+			continue
+		}
+		if ag < best {
+			best = ag
+			gamma = g
+			r = i
+		}
+	}
+
+	// Solve N_r Δ N_rᵀ z = γ_r e_r: z_r = 1, then propagate outwards.
+	z[r] = 1
+	for i := r - 1; i >= 0; i-- {
+		z[i] = -lplus[i] * z[i+1]
+		if math.IsNaN(z[i]) || math.IsInf(z[i], 0) {
+			z[i] = 0
+		}
+	}
+	for i := r; i < n-1; i++ {
+		z[i+1] = -uminus[i] * z[i]
+		if math.IsNaN(z[i+1]) || math.IsInf(z[i+1], 0) {
+			z[i+1] = 0
+		}
+	}
+	nrm2 := 0.0
+	for _, v := range z[:n] {
+		nrm2 += v * v
+	}
+	if nrm2 == 0 {
+		z[r] = 1
+		nrm2 = 1
+	}
+	nrm := math.Sqrt(nrm2)
+	for i := 0; i < n; i++ {
+		z[i] /= nrm
+	}
+	// (L D Lᵀ - lam) z = γ_r e_r (z unnormalized, z_r = 1), so the Rayleigh
+	// quotient of z is lam + γ_r/‖z‖².
+	return gamma / nrm2
+}

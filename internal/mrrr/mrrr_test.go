@@ -1,0 +1,310 @@
+package mrrr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tridiag/internal/lapack"
+)
+
+func residualAndOrth(n int, d0, e0, lam, z []float64, ldz int) (res, orth float64) {
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := z[j*ldz : j*ldz+n]
+		for i := 0; i < n; i++ {
+			s := d0[i] * v[i]
+			if i > 0 {
+				s += e0[i-1] * v[i-1]
+			}
+			if i < n-1 {
+				s += e0[i] * v[i+1]
+			}
+			y[i] = s - lam[j]*v[i]
+		}
+		var nrm float64
+		for _, t := range y {
+			nrm += t * t
+		}
+		res = math.Max(res, math.Sqrt(nrm))
+	}
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			var s float64
+			zi, zj := z[i*ldz:i*ldz+n], z[j*ldz:j*ldz+n]
+			for k := 0; k < n; k++ {
+				s += zi[k] * zj[k]
+			}
+			if i == j {
+				s -= 1
+			}
+			orth = math.Max(orth, math.Abs(s))
+		}
+	}
+	return res, orth
+}
+
+func checkMRRR(t *testing.T, name string, n int, d0, e0 []float64, tolScale float64) {
+	t.Helper()
+	w := make([]float64, n)
+	z := make([]float64, n*n)
+	if err := Solve(n, d0, e0, w, z, n, &Options{Workers: 4}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for i := 1; i < n; i++ {
+		if w[i] < w[i-1] {
+			t.Fatalf("%s: eigenvalues not ascending at %d", name, i)
+		}
+	}
+	nrm := lapack.Dlanst('M', n, d0, e0)
+	if nrm == 0 {
+		nrm = 1
+	}
+	res, orth := residualAndOrth(n, d0, e0, w, z, n)
+	if res/(nrm*float64(n)) > tolScale*lapack.Eps {
+		t.Errorf("%s: residual %.3e exceeds %.1f*eps", name, res/(nrm*float64(n)), tolScale)
+	}
+	if orth/float64(n) > tolScale*lapack.Eps {
+		t.Errorf("%s: orthogonality %.3e exceeds %.1f*eps", name, orth/float64(n), tolScale)
+	}
+	// eigenvalues must agree with QR iteration
+	dd := append([]float64(nil), d0...)
+	ee := append([]float64(nil), e0...)
+	if err := lapack.Dsteqr(lapack.CompNone, n, dd, ee, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(w[i]-dd[i]) > 1e-11*(nrm+1)*float64(n) {
+			t.Errorf("%s: eigenvalue %d: mrrr %v qr %v", name, i, w[i], dd[i])
+		}
+	}
+}
+
+func TestMRRRRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, n := range []int{1, 2, 3, 5, 20, 60, 150} {
+		d := make([]float64, n)
+		e := make([]float64, max(n-1, 1))
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n-1; i++ {
+			e[i] = rng.NormFloat64()
+		}
+		checkMRRR(t, "random", n, d, e, 5000)
+	}
+}
+
+func TestMRRROneTwoOne(t *testing.T) {
+	n := 120
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	checkMRRR(t, "one-two-one", n, d, e, 5000)
+}
+
+func TestMRRRWilkinson(t *testing.T) {
+	// Tight eigenvalue pairs: exercises the cluster recursion.
+	n := 51
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = math.Abs(float64(i - (n-1)/2))
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	checkMRRR(t, "wilkinson", n, d, e, 20000)
+}
+
+func TestMRRRGluedWilkinson(t *testing.T) {
+	// Glued Wilkinson: very hard clusters, may hit the stein fallback.
+	n := 63
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 21; i++ {
+			d[b*21+i] = math.Abs(float64(i - 10))
+		}
+		for i := 0; i < 20; i++ {
+			e[b*21+i] = 1
+		}
+		if b < 2 {
+			e[b*21+20] = 1e-6
+		}
+	}
+	checkMRRR(t, "glued-wilkinson", n, d, e, 2e5)
+}
+
+func TestMRRRSplitBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	n := 40
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	e[13] = 0
+	e[27] = 0
+	checkMRRR(t, "split", n, d, e, 5000)
+}
+
+func TestMRRRDiagonal(t *testing.T) {
+	n := 10
+	d := []float64{5, -3, 2, 0, 7, -1, 4, 1, -6, 3}
+	e := make([]float64, n-1)
+	checkMRRR(t, "diagonal", n, d, e, 100)
+}
+
+func TestMRRRUniformSpectrum(t *testing.T) {
+	// Laguerre-type Jacobi matrix: well-separated spectrum, the MRRR
+	// fast path (all singletons).
+	n := 80
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		d[i] = float64(2*i + 1)
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = float64(i)
+	}
+	checkMRRR(t, "laguerre", n, d, e, 5000)
+}
+
+func TestNegcountMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	n := 30
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	gl, gu := gerschgorin(n, d, e)
+	pmin := pivmin(n, e)
+	prev := 0
+	for i := 0; i <= 50; i++ {
+		x := gl + (gu-gl)*float64(i)/50
+		c := negcountT(n, d, e, x, pmin)
+		if c < prev {
+			t.Fatalf("negcountT not monotone at %v: %d < %d", x, c, prev)
+		}
+		prev = c
+	}
+	if c := negcountT(n, d, e, gu, pmin); c != n {
+		t.Errorf("count at upper bound: %d", c)
+	}
+	if c := negcountT(n, d, e, gl, pmin); c != 0 {
+		t.Errorf("count at lower bound: %d", c)
+	}
+}
+
+func TestNegcountLDLMatchesT(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	n := 25
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64() + 3 // make T - sigma I definite for sigma=-10
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64() * 0.3
+	}
+	sigma := -10.0
+	dd := make([]float64, n)
+	ll := make([]float64, n-1)
+	if !factorLDL(n, d, e, sigma, dd, ll) {
+		t.Fatal("factorization failed")
+	}
+	pmin := pivmin(n, e)
+	for _, x := range []float64{-5, 0, 2, 3.5, 8, 20} {
+		cT := negcountT(n, d, e, x, pmin)
+		cL := negcountLDL(n, dd, ll, x-sigma, pmin)
+		if cT != cL {
+			t.Errorf("counts differ at %v: T=%d LDL=%d", x, cT, cL)
+		}
+	}
+}
+
+func TestGetvecResidual(t *testing.T) {
+	// Eigenvector from the twisted factorization must satisfy
+	// (L D Lᵀ) z = lam z.
+	rng := rand.New(rand.NewSource(217))
+	n := 30
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64() + 4
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64() * 0.5
+	}
+	dd := make([]float64, n)
+	ll := make([]float64, n-1)
+	if !factorLDL(n, d, e, 0, dd, ll) {
+		t.Fatal("factor")
+	}
+	// exact eigenvalues of T
+	dc := append([]float64(nil), d...)
+	ec := append([]float64(nil), e...)
+	if err := lapack.Dsteqr(lapack.CompNone, n, dc, ec, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, n)
+	pmin := pivmin(n, e)
+	for _, j := range []int{0, n / 2, n - 1} {
+		getvec(n, dd, ll, dc[j], z, pmin)
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			s := d[i] * z[i]
+			if i > 0 {
+				s += e[i-1] * z[i-1]
+			}
+			if i < n-1 {
+				s += e[i] * z[i+1]
+			}
+			worst = math.Max(worst, math.Abs(s-dc[j]*z[i]))
+		}
+		if worst > 1e-12*(math.Abs(dc[j])+1)*float64(n) {
+			t.Errorf("eigenvector %d residual %.3e", j, worst)
+		}
+	}
+}
+
+func TestMRRRScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(219))
+	n := 40
+	for _, scale := range []float64{1e-8, 1e8} {
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * scale
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64() * scale
+		}
+		checkMRRR(t, "scaled", n, d, e, 10000)
+	}
+}
+
+func TestMRRRInvalidArgs(t *testing.T) {
+	if err := Solve(-1, nil, nil, nil, nil, 0, nil); err == nil {
+		t.Error("negative n")
+	}
+	if err := Solve(5, make([]float64, 5), make([]float64, 4), make([]float64, 5), make([]float64, 25), 3, nil); err == nil {
+		t.Error("ldz < n")
+	}
+	if err := Solve(0, nil, nil, nil, nil, 0, nil); err != nil {
+		t.Error("n=0 should succeed")
+	}
+}

@@ -1,0 +1,230 @@
+package mrrr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tridiag/internal/lapack"
+)
+
+// SolveRange computes eigenpairs il..iu (0-based, inclusive, ascending
+// order) of the symmetric tridiagonal matrix (d, e): the subset capability
+// that the paper names as MRRR's main asset over classical D&C ("reducing
+// the complexity to Θ(nk) for computing k eigenpairs"). w receives the
+// iu-il+1 eigenvalues and z their eigenvectors (n rows per column, leading
+// dimension ldz). d and e are not modified.
+func SolveRange(n int, d, e []float64, il, iu int, w []float64, z []float64, ldz int, opts *Options) error {
+	o := opts.withDefaults()
+	if n < 0 {
+		return fmt.Errorf("mrrr: negative n")
+	}
+	if il < 0 || iu >= n || il > iu {
+		return fmt.Errorf("mrrr: bad index range [%d, %d] for n=%d", il, iu, n)
+	}
+	m := iu - il + 1
+	if ldz < n {
+		return fmt.Errorf("mrrr: ldz=%d < n=%d", ldz, n)
+	}
+	for j := 0; j < m; j++ {
+		col := z[j*ldz : j*ldz+n]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+
+	// Split into unreduced blocks; an eigenvalue index maps into exactly one
+	// block once the per-block counts are known, so compute every block's
+	// eigenvalues cheaply (values only) to locate the requested range.
+	type block struct{ start, size int }
+	var blocks []block
+	bs := 0
+	for i := 0; i < n-1; i++ {
+		if math.Abs(e[i]) <= lapack.Eps*(math.Sqrt(math.Abs(d[i]))*math.Sqrt(math.Abs(d[i+1]))) {
+			blocks = append(blocks, block{bs, i + 1 - bs})
+			bs = i + 1
+		}
+	}
+	blocks = append(blocks, block{bs, n - bs})
+
+	// Global eigenvalue values determine which block-local indices fall in
+	// [il, iu]. For a single unreduced block (the common case) only the
+	// requested indices are bisected, Θ(nk); with multiple blocks, all
+	// eigenvalues are located first (Θ(n²) worst case, tiny constants).
+	type ev struct {
+		blk   int
+		local int
+		val   float64
+	}
+	var want []ev
+	if len(blocks) == 1 {
+		gl, gu := gerschgorin(n, d, e)
+		pmin := pivmin(n, e)
+		atol := 2 * lapack.Ulp * math.Max(math.Abs(gl), math.Abs(gu))
+		count := func(x float64) int { return negcountT(n, d, e, x, pmin) }
+		for i := il; i <= iu; i++ {
+			want = append(want, ev{0, i, bisectEig(i, gl, gu, atol, 4*lapack.Eps, count)})
+		}
+	} else {
+		all := make([]ev, 0, n)
+		for bi, b := range blocks {
+			bd, be := d[b.start:b.start+b.size], e[b.start:]
+			if b.size == 1 {
+				all = append(all, ev{bi, 0, bd[0]})
+				continue
+			}
+			gl, gu := gerschgorin(b.size, bd, be)
+			pmin := pivmin(b.size, be)
+			atol := 2 * lapack.Ulp * math.Max(math.Abs(gl), math.Abs(gu))
+			count := func(x float64) int { return negcountT(b.size, bd, be, x, pmin) }
+			for i := 0; i < b.size; i++ {
+				all = append(all, ev{bi, i, bisectEig(i, gl, gu, atol, 4*lapack.Eps, count)})
+			}
+		}
+		sort.SliceStable(all, func(a, b int) bool { return all[a].val < all[b].val })
+		want = all[il : iu+1]
+	}
+
+	// Group the wanted indices per block and run the MRRR machinery on each
+	// block restricted to its wanted local indices.
+	perBlock := map[int][]int{}
+	for _, t := range want {
+		perBlock[t.blk] = append(perBlock[t.blk], t.local)
+	}
+	// output slot per (blk, local)
+	slot := map[[2]int]int{}
+	for j, t := range want {
+		slot[[2]int{t.blk, t.local}] = j
+	}
+
+	p := newPool(o.Workers)
+	var mu sync.Mutex
+	var firstErr error
+	for bi, locals := range perBlock {
+		b := blocks[bi]
+		locals := locals
+		bi := bi
+		p.do(func() {
+			bw := make([]float64, b.size)
+			bz := make([]float64, b.size*b.size)
+			err := solveBlockSubset(b.size, d[b.start:b.start+b.size], e[b.start:], locals, bw, bz, b.size, &o, p)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for _, li := range locals {
+				j := slot[[2]int{bi, li}]
+				w[j] = bw[li]
+				copy(z[j*ldz+b.start:j*ldz+b.start+b.size], bz[li*b.size:li*b.size+b.size])
+			}
+		})
+	}
+	p.wait()
+	return firstErr
+}
+
+// solveBlockSubset runs the representation-tree machinery for the wanted
+// local indices only. For simplicity the root eigenvalues for ALL indices in
+// the smallest enclosing range are refined (cluster membership needs the
+// neighbours), but vectors are computed only for wanted singletons/clusters.
+func solveBlockSubset(n int, d, e []float64, wanted []int, w []float64, z []float64, ldz int, o *Options, p *pool) error {
+	if n == 1 {
+		w[0] = d[0]
+		z[0] = 1
+		return nil
+	}
+	// The cheapest correct route reuses the full per-block solver when more
+	// than half the block is requested.
+	if len(wanted)*2 >= n {
+		return solveBlock(n, d, e, w, z, ldz, o, p)
+	}
+	gl, gu := gerschgorin(n, d, e)
+	spdiam := gu - gl
+	pmin := pivmin(n, e)
+	atol := 2 * lapack.Ulp * math.Max(math.Abs(gl), math.Abs(gu))
+	atolInit := math.Max(spdiam*1e-6, atol)
+
+	// Only the wanted indices plus enough neighbours to detect clusters:
+	// extend the index set by one on each side repeatedly while the
+	// neighbour is within the cluster threshold.
+	countT := func(x float64) int { return negcountT(n, d, e, x, pmin) }
+	lamAt := make(map[int]float64)
+	getLam := func(i int) float64 {
+		if v, ok := lamAt[i]; ok {
+			return v
+		}
+		v := bisectEig(i, gl, gu, atolInit, 1e-8, countT)
+		lamAt[i] = v
+		return v
+	}
+	idxSet := map[int]bool{}
+	for _, i := range wanted {
+		idxSet[i] = true
+	}
+	// grow to cluster closure
+	for grow := 0; grow < n; grow++ {
+		changed := false
+		for _, i := range keys(idxSet) {
+			for _, j := range []int{i - 1, i + 1} {
+				if j < 0 || j >= n || idxSet[j] {
+					continue
+				}
+				gap := math.Abs(getLam(j) - getLam(i))
+				scale := math.Max(math.Abs(getLam(i)), math.Abs(getLam(j)))
+				scale = math.Max(scale, spdiam*lapack.Eps)
+				if gap < o.MinRelGap*scale {
+					idxSet[j] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	idx := keys(idxSet)
+	sort.Ints(idx)
+	if len(idx)*2 >= n {
+		return solveBlock(n, d, e, w, z, ldz, o, p)
+	}
+
+	// Root representation as in solveBlock.
+	sigma := gl - spdiam*1e-3
+	dd := make([]float64, n)
+	ll := make([]float64, n-1)
+	ok := false
+	for try := 0; try < 8; try++ {
+		if factorLDL(n, d, e, sigma, dd, ll) {
+			ok = true
+			break
+		}
+		sigma -= spdiam * (1e-3 * float64(try+1))
+	}
+	if !ok {
+		return fmt.Errorf("mrrr: could not form a root representation")
+	}
+	root := &repNode{dd: dd, ll: ll, sigma: sigma}
+	countRoot := func(x float64) int { return negcountLDL(n, root.dd, root.ll, x, pmin) }
+	lam := make([]float64, len(idx))
+	h0 := 2*atolInit + spdiam*8*lapack.Eps
+	for k, i := range idx {
+		lam[k] = refineEig(i, getLam(i)-sigma, h0, atol/4, 8*lapack.Eps, countRoot)
+	}
+	// These root eigenvalues came from bisection, so singletons still need
+	// the final refinement.
+	fb := &qrFallback{n: n, d: d, e: e}
+	return processNode(n, d, e, root, idx, lam, w, z, ldz, o, p, 0, spdiam, pmin, true, fb)
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package mrrr
+
+import (
+	"math"
+	"sort"
+
+	"tridiag/internal/lapack"
+)
+
+// ValuesRange computes eigenvalues il..iu (0-based, inclusive, ascending) of
+// the symmetric tridiagonal (d, e) by Sturm-count bisection to full
+// precision (DSTEBZ's role). d and e are not modified.
+func ValuesRange(n int, d, e []float64, il, iu int) ([]float64, error) {
+	// Split into unreduced blocks, bisect every block's spectrum lazily, and
+	// select globally. For a modest range this is Θ(n · k · log(1/ε)).
+	type block struct{ start, size int }
+	var blocks []block
+	bs := 0
+	for i := 0; i < n-1; i++ {
+		if math.Abs(e[i]) <= lapack.Eps*(math.Sqrt(math.Abs(d[i]))*math.Sqrt(math.Abs(d[i+1]))) {
+			blocks = append(blocks, block{bs, i + 1 - bs})
+			bs = i + 1
+		}
+	}
+	blocks = append(blocks, block{bs, n - bs})
+
+	all := make([]float64, 0, n)
+	for _, b := range blocks {
+		bd, be := d[b.start:b.start+b.size], e[b.start:]
+		if b.size == 1 {
+			all = append(all, bd[0])
+			continue
+		}
+		gl, gu := gerschgorin(b.size, bd, be)
+		pmin := pivmin(b.size, be)
+		atol := 2 * lapack.Ulp * math.Max(math.Abs(gl), math.Abs(gu))
+		count := func(x float64) int { return negcountT(b.size, bd, be, x, pmin) }
+		for i := 0; i < b.size; i++ {
+			all = append(all, bisectEig(i, gl, gu, atol, 4*lapack.Eps, count))
+		}
+	}
+	sort.Float64s(all)
+	out := make([]float64, iu-il+1)
+	copy(out, all[il:iu+1])
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package quark
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the captured graph in Graphviz dot format, one node per task
+// colored by kernel class (the paper's Figure 2 view).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph taskflow {\n  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n")
+	colors := classColors(g)
+	for _, t := range g.Tasks {
+		fmt.Fprintf(&b, "  t%d [label=%q, fillcolor=%q];\n", t.ID, t.Class, colors[t.Class])
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  t%d -> t%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// palette mirrors the paper's Table II kernel color coding where applicable.
+var palette = map[string]string{
+	"UpdateVect":       "#4daf4a",
+	"ComputeVect":      "#984ea3",
+	"LAED4":            "#377eb8",
+	"ComputeLocalW":    "#a6cee3",
+	"SortEigenvectors": "#ffff99",
+	"STEDC":            "#e41a1c",
+	"LASET":            "#fdbf6f",
+	"ComputeDeflation": "#ff7f00",
+	"PermuteV":         "#b2df8a",
+	"CopyBackDeflated": "#fb9a99",
+	"ReduceW":          "#cab2d6",
+	"Scale":            "#dddddd",
+	"Dlamrg":           "#eeeeee",
+}
+
+func classColors(g *Graph) map[string]string {
+	fallback := []string{"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462"}
+	out := map[string]string{}
+	var unknown []string
+	for _, t := range g.Tasks {
+		if _, ok := out[t.Class]; ok {
+			continue
+		}
+		if c, ok := palette[t.Class]; ok {
+			out[t.Class] = c
+		} else {
+			unknown = append(unknown, t.Class)
+			out[t.Class] = ""
+		}
+	}
+	sort.Strings(unknown)
+	for i, c := range unknown {
+		out[c] = fallback[i%len(fallback)]
+	}
+	return out
+}
+
+// ClassCounts returns how many tasks of each class the graph holds.
+func (g *Graph) ClassCounts() map[string]int {
+	out := map[string]int{}
+	for _, t := range g.Tasks {
+		out[t.Class]++
+	}
+	return out
+}
+
+// CriticalPath returns the longest duration-weighted path through the DAG
+// and its length: the lower bound on any schedule's makespan.
+func (g *Graph) CriticalPath() (length float64, path []int) {
+	n := len(g.Tasks)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+		dist[i] = g.Tasks[i].Duration().Seconds()
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	best := -1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if best < 0 || dist[u] > dist[best] {
+			best = u
+		}
+		for _, v := range adj[u] {
+			if cand := dist[u] + g.Tasks[v].Duration().Seconds(); cand > dist[v] {
+				dist[v] = cand
+				prev[v] = u
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if best < 0 {
+		return 0, nil
+	}
+	for u := best; u >= 0; u = prev[u] {
+		path = append(path, u)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return dist[best], path
+}
+
+// TotalWork returns the sum of all task durations in seconds.
+func (g *Graph) TotalWork() float64 {
+	var s float64
+	for _, t := range g.Tasks {
+		s += t.Duration().Seconds()
+	}
+	return s
+}

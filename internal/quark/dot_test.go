@@ -1,0 +1,79 @@
+package quark
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleGraph() *Graph {
+	g := &Graph{}
+	add := func(id int, class string, dur float64) {
+		g.Tasks = append(g.Tasks, TaskInfo{
+			ID: id, Class: class, Label: class, Worker: 0,
+			End: time.Duration(dur * float64(time.Second)),
+		})
+	}
+	// diamond: 0 -> {1, 2} -> 3
+	add(0, "STEDC", 1)
+	add(1, "LAED4", 2)
+	add(2, "PermuteV", 5)
+	add(3, "UpdateVect", 1)
+	g.Edges = [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+	return g
+}
+
+func TestDotOutput(t *testing.T) {
+	dot := sampleGraph().Dot()
+	for _, want := range []string{"digraph", "t0 -> t1", "t2 -> t3", "STEDC", "UpdateVect", "fillcolor"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// unknown classes get fallback colors without panicking
+	g := sampleGraph()
+	g.Tasks[0].Class = "Exotic"
+	if !strings.Contains(g.Dot(), "Exotic") {
+		t.Error("unknown class missing")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := sampleGraph()
+	length, path := g.CriticalPath()
+	// longest path: 0 (1s) -> 2 (5s) -> 3 (1s) = 7s
+	if length < 6.999 || length > 7.001 {
+		t.Errorf("critical path length %v, want 7", length)
+	}
+	want := []int{0, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path %v, want %v", path, want)
+		}
+	}
+	if w := g.TotalWork(); w < 8.999 || w > 9.001 {
+		t.Errorf("total work %v, want 9", w)
+	}
+}
+
+func TestCriticalPathEmptyAndSingle(t *testing.T) {
+	g := &Graph{}
+	if l, p := g.CriticalPath(); l != 0 || p != nil {
+		t.Error("empty graph")
+	}
+	g.Tasks = append(g.Tasks, TaskInfo{ID: 0, End: time.Second, Worker: 0})
+	l, p := g.CriticalPath()
+	if l < 0.999 || len(p) != 1 {
+		t.Errorf("single task: %v %v", l, p)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	c := sampleGraph().ClassCounts()
+	if c["STEDC"] != 1 || c["LAED4"] != 1 || len(c) != 4 {
+		t.Errorf("counts %v", c)
+	}
+}

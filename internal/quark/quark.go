@@ -1,0 +1,322 @@
+// Package quark implements a QUARK-style dynamic task runtime: a master
+// goroutine submits tasks in sequential program order, declaring how each
+// task accesses shared data through typed handles (In / Out / InOut /
+// Gatherv); the runtime infers dependencies from those declarations and
+// executes tasks out of order on a pool of worker goroutines as their
+// dependencies resolve.
+//
+// The Gatherv mode reproduces the extension the paper adds to QUARK: a group
+// of tasks that all write disjoint parts of one large object (e.g. panels of
+// the eigenvector matrix) may run concurrently with each other, while any
+// ordinary reader or writer submitted afterwards waits for the whole group.
+// This keeps the number of declared dependencies per task constant instead
+// of Θ(n/nb).
+package quark
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AccessMode declares how a task uses a handle.
+type AccessMode int
+
+const (
+	// In marks read-only access.
+	In AccessMode = iota
+	// Out marks write-only access.
+	Out
+	// InOut marks read-write access.
+	InOut
+	// Gatherv marks concurrent-group write access: Gatherv tasks on the
+	// same handle are unordered among themselves (the submitter guarantees
+	// they touch disjoint parts) but act as writers towards everyone else.
+	Gatherv
+)
+
+// Handle identifies a unit of data tracked for dependency analysis. Handles
+// must be created by Runtime.Handle and used only from the submitting
+// goroutine.
+type Handle struct {
+	name       string
+	lastWriter *task
+	readers    []*task
+	gatherers  []*task
+}
+
+// Access pairs a handle with the mode a task uses it in.
+type Access struct {
+	H    *Handle
+	Mode AccessMode
+}
+
+// Read, Write, ReadWrite and Gather are convenience constructors for Access.
+func Read(h *Handle) Access      { return Access{h, In} }
+func Write(h *Handle) Access     { return Access{h, Out} }
+func ReadWrite(h *Handle) Access { return Access{h, InOut} }
+func Gather(h *Handle) Access    { return Access{h, Gatherv} }
+
+type task struct {
+	id       int
+	class    string
+	label    string
+	priority int
+	fn       func()
+	pending  int
+	succs    []*task
+	done     bool
+}
+
+// TaskInfo describes one executed task in a captured graph.
+type TaskInfo struct {
+	ID       int
+	Class    string // kernel class (e.g. "LAED4"), used for trace coloring
+	Label    string
+	Priority int
+	Worker   int
+	Start    time.Duration // relative to runtime creation
+	End      time.Duration
+}
+
+// Duration returns the task's measured execution time.
+func (ti TaskInfo) Duration() time.Duration { return ti.End - ti.Start }
+
+// Graph is the captured task DAG of a run: every submitted task plus every
+// inferred dependency edge, with measured execution times. It feeds the
+// trace renderers and the schedule replay simulator.
+type Graph struct {
+	Tasks []TaskInfo
+	Edges [][2]int // (from, to) task IDs; from must complete before to starts
+}
+
+// Runtime schedules tasks over a fixed pool of worker goroutines.
+type Runtime struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   int
+	queue     []*task // ready queue: FIFO with priority-to-front
+	submitted int
+	completed int
+	firstErr  error
+	closed    bool
+	capture   bool
+	graph     *Graph
+	start     time.Time
+	wg        sync.WaitGroup
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithGraphCapture records the task DAG and per-task timings, retrievable
+// via Graph after Wait.
+func WithGraphCapture() Option {
+	return func(rt *Runtime) { rt.capture = true }
+}
+
+// New creates a runtime with the given number of workers (<=0 selects
+// GOMAXPROCS). Call Shutdown when done.
+func New(workers int, opts ...Option) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{workers: workers, start: time.Now()}
+	rt.cond = sync.NewCond(&rt.mu)
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.capture {
+		rt.graph = &Graph{}
+	}
+	rt.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go rt.worker(w)
+	}
+	return rt
+}
+
+// Workers returns the size of the worker pool.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// Handle creates a named data handle for dependency tracking.
+func (rt *Runtime) Handle(name string) *Handle { return &Handle{name: name} }
+
+// Submit registers a task in sequential program order. class groups tasks of
+// the same kernel for tracing; label distinguishes instances. The task may
+// start running before Submit returns. Priority 0 is normal; higher
+// priorities jump the ready queue.
+func (rt *Runtime) Submit(class, label string, fn func(), accesses ...Access) {
+	rt.SubmitPrio(class, label, 0, fn, accesses...)
+}
+
+// SubmitPrio is Submit with an explicit priority.
+func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), accesses ...Access) {
+	t := &task{class: class, label: label, priority: priority, fn: fn}
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		panic("quark: Submit after Shutdown")
+	}
+	t.id = rt.submitted
+	rt.submitted++
+
+	// deps are the unfinished predecessors (for scheduling); allDeps also
+	// keeps already-finished ones so the captured graph carries every true
+	// dependency edge, even when a predecessor completed before this Submit.
+	deps := make(map[*task]struct{})
+	allDeps := make(map[*task]struct{})
+	addDep := func(d *task) {
+		if d == nil {
+			return
+		}
+		allDeps[d] = struct{}{}
+		if !d.done {
+			deps[d] = struct{}{}
+		}
+	}
+	for _, ac := range accesses {
+		h := ac.H
+		switch ac.Mode {
+		case In:
+			addDep(h.lastWriter)
+			for _, g := range h.gatherers {
+				addDep(g)
+			}
+			h.readers = append(h.readers, t)
+		case Gatherv:
+			addDep(h.lastWriter)
+			for _, r := range h.readers {
+				addDep(r)
+			}
+			h.gatherers = append(h.gatherers, t)
+		case Out, InOut:
+			addDep(h.lastWriter)
+			for _, r := range h.readers {
+				addDep(r)
+			}
+			for _, g := range h.gatherers {
+				addDep(g)
+			}
+			h.lastWriter = t
+			h.readers = h.readers[:0:0]
+			h.gatherers = h.gatherers[:0:0]
+		default:
+			panic(fmt.Sprintf("quark: unknown access mode %d", ac.Mode))
+		}
+	}
+	t.pending = len(deps)
+	for d := range deps {
+		d.succs = append(d.succs, t)
+	}
+
+	if rt.capture {
+		rt.graph.Tasks = append(rt.graph.Tasks, TaskInfo{
+			ID: t.id, Class: class, Label: label, Priority: priority, Worker: -1,
+		})
+		for d := range allDeps {
+			rt.graph.Edges = append(rt.graph.Edges, [2]int{d.id, t.id})
+		}
+	}
+
+	if t.pending == 0 {
+		rt.enqueueLocked(t)
+	}
+}
+
+func (rt *Runtime) enqueueLocked(t *task) {
+	if t.priority > 0 {
+		rt.queue = append([]*task{t}, rt.queue...)
+	} else {
+		rt.queue = append(rt.queue, t)
+	}
+	rt.cond.Broadcast()
+}
+
+func (rt *Runtime) worker(id int) {
+	defer rt.wg.Done()
+	for {
+		rt.mu.Lock()
+		for len(rt.queue) == 0 && !rt.closed {
+			rt.cond.Wait()
+		}
+		if len(rt.queue) == 0 && rt.closed {
+			rt.mu.Unlock()
+			return
+		}
+		t := rt.queue[0]
+		rt.queue = rt.queue[1:]
+		rt.mu.Unlock()
+
+		start := time.Since(rt.start)
+		err := safeCall(t.fn)
+		end := time.Since(rt.start)
+
+		rt.mu.Lock()
+		t.done = true
+		if err != nil && rt.firstErr == nil {
+			rt.firstErr = fmt.Errorf("task %q (%s): %w", t.label, t.class, err)
+		}
+		if rt.capture {
+			ti := &rt.graph.Tasks[t.id]
+			ti.Worker = id
+			ti.Start = start
+			ti.End = end
+		}
+		for _, s := range t.succs {
+			s.pending--
+			if s.pending == 0 {
+				rt.enqueueLocked(s)
+			}
+		}
+		t.succs = nil
+		rt.completed++
+		rt.cond.Broadcast()
+		rt.mu.Unlock()
+	}
+}
+
+func safeCall(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Wait blocks until every submitted task has completed and returns the first
+// task error, if any. Tasks downstream of a failed task still run (kernels
+// are total functions); the error is surfaced here.
+func (rt *Runtime) Wait() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for rt.completed < rt.submitted {
+		rt.cond.Wait()
+	}
+	return rt.firstErr
+}
+
+// Graph returns the captured DAG. Call after Wait; requires
+// WithGraphCapture.
+func (rt *Runtime) Graph() *Graph {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.graph
+}
+
+// Shutdown drains remaining tasks and stops the workers.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}

@@ -1,0 +1,323 @@
+package quark
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSequentialConsistencyRAW(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	var x int
+	var got int
+	rt.Submit("W", "write", func() { x = 42 }, Write(h))
+	rt.Submit("R", "read", func() { got = x }, Read(h))
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("read-after-write: got %d", got)
+	}
+}
+
+func TestWriteAfterReadOrdering(t *testing.T) {
+	// WAR: the write must wait for the slow reader.
+	rt := New(4)
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	x := 1
+	var seen int64
+	rt.Submit("R", "slow-read", func() {
+		time.Sleep(10 * time.Millisecond)
+		atomic.StoreInt64(&seen, int64(x))
+	}, Read(h))
+	rt.Submit("W", "write", func() { x = 2 }, Write(h))
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&seen) != 1 {
+		t.Errorf("writer overtook reader: saw %d", seen)
+	}
+}
+
+func TestChainOfInOut(t *testing.T) {
+	rt := New(8)
+	defer rt.Shutdown()
+	h := rt.Handle("acc")
+	acc := 0
+	for i := 0; i < 100; i++ {
+		i := i
+		rt.Submit("A", fmt.Sprintf("step%d", i), func() { acc = acc*2 + i%2 }, ReadWrite(h))
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 100; i++ {
+		want = want*2 + i%2
+	}
+	if acc != want {
+		t.Errorf("InOut chain ran out of order: %d != %d", acc, want)
+	}
+}
+
+func TestReadersRunConcurrently(t *testing.T) {
+	// Two readers of the same handle must be able to overlap: each waits
+	// for the other to start, which deadlocks if they were serialized.
+	rt := New(2)
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	meet := func() {
+		wg.Done()
+		wg.Wait()
+	}
+	done := make(chan error, 1)
+	go func() {
+		rt.Submit("R", "r1", meet, Read(h))
+		rt.Submit("R", "r2", meet, Read(h))
+		done <- rt.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("readers were serialized (deadlock)")
+	}
+}
+
+func TestGathervGroupConcurrent(t *testing.T) {
+	// Gatherv tasks on one handle must overlap each other.
+	rt := New(2)
+	defer rt.Shutdown()
+	h := rt.Handle("V")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	meet := func() {
+		wg.Done()
+		wg.Wait()
+	}
+	done := make(chan error, 1)
+	go func() {
+		rt.Submit("G", "g1", meet, Gather(h))
+		rt.Submit("G", "g2", meet, Gather(h))
+		done <- rt.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gatherv tasks were serialized (deadlock)")
+	}
+}
+
+func TestWriterWaitsForGathervGroup(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	h := rt.Handle("V")
+	var count int64
+	for i := 0; i < 6; i++ {
+		rt.Submit("G", "g", func() {
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&count, 1)
+		}, Gather(h))
+	}
+	var atJoin int64
+	rt.Submit("J", "join", func() { atJoin = atomic.LoadInt64(&count) }, ReadWrite(h))
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if atJoin != 6 {
+		t.Errorf("join ran before gatherv group finished: saw %d of 6", atJoin)
+	}
+}
+
+func TestReaderWaitsForGatherers(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+	h := rt.Handle("V")
+	x := 0
+	rt.Submit("G", "g", func() {
+		time.Sleep(5 * time.Millisecond)
+		x = 7
+	}, Gather(h))
+	var got int
+	rt.Submit("R", "r", func() { got = x }, Read(h))
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("reader overtook gatherv writer: %d", got)
+	}
+}
+
+func TestIndependentHandlesOverlap(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	h1, h2 := rt.Handle("a"), rt.Handle("b")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	meet := func() { wg.Done(); wg.Wait() }
+	done := make(chan error, 1)
+	go func() {
+		rt.Submit("W", "w1", meet, Write(h1))
+		rt.Submit("W", "w2", meet, Write(h2))
+		done <- rt.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("independent writers were serialized")
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	rt.Submit("B", "boom", func() { panic("kernel exploded") }, Write(h))
+	ran := false
+	rt.Submit("R", "after", func() { ran = true }, Read(h))
+	err := rt.Wait()
+	if err == nil {
+		t.Fatal("expected error from panicking task")
+	}
+	if !ran {
+		t.Error("downstream task should still run after failure")
+	}
+	// error value panics are unwrapped
+	rt2 := New(1)
+	defer rt2.Shutdown()
+	sentinel := errors.New("sentinel")
+	rt2.Submit("B", "boom2", func() { panic(sentinel) })
+	if err := rt2.Wait(); !errors.Is(err, sentinel) {
+		t.Errorf("expected sentinel, got %v", err)
+	}
+}
+
+func TestPriorityJumpsQueue(t *testing.T) {
+	rt := New(1)
+	defer rt.Shutdown()
+	block := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	add := func(s string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	rt.Submit("B", "block", func() { <-block })
+	rt.Submit("N", "normal", add("normal"))
+	rt.SubmitPrio("P", "prio", 5, add("prio"))
+	close(block)
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "prio" {
+		t.Errorf("priority order: %v", order)
+	}
+}
+
+func TestGraphCaptureRespectsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rt := New(4, WithGraphCapture())
+	defer rt.Shutdown()
+	handles := make([]*Handle, 5)
+	for i := range handles {
+		handles[i] = rt.Handle(fmt.Sprintf("h%d", i))
+	}
+	modes := []AccessMode{In, Out, InOut, Gatherv}
+	n := 120
+	for i := 0; i < n; i++ {
+		var acc []Access
+		used := map[int]bool{}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			hi := rng.Intn(len(handles))
+			if used[hi] {
+				continue
+			}
+			used[hi] = true
+			acc = append(acc, Access{handles[hi], modes[rng.Intn(len(modes))]})
+		}
+		sleep := time.Duration(rng.Intn(200)) * time.Microsecond
+		rt.Submit("K", fmt.Sprintf("t%d", i), func() { time.Sleep(sleep) }, acc...)
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	g := rt.Graph()
+	if len(g.Tasks) != n {
+		t.Fatalf("captured %d tasks, want %d", len(g.Tasks), n)
+	}
+	for _, e := range g.Edges {
+		a, b := g.Tasks[e[0]], g.Tasks[e[1]]
+		if b.Start < a.End {
+			t.Fatalf("edge %d->%d violated: %v starts before %v ends", e[0], e[1], b.Start, a.End)
+		}
+	}
+	for _, ti := range g.Tasks {
+		if ti.Worker < 0 || ti.End < ti.Start {
+			t.Fatalf("task %d has bogus timing: %+v", ti.ID, ti)
+		}
+	}
+}
+
+func TestWaitThenSubmitAgain(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	x := 0
+	rt.Submit("A", "a", func() { x = 1 }, Write(h))
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Submit("B", "b", func() { x *= 10 }, ReadWrite(h))
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if x != 10 {
+		t.Errorf("phased submission: %d", x)
+	}
+}
+
+func TestManyTasksStress(t *testing.T) {
+	rt := New(8)
+	defer rt.Shutdown()
+	const nh = 16
+	handles := make([]*Handle, nh)
+	counters := make([]int64, nh)
+	for i := range handles {
+		handles[i] = rt.Handle(fmt.Sprintf("c%d", i))
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		hi := i % nh
+		rt.Submit("inc", "i", func() { counters[hi]++ }, ReadWrite(handles[hi]))
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counters {
+		total += c
+	}
+	if total != n {
+		t.Errorf("lost updates: %d of %d", total, n)
+	}
+}

@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tridiag/internal/quark"
+)
+
+// buildGraph constructs a synthetic captured graph: durs in seconds, edges as
+// pairs. Workers/timings are synthesized as if measured.
+func buildGraph(durs []float64, edges [][2]int) *quark.Graph {
+	g := &quark.Graph{}
+	for i, d := range durs {
+		g.Tasks = append(g.Tasks, quark.TaskInfo{
+			ID: i, Class: "K", Label: "t", Worker: 0,
+			Start: 0, End: time.Duration(d * float64(time.Second)),
+		})
+	}
+	g.Edges = edges
+	return g
+}
+
+func TestSimulateChain(t *testing.T) {
+	// A pure chain cannot be parallelized.
+	g := buildGraph([]float64{1, 2, 3}, [][2]int{{0, 1}, {1, 2}})
+	for _, p := range []int{1, 4} {
+		r, err := Simulate(g, Config{Workers: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Makespan-6) > 1e-9 {
+			t.Errorf("P=%d chain makespan %v, want 6", p, r.Makespan)
+		}
+	}
+}
+
+func TestSimulateIndependent(t *testing.T) {
+	g := buildGraph([]float64{1, 1, 1, 1}, nil)
+	r1, _ := Simulate(g, Config{Workers: 1})
+	r2, _ := Simulate(g, Config{Workers: 2})
+	r4, _ := Simulate(g, Config{Workers: 4})
+	if math.Abs(r1.Makespan-4) > 1e-9 || math.Abs(r2.Makespan-2) > 1e-9 || math.Abs(r4.Makespan-1) > 1e-9 {
+		t.Errorf("independent: %v %v %v", r1.Makespan, r2.Makespan, r4.Makespan)
+	}
+	if s := r4.Speedup(); math.Abs(s-4) > 1e-9 {
+		t.Errorf("speedup %v", s)
+	}
+	if r4.IdleFraction > 1e-9 {
+		t.Errorf("idle %v", r4.IdleFraction)
+	}
+}
+
+func TestSimulateForkJoin(t *testing.T) {
+	// 0 -> {1,2,3} -> 4
+	g := buildGraph([]float64{1, 2, 2, 2, 1},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 4}, {3, 4}})
+	r, err := Simulate(g, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-4) > 1e-9 {
+		t.Errorf("fork-join makespan %v, want 4", r.Makespan)
+	}
+	r2, _ := Simulate(g, Config{Workers: 2})
+	if math.Abs(r2.Makespan-6) > 1e-9 {
+		t.Errorf("fork-join P=2 makespan %v, want 6", r2.Makespan)
+	}
+}
+
+func TestSimulateBandwidthCap(t *testing.T) {
+	g := &quark.Graph{}
+	for i := 0; i < 8; i++ {
+		g.Tasks = append(g.Tasks, quark.TaskInfo{
+			ID: i, Class: "PermuteV", Worker: 0, Start: 0, End: time.Second,
+		})
+	}
+	// Without a cap, 8 workers finish in 1s; with 4 streams, aggregate rate
+	// is 4 tasks/s -> 8 task-seconds take 2s.
+	r, err := Simulate(g, Config{Workers: 8, BandwidthStreams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-2) > 1e-6 {
+		t.Errorf("bandwidth-capped makespan %v, want 2", r.Makespan)
+	}
+	rU, _ := Simulate(g, Config{Workers: 8})
+	if math.Abs(rU.Makespan-1) > 1e-9 {
+		t.Errorf("uncapped makespan %v, want 1", rU.Makespan)
+	}
+	// Compute-bound classes are unaffected by the cap.
+	for i := range g.Tasks {
+		g.Tasks[i].Class = "UpdateVect"
+	}
+	rC, _ := Simulate(g, Config{Workers: 8, BandwidthStreams: 4})
+	if math.Abs(rC.Makespan-1) > 1e-9 {
+		t.Errorf("compute-bound capped makespan %v, want 1", rC.Makespan)
+	}
+}
+
+func TestSimulateGrahamBound(t *testing.T) {
+	// Greedy list scheduling satisfies makespan <= T1/P + T_inf and
+	// makespan >= max(T1/P, T_inf) on arbitrary DAGs.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(80)
+		durs := make([]float64, n)
+		for i := range durs {
+			durs[i] = 0.01 + rng.Float64()
+		}
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.08 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g := buildGraph(durs, edges)
+		cp, _ := g.CriticalPath()
+		for _, p := range []int{1, 2, 4, 16} {
+			r, err := Simulate(g, Config{Workers: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lower := math.Max(r.TotalWork/float64(p), cp)
+			upper := r.TotalWork/float64(p) + cp
+			if r.Makespan < lower-1e-9 || r.Makespan > upper+1e-9 {
+				t.Fatalf("trial %d P=%d: makespan %v outside [%v, %v]", trial, p, r.Makespan, lower, upper)
+			}
+			if p == 1 && math.Abs(r.Makespan-r.TotalWork) > 1e-9 {
+				t.Fatalf("P=1 must serialize: %v vs %v", r.Makespan, r.TotalWork)
+			}
+		}
+	}
+}
+
+func TestSimulateSpansConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 50
+	durs := make([]float64, n)
+	for i := range durs {
+		durs[i] = 0.01 + rng.Float64()
+	}
+	var edges [][2]int
+	for i := 0; i < n-1; i++ {
+		if rng.Float64() < 0.5 {
+			edges = append(edges, [2]int{i, i + 1 + rng.Intn(n-i-1)})
+		}
+	}
+	g := buildGraph(durs, edges)
+	r, err := Simulate(g, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spans) != n {
+		t.Fatalf("%d spans for %d tasks", len(r.Spans), n)
+	}
+	// No worker overlap; all edges respected.
+	end := map[int]float64{}
+	byWorker := map[int][]Span{}
+	for _, s := range r.Spans {
+		end[s.Task] = s.End
+		byWorker[s.Worker] = append(byWorker[s.Worker], s)
+	}
+	start := map[int]float64{}
+	for _, s := range r.Spans {
+		start[s.Task] = s.Start
+	}
+	for _, e := range edges {
+		if start[e[1]] < end[e[0]]-1e-9 {
+			t.Fatalf("edge %v violated in simulation", e)
+		}
+	}
+	for w, spans := range byWorker {
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.Start < b.End-1e-9 && b.Start < a.End-1e-9 {
+					t.Fatalf("worker %d runs tasks %d and %d simultaneously", w, a.Task, b.Task)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := buildGraph([]float64{1}, nil)
+	if _, err := Simulate(g, Config{Workers: 0}); err == nil {
+		t.Error("workers=0 must error")
+	}
+	g.Tasks[0].Worker = -1
+	if _, err := Simulate(g, Config{Workers: 1}); err == nil {
+		t.Error("unexecuted task must error")
+	}
+}
+
+func TestSpeedupCurveMonotoneWork(t *testing.T) {
+	g := buildGraph([]float64{1, 1, 1, 1, 1, 1, 1, 1}, nil)
+	curve, err := SpeedupCurve(g, []int{1, 2, 4, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4, 8}
+	for i := range curve {
+		if math.Abs(curve[i]-want[i]) > 1e-9 {
+			t.Errorf("curve[%d]=%v want %v", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestForkJoinGraphSerializesChain(t *testing.T) {
+	// three serial tasks with two parallel tasks between them
+	g := &quark.Graph{}
+	add := func(id int, class string, dur float64) {
+		g.Tasks = append(g.Tasks, quark.TaskInfo{
+			ID: id, Class: class, Worker: 0,
+			End: time.Duration(dur * float64(time.Second)),
+		})
+	}
+	add(0, "S", 1)
+	add(1, "GEMM", 2)
+	add(2, "GEMM", 2)
+	add(3, "S", 1)
+	fj := ForkJoinGraph(g, map[string]bool{"GEMM": true})
+	r, err := Simulate(fj, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serial(1) -> parallel(2,2 overlap) -> serial(1) = 4s
+	if math.Abs(r.Makespan-4) > 1e-9 {
+		t.Errorf("fork/join makespan %v, want 4", r.Makespan)
+	}
+	// without the transform everything is independent: 2s on 4 workers
+	r0, _ := Simulate(g, Config{Workers: 4})
+	if math.Abs(r0.Makespan-2) > 1e-9 {
+		t.Errorf("untransformed makespan %v, want 2", r0.Makespan)
+	}
+	// original edges must be retained
+	g.Edges = [][2]int{{1, 2}}
+	fj2 := ForkJoinGraph(g, map[string]bool{"GEMM": true})
+	found := false
+	for _, e := range fj2.Edges {
+		if e == [2]int{1, 2} {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("original edge dropped by transform")
+	}
+}

@@ -1,0 +1,60 @@
+package sched
+
+import "tridiag/internal/quark"
+
+// ForkJoinGraph rewires a captured task graph into a fork/join execution
+// model: tasks whose class is NOT in parallelClasses form a sequential chain
+// in submission order, while parallel-class tasks may overlap between two
+// consecutive chain elements (the multithreaded-BLAS-under-a-sequential-
+// algorithm model of the paper's Figure 6, and — with more classes marked
+// parallel — the "parallel merge kernels, sequential algorithm" model of
+// Figure 3(b)).
+//
+// The original dependency edges are retained, so orderings among the
+// parallel tasks themselves (e.g. ComputeVect before UpdateVect of the same
+// panel) stay intact; the chain and join edges are added on top. Task
+// durations are unchanged.
+func ForkJoinGraph(g *quark.Graph, parallelClasses map[string]bool) *quark.Graph {
+	out := &quark.Graph{
+		Tasks: append([]quark.TaskInfo(nil), g.Tasks...),
+		Edges: append([][2]int(nil), g.Edges...),
+	}
+	lastSerial := -1
+	var pendingParallel []int
+	for _, t := range g.Tasks {
+		if parallelClasses[t.Class] {
+			if lastSerial >= 0 {
+				out.Edges = append(out.Edges, [2]int{lastSerial, t.ID})
+			}
+			pendingParallel = append(pendingParallel, t.ID)
+			continue
+		}
+		// Join: the next serial task waits for every outstanding parallel
+		// task, then continues the chain.
+		for _, p := range pendingParallel {
+			out.Edges = append(out.Edges, [2]int{p, t.ID})
+		}
+		pendingParallel = pendingParallel[:0]
+		if lastSerial >= 0 {
+			out.Edges = append(out.Edges, [2]int{lastSerial, t.ID})
+		}
+		lastSerial = t.ID
+	}
+	return out
+}
+
+// ParallelBLASClasses marks only the GEMM-backed update as parallel: the
+// execution model of LAPACK DSTEDC on a multithreaded BLAS (Figure 6).
+var ParallelBLASClasses = map[string]bool{"UpdateVect": true}
+
+// ParallelMergeClasses marks all panel kernels of the merge as parallel
+// while the algorithm skeleton stays sequential: the intermediate
+// optimization level of Figure 3(b).
+var ParallelMergeClasses = map[string]bool{
+	"UpdateVect":       true,
+	"LAED4":            true,
+	"ComputeVect":      true,
+	"ComputeLocalW":    true,
+	"PermuteV":         true,
+	"CopyBackDeflated": true,
+}

@@ -1,0 +1,488 @@
+// Package testmat generates the symmetric tridiagonal test matrices of the
+// paper's Table III (the LAPACK stetester suite) plus an application-like
+// matrix set standing in for the stetester data files (see DESIGN.md §2).
+//
+// Types 1–9 prescribe an eigenvalue distribution; the tridiagonal matrix is
+// realized by solving the Jacobi inverse eigenvalue problem with the Lanczos
+// process on diag(λ) under full reorthogonalization (random positive
+// weights). Repeated eigenvalues (types 1 and 2) have no unreduced Jacobi
+// matrix, so the distinct part is realized by Lanczos and the multiple copies
+// are appended with couplings at the roundoff level — the same
+// reducible-up-to-roundoff structure LAPACK's dense DLATMS + DSYTRD route
+// produces. Types 10–15 are classical closed-form matrices.
+package testmat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tridiag/internal/lapack"
+)
+
+// CondK is the paper's condition parameter k (Table III): "arbitrarily set
+// to 1.0e6".
+const CondK = 1.0e6
+
+// Matrix is a named symmetric tridiagonal test matrix.
+type Matrix struct {
+	Name string
+	D    []float64 // diagonal, length n
+	E    []float64 // off-diagonal, length n-1
+}
+
+// N returns the matrix order.
+func (m Matrix) N() int { return len(m.D) }
+
+// Type generates the Table III matrix of the given type (1..15) and order n.
+// rng drives the random types and the inverse-eigenvalue weights; pass a
+// fixed seed for reproducible experiments.
+func Type(typ, n int, rng *rand.Rand) (Matrix, error) {
+	if n < 1 {
+		return Matrix{}, fmt.Errorf("testmat: order %d", n)
+	}
+	name := fmt.Sprintf("type%d", typ)
+	ulp := lapack.Ulp
+	switch typ {
+	case 1:
+		lam := make([]float64, n)
+		lam[0] = 1
+		for i := 1; i < n; i++ {
+			lam[i] = 1 / CondK
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 2:
+		lam := make([]float64, n)
+		for i := 0; i < n-1; i++ {
+			lam[i] = 1
+		}
+		lam[n-1] = 1 / CondK
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 3:
+		lam := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p := 0.0
+			if n > 1 {
+				p = float64(i) / float64(n-1)
+			}
+			lam[i] = math.Pow(CondK, -p)
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 4:
+		lam := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p := 0.0
+			if n > 1 {
+				p = float64(i) / float64(n-1)
+			}
+			lam[i] = 1 - p*(1-1/CondK)
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 5:
+		lam := make([]float64, n)
+		for i := range lam {
+			lam[i] = math.Exp(-rng.Float64() * math.Log(CondK))
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 6:
+		lam := make([]float64, n)
+		for i := range lam {
+			lam[i] = 2*rng.Float64() - 1
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 7:
+		lam := make([]float64, n)
+		for i := 0; i < n-1; i++ {
+			lam[i] = ulp * float64(i+1)
+		}
+		lam[n-1] = 1
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 8:
+		lam := make([]float64, n)
+		lam[0] = ulp
+		for i := 1; i < n-1; i++ {
+			lam[i] = 1 + float64(i+1)*math.Sqrt(ulp)
+		}
+		if n > 1 {
+			lam[n-1] = 2
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 9:
+		lam := make([]float64, n)
+		lam[0] = 1
+		for i := 1; i < n; i++ {
+			lam[i] = lam[i-1] + 100*ulp
+		}
+		d, e := FromSpectrum(lam, rng)
+		return Matrix{name, d, e}, nil
+	case 10:
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = 2
+		}
+		for i := range e {
+			e[i] = 1
+		}
+		return Matrix{"type10 (1,2,1)", d, e}, nil
+	case 11:
+		// Wilkinson W⁺: diagonal |i - (n-1)/2|, unit couplings.
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = math.Abs(float64(i) - float64(n-1)/2)
+		}
+		for i := range e {
+			e[i] = 1
+		}
+		return Matrix{"type11 Wilkinson", d, e}, nil
+	case 12:
+		// Clement: zero diagonal, e_i = sqrt((i+1)(n-1-i)).
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := 0; i < n-1; i++ {
+			e[i] = math.Sqrt(float64(i+1) * float64(n-1-i))
+		}
+		return Matrix{"type12 Clement", d, e}, nil
+	case 13:
+		// Legendre polynomials' Jacobi matrix.
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := 1; i < n; i++ {
+			fi := float64(i)
+			e[i-1] = fi / math.Sqrt((2*fi-1)*(2*fi+1))
+		}
+		return Matrix{"type13 Legendre", d, e}, nil
+	case 14:
+		// Laguerre polynomials' Jacobi matrix.
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := 0; i < n; i++ {
+			d[i] = float64(2*i + 1)
+		}
+		for i := 1; i < n; i++ {
+			e[i-1] = float64(i)
+		}
+		return Matrix{"type14 Laguerre", d, e}, nil
+	case 15:
+		// Hermite polynomials' Jacobi matrix.
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := 1; i < n; i++ {
+			e[i-1] = math.Sqrt(float64(i) / 2)
+		}
+		return Matrix{"type15 Hermite", d, e}, nil
+	}
+	return Matrix{}, fmt.Errorf("testmat: unknown type %d (want 1..15)", typ)
+}
+
+// FromSpectrum builds a symmetric tridiagonal matrix whose spectrum matches
+// lambda to O(n·eps·‖λ‖∞): the Jacobi inverse eigenvalue problem, solved by
+// the Lanczos process on diag(λ) with random positive weights and full
+// reorthogonalization. Eigenvalues that coincide to relative roundoff are
+// realized as appended diagonal entries with roundoff-level couplings (a
+// Jacobi matrix proper cannot carry multiple eigenvalues).
+func FromSpectrum(lambda []float64, rng *rand.Rand) (d, e []float64) {
+	n := len(lambda)
+	lam := append([]float64(nil), lambda...)
+	sort.Float64s(lam)
+	scale := math.Max(math.Abs(lam[0]), math.Abs(lam[n-1]))
+	if scale == 0 {
+		scale = 1
+	}
+	// Separate distinct values from repeats.
+	tol := 4 * lapack.Eps * scale
+	distinct := []float64{lam[0]}
+	var repeats []float64
+	for i := 1; i < n; i++ {
+		if lam[i]-distinct[len(distinct)-1] <= tol {
+			repeats = append(repeats, lam[i])
+		} else {
+			distinct = append(distinct, lam[i])
+		}
+	}
+
+	m := len(distinct)
+	d = make([]float64, n)
+	e = make([]float64, max(n-1, 1))
+
+	if m == 1 {
+		// Fully degenerate spectrum.
+		for i := 0; i < n; i++ {
+			d[i] = lam[i]
+		}
+		for i := 0; i < n-1; i++ {
+			e[i] = lapack.Eps * scale
+		}
+		return d, e[:n-1]
+	}
+
+	// Lanczos on diag(distinct) with random positive weights.
+	q := make([]float64, m)
+	var nrm float64
+	for i := range q {
+		q[i] = 0.1 + rng.Float64()
+		nrm += q[i] * q[i]
+	}
+	nrm = math.Sqrt(nrm)
+	for i := range q {
+		q[i] /= nrm
+	}
+	alpha, beta := lanczosDiag(distinct, q)
+	copy(d, alpha)
+	copy(e, beta)
+
+	// Append the repeated eigenvalues with roundoff-level couplings.
+	for i, v := range repeats {
+		d[m+i] = v
+		e[m+i-1] = lapack.Eps * scale
+	}
+	return d, e[:n-1]
+}
+
+// FromSpectrumDense realizes a prescribed spectrum the way LAPACK's DLATMS +
+// DSYTRD route (the stetester construction) does: a random orthogonal
+// similarity Q·diag(λ)·Qᵀ formed explicitly, then Householder reduction back
+// to tridiagonal form. O(n³), used to cross-validate the O(n²·m) Lanczos
+// construction of FromSpectrum and available when a fully dense mixing of
+// the eigenvector basis is wanted.
+func FromSpectrumDense(lambda []float64, rng *rand.Rand) (d, e []float64) {
+	n := len(lambda)
+	if n == 1 {
+		return []float64{lambda[0]}, nil
+	}
+	// A = Q Λ Qᵀ with Q from Householder reflectors of random vectors:
+	// start from diag(λ) and apply the reflectors from both sides.
+	a := make([]float64, n*n)
+	for i, v := range lambda {
+		a[i+i*n] = v
+	}
+	work := make([]float64, n)
+	for k := 0; k < n-1; k++ {
+		// random unit reflector v (dense), H = I - 2 v vᵀ
+		v := make([]float64, n)
+		var nrm float64
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			nrm += v[i] * v[i]
+		}
+		nrm = math.Sqrt(nrm)
+		for i := range v {
+			v[i] /= nrm
+		}
+		// A = H A H: w = A v; f = vᵀw; A -= 2 v wᵀ + 2 w vᵀ - 4 f v vᵀ
+		for i := 0; i < n; i++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += a[i+l*n] * v[l]
+			}
+			work[i] = s
+		}
+		var f float64
+		for i := 0; i < n; i++ {
+			f += v[i] * work[i]
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				a[i+j*n] += -2*v[i]*work[j] - 2*work[i]*v[j] + 4*f*v[i]*v[j]
+			}
+		}
+	}
+	// Reduce back to tridiagonal.
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	tau := make([]float64, n-1)
+	lapack.Dsytd2(n, a, n, d, e, tau)
+	return d, e
+}
+
+// lanczosDiag runs the Lanczos process on A = diag(a) with start vector q0,
+// using full reorthogonalization (twice), returning the Jacobi coefficients.
+func lanczosDiag(a, q0 []float64) (alpha, beta []float64) {
+	m := len(a)
+	alpha = make([]float64, m)
+	beta = make([]float64, max(m-1, 1))
+	// Q holds all Lanczos vectors for reorthogonalization.
+	Q := make([][]float64, 0, m)
+	q := append([]float64(nil), q0...)
+	Q = append(Q, append([]float64(nil), q...))
+	var qprev []float64
+	bprev := 0.0
+	v := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			v[i] = a[i] * q[i]
+		}
+		if qprev != nil {
+			for i := 0; i < m; i++ {
+				v[i] -= bprev * qprev[i]
+			}
+		}
+		var aj float64
+		for i := 0; i < m; i++ {
+			aj += q[i] * v[i]
+		}
+		alpha[j] = aj
+		for i := 0; i < m; i++ {
+			v[i] -= aj * q[i]
+		}
+		// Full reorthogonalization, applied twice for stability.
+		for pass := 0; pass < 2; pass++ {
+			for _, qi := range Q {
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += qi[i] * v[i]
+				}
+				for i := 0; i < m; i++ {
+					v[i] -= dot * qi[i]
+				}
+			}
+		}
+		if j == m-1 {
+			break
+		}
+		var b float64
+		for i := 0; i < m; i++ {
+			b += v[i] * v[i]
+		}
+		b = math.Sqrt(b)
+		if b == 0 {
+			// Breakdown: the remaining invariant subspace was exhausted
+			// (should not happen for distinct eigenvalues and nonzero
+			// weights); restart with a fresh direction orthogonal to Q.
+			for i := 0; i < m; i++ {
+				v[i] = 1 / float64(i+2)
+			}
+			for _, qi := range Q {
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += qi[i] * v[i]
+				}
+				for i := 0; i < m; i++ {
+					v[i] -= dot * qi[i]
+				}
+			}
+			b = 0
+			for i := 0; i < m; i++ {
+				b += v[i] * v[i]
+			}
+			b = math.Sqrt(b)
+			if b == 0 {
+				b = lapack.SafeMin
+			}
+		}
+		beta[j] = b
+		qprev = q
+		bprev = b
+		q = make([]float64, m)
+		for i := 0; i < m; i++ {
+			q[i] = v[i] / b
+		}
+		Q = append(Q, append([]float64(nil), q...))
+	}
+	return alpha, beta
+}
+
+// AppSet returns the application-like matrix collection standing in for the
+// LAPACK stetester application matrices of the paper's Figure 10 (see
+// DESIGN.md §2 for the substitution rationale). All are genuine operators
+// from application domains with heterogeneous spectra and sizes around n.
+func AppSet(n int, rng *rand.Rand) []Matrix {
+	var out []Matrix
+	add := func(m Matrix, err error) {
+		if err == nil {
+			out = append(out, m)
+		}
+	}
+
+	// Orthogonal-polynomial operators (quantum / quadrature).
+	add(Type(13, n, rng))
+	add(Type(14, n, rng))
+	add(Type(15, n, rng))
+
+	// 1-D Anderson model: random potential, unit hopping (localization).
+	{
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = 4 * (rng.Float64() - 0.5)
+		}
+		for i := range e {
+			e[i] = 1
+		}
+		out = append(out, Matrix{"anderson", d, e})
+	}
+
+	// Weighted path-graph Laplacian (spectral partitioning / FEM chain).
+	{
+		w := make([]float64, n-1)
+		for i := range w {
+			w[i] = 0.5 + rng.Float64()
+		}
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := 0; i < n-1; i++ {
+			d[i] += w[i]
+			d[i+1] += w[i]
+			e[i] = -w[i]
+		}
+		out = append(out, Matrix{"path-laplacian", d, e})
+	}
+
+	// Glued Wilkinson blocks (tight clusters, electronic-structure-like).
+	{
+		bs := 21
+		blocks := max(1, n/bs)
+		nn := blocks * bs
+		d := make([]float64, nn)
+		e := make([]float64, nn-1)
+		for b := 0; b < blocks; b++ {
+			for i := 0; i < bs; i++ {
+				d[b*bs+i] = math.Abs(float64(i - bs/2))
+			}
+			for i := 0; i < bs-1; i++ {
+				e[b*bs+i] = 1
+			}
+			if b < blocks-1 {
+				e[b*bs+bs-1] = 1e-7
+			}
+		}
+		out = append(out, Matrix{"glued-wilkinson", d, e})
+	}
+
+	// Clustered "electronic bands": groups of close eigenvalues.
+	{
+		lam := make([]float64, n)
+		bands := 8
+		for i := range lam {
+			center := float64(i%bands) * 2
+			lam[i] = center + 1e-5*rng.NormFloat64()
+		}
+		d, e := FromSpectrum(lam, rng)
+		out = append(out, Matrix{"banded-spectrum", d, e})
+	}
+
+	// Free FEM rod stiffness (hat functions, uniform mesh), tridiagonal.
+	{
+		h := 1.0 / float64(n+1)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = 2 / h
+		}
+		for i := range e {
+			e[i] = -1 / h
+		}
+		out = append(out, Matrix{"fem-rod", d, e})
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package testmat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tridiag/internal/lapack"
+)
+
+// spectrumOf solves the generated matrix with the QR iteration.
+func spectrumOf(t *testing.T, m Matrix) []float64 {
+	t.Helper()
+	n := m.N()
+	d := append([]float64(nil), m.D...)
+	e := append([]float64(nil), m.E...)
+	if err := lapack.Dsteqr(lapack.CompNone, n, d, e, nil, 0); err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+	return d
+}
+
+func TestFromSpectrumRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for _, n := range []int{2, 5, 30, 100} {
+		lam := make([]float64, n)
+		for i := range lam {
+			lam[i] = rng.NormFloat64() * 3
+		}
+		d, e := FromSpectrum(lam, rng)
+		if len(d) != n || len(e) != n-1 {
+			t.Fatalf("n=%d: got lengths %d, %d", n, len(d), len(e))
+		}
+		got := spectrumOf(t, Matrix{"rt", d, e})
+		want := append([]float64(nil), lam...)
+		sort.Float64s(want)
+		scale := math.Max(math.Abs(want[0]), math.Abs(want[n-1]))
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-want[i]) > 1e-12*scale*float64(n) {
+				t.Errorf("n=%d eig %d: got %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFromSpectrumRepeatedValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	// Type-1 style: one isolated eigenvalue, n-1 identical.
+	n := 50
+	lam := make([]float64, n)
+	lam[0] = 1
+	for i := 1; i < n; i++ {
+		lam[i] = 1e-6
+	}
+	d, e := FromSpectrum(lam, rng)
+	got := spectrumOf(t, Matrix{"deg", d, e})
+	if math.Abs(got[n-1]-1) > 1e-10 {
+		t.Errorf("isolated eigenvalue: %v", got[n-1])
+	}
+	for i := 0; i < n-1; i++ {
+		if math.Abs(got[i]-1e-6) > 1e-10 {
+			t.Errorf("repeated eigenvalue %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestAllTypesGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	for typ := 1; typ <= 15; typ++ {
+		for _, n := range []int{1, 2, 10, 60} {
+			m, err := Type(typ, n, rng)
+			if err != nil {
+				t.Fatalf("type %d n=%d: %v", typ, n, err)
+			}
+			if m.N() != n || len(m.E) != max(n-1, 0) {
+				t.Fatalf("type %d n=%d: lengths %d/%d", typ, n, m.N(), len(m.E))
+			}
+			for _, v := range m.D {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("type %d n=%d: non-finite diagonal", typ, n)
+				}
+			}
+			for _, v := range m.E {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("type %d n=%d: non-finite off-diagonal", typ, n)
+				}
+			}
+		}
+	}
+	if _, err := Type(16, 5, rng); err == nil {
+		t.Error("type 16 must error")
+	}
+	if _, err := Type(1, 0, rng); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+func TestTypeSpectraMatchDefinitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	n := 40
+
+	// Type 3: geometric decay from 1 to 1/k.
+	m3, _ := Type(3, n, rng)
+	got := spectrumOf(t, m3)
+	if math.Abs(got[n-1]-1) > 1e-10 || math.Abs(got[0]-1/CondK) > 1e-10 {
+		t.Errorf("type 3 extremes: %v %v", got[0], got[n-1])
+	}
+
+	// Type 4: arithmetic from 1/k to 1.
+	m4, _ := Type(4, n, rng)
+	got = spectrumOf(t, m4)
+	for i := 1; i < n; i++ {
+		gap := got[i] - got[i-1]
+		want := (1 - 1/CondK) / float64(n-1)
+		if math.Abs(gap-want) > 1e-8 {
+			t.Errorf("type 4 gap %d: %v want %v", i, gap, want)
+			break
+		}
+	}
+
+	// Type 12 (Clement): eigenvalues are ±(n-1), ±(n-3), ...
+	m12, _ := Type(12, n, rng)
+	got = spectrumOf(t, m12)
+	for i, want := 0, -float64(n-1); i < n; i, want = i+1, want+2 {
+		if math.Abs(got[i]-want) > 1e-9*float64(n) {
+			t.Errorf("clement eig %d: %v want %v", i, got[i], want)
+		}
+	}
+
+	// Type 10: known cosine spectrum.
+	m10, _ := Type(10, n, rng)
+	got = spectrumOf(t, m10)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(got[k-1]-want) > 1e-12 {
+			t.Errorf("(1,2,1) eig %d: %v want %v", k, got[k-1], want)
+		}
+	}
+
+	// Type 11 (Wilkinson) largest pair nearly degenerate for odd n.
+	m11, _ := Type(11, 21, rng)
+	got = spectrumOf(t, m11)
+	if math.Abs(got[20]-got[19]) > 1e-10 {
+		t.Errorf("wilkinson top pair gap: %v", got[20]-got[19])
+	}
+}
+
+func TestType5LogUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(309))
+	m, _ := Type(5, 200, rng)
+	got := spectrumOf(t, m)
+	if got[0] < 1/CondK/10 || got[len(got)-1] > 1.1 {
+		t.Errorf("type 5 spectrum out of range: [%v, %v]", got[0], got[len(got)-1])
+	}
+}
+
+func TestAppSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	set := AppSet(63, rng)
+	if len(set) < 6 {
+		t.Fatalf("appset too small: %d", len(set))
+	}
+	names := map[string]bool{}
+	for _, m := range set {
+		if names[m.Name] {
+			t.Errorf("duplicate name %s", m.Name)
+		}
+		names[m.Name] = true
+		if m.N() < 2 {
+			t.Errorf("%s: too small", m.Name)
+		}
+		// every matrix must be solvable
+		spectrumOf(t, m)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, _ := Type(6, 30, rand.New(rand.NewSource(99)))
+	b, _ := Type(6, 30, rand.New(rand.NewSource(99)))
+	for i := range a.D {
+		if a.D[i] != b.D[i] {
+			t.Fatal("same seed must give identical matrices")
+		}
+	}
+}
+
+func TestFromSpectrumDenseCrossValidation(t *testing.T) {
+	// The O(n³) dense DLATMS-style route and the Lanczos route must realize
+	// the same spectrum (different matrices, same eigenvalues).
+	rng := rand.New(rand.NewSource(313))
+	for _, n := range []int{1, 2, 8, 40} {
+		lam := make([]float64, n)
+		for i := range lam {
+			lam[i] = rng.NormFloat64() * 2
+		}
+		want := append([]float64(nil), lam...)
+		sort.Float64s(want)
+
+		d1, e1 := FromSpectrum(lam, rng)
+		got1 := spectrumOf(t, Matrix{"lanczos", d1, e1})
+		d2, e2 := FromSpectrumDense(lam, rng)
+		got2 := spectrumOf(t, Matrix{"dense", d2, e2})
+
+		scale := math.Max(math.Abs(want[0]), math.Abs(want[n-1])) + 1
+		for i := 0; i < n; i++ {
+			if math.Abs(got1[i]-want[i]) > 1e-12*scale*float64(n) {
+				t.Errorf("lanczos n=%d eig %d: %v want %v", n, i, got1[i], want[i])
+			}
+			if math.Abs(got2[i]-want[i]) > 1e-12*scale*float64(n) {
+				t.Errorf("dense n=%d eig %d: %v want %v", n, i, got2[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFromSpectrumDenseRepeated(t *testing.T) {
+	// The dense route handles repeated eigenvalues without special casing.
+	rng := rand.New(rand.NewSource(317))
+	n := 20
+	lam := make([]float64, n)
+	for i := range lam {
+		lam[i] = float64(i % 3) // triple degeneracy
+	}
+	d, e := FromSpectrumDense(lam, rng)
+	got := spectrumOf(t, Matrix{"dense-rep", d, e})
+	want := append([]float64(nil), lam...)
+	sort.Float64s(want)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*float64(n) {
+			t.Errorf("eig %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
