@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short benchmark pass that exercises the scheduler and the hot kernels
+# without running the full experiment suite.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SolveDCTaskFlow2000|SortEigen|Steqr400' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/quark/
+
+ci: vet build test race bench-smoke

@@ -171,6 +171,26 @@ func BenchmarkSolveDCSequential1000(b *testing.B) {
 	}
 }
 
+func benchSolveDCTaskFlow(b *testing.B, n, workers int) {
+	d0, e0 := benchTridiag(n)
+	q := make([]float64, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := append([]float64(nil), d0...)
+		e := append([]float64(nil), e0...)
+		if _, err := core.SolveDC(n, d, e, q, n, &core.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The scheduler acceptance benchmarks: the n>=2000 task-flow solve at one
+// worker (pure overhead measurement) and at several workers (queue contention
+// and wakeup policy measurement).
+func BenchmarkSolveDCTaskFlow2000W1(b *testing.B) { benchSolveDCTaskFlow(b, 2000, 1) }
+func BenchmarkSolveDCTaskFlow2000W4(b *testing.B) { benchSolveDCTaskFlow(b, 2000, 4) }
+func BenchmarkSolveDCTaskFlow2000W8(b *testing.B) { benchSolveDCTaskFlow(b, 2000, 8) }
+
 func BenchmarkMRRR1000(b *testing.B) {
 	d0, e0 := benchTridiag(1000)
 	w := make([]float64, 1000)

@@ -274,8 +274,32 @@ type mergeState struct {
 	wlocs [][]float64 // per-panel Gu partial products
 }
 
+// Merge task priorities, as the paper does in QUARK: merges nearer the root
+// of the D&C tree outrank lower levels (the root merge is the critical path),
+// and within a merge the join tasks (ComputeDeflation, ReduceW, Dlamrg) and
+// the secular chain (LAED4 → ComputeLocalW → ComputeVect) outrank the
+// off-critical-path copies (CopyBackDeflated, Redistribute). The stride of 8
+// leaves room for the per-kind offsets below.
+const (
+	prioStride    = 8
+	prioJoin      = 6
+	prioDlamrg    = 5
+	prioSecular   = 4
+	prioPermute   = 3
+	prioUpdate    = 2
+	prioCopy      = 1
+	prioRedistrib = 1
+)
+
 // submitMerge submits the paper's Algorithm 1 for one merge node.
+//
+// Access-declaration order matters for locality (not for correctness): the
+// quark scheduler hints a ready task onto the worker that last wrote the
+// task's last-declared non-Gatherv handle, so each task lists its panel
+// handle last (UpdateVect follows ComputeVect's hSec panel, CopyBackDeflated
+// follows PermuteV's hPerm panel, and so on).
 func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []float64, q []float64, ldq int, indxq []int, o *Options, st *Stats) {
+	prio := lvl * prioStride
 	start := parent.start
 	nm := parent.size
 	n1 := left.size
@@ -302,7 +326,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 
 	// Compute deflation: the first join. Forms z, scans for deflation,
 	// applies pair rotations on V, allocates the merge workspace.
-	rt.Submit("ComputeDeflation", fmt.Sprintf("deflate[%d:%d]", start, start+nm), func() {
+	rt.SubmitPrio("ComputeDeflation", fmt.Sprintf("deflate[%d:%d]", start, start+nm), prio+prioJoin, func() {
 		rho := e[rhoAddr]
 		z := make([]float64, nm)
 		blas.Dcopy(n1, qq[n1-1:], ldq, z, 1)
@@ -330,7 +354,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		redist = make([]float64, nm*nm)
 		for p := 0; p < npanels; p++ {
 			g0, g1 := p*nb, min((p+1)*nb, nm)
-			rt.Submit("Redistribute", name("RedistIn", p), func() {
+			rt.SubmitPrio("Redistribute", name("RedistIn", p), prio+prioRedistrib, func() {
 				for g := g0; g < g1; g++ {
 					copy(redist[g*nm:g*nm+nm], qq[g*ldq:g*ldq+nm])
 				}
@@ -343,7 +367,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	for p := 0; p < npanels; p++ {
 		p := p
 		g0, g1 := p*nb, min((p+1)*nb, nm)
-		rt.Submit("PermuteV", name("PermuteV", p), func() {
+		rt.SubmitPrio("PermuteV", name("PermuteV", p), prio+prioPermute, func() {
 			ms.df.PermutePanel(qq, ldq, ms.ws, g0, g1)
 			st.count("PermuteV", int64(g1-g0)*int64(nm))
 		}, quark.Read(parent.hV), quark.Gather(hS), quark.ReadWrite(hPerm[p]))
@@ -353,13 +377,14 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	for p := 0; p < npanels; p++ {
 		p := p
 		j0 := p * nb
-		acc := []quark.Access{quark.Gather(hS), quark.ReadWrite(hSec[p]), quark.Gather(parent.hD)}
+		acc := []quark.Access{quark.Gather(hS), quark.Gather(parent.hD)}
 		if !o.ExtraWorkspace {
 			// Without extra workspace the secular panel shares storage
 			// with the permutation buffer: serialize after PermuteV.
 			acc = append(acc, quark.Read(hPerm[p]))
 		}
-		rt.Submit("LAED4", name("LAED4", p), func() {
+		acc = append(acc, quark.ReadWrite(hSec[p]))
+		rt.SubmitPrio("LAED4", name("LAED4", p), prio+prioSecular, func() {
 			k := ms.df.K
 			j1 := min(j0+nb, k)
 			if j0 >= j1 {
@@ -376,7 +401,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	for p := 0; p < npanels; p++ {
 		p := p
 		j0 := p * nb
-		rt.Submit("ComputeLocalW", name("ComputeLocalW", p), func() {
+		rt.SubmitPrio("ComputeLocalW", name("ComputeLocalW", p), prio+prioSecular, func() {
 			k := ms.df.K
 			j1 := min(j0+nb, k)
 			if j0 >= j1 {
@@ -393,7 +418,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	}
 
 	// ReduceW: the second join, combining the panel products into ẑ.
-	rt.Submit("ReduceW", fmt.Sprintf("ReduceW[%d:%d]", start, start+nm), func() {
+	rt.SubmitPrio("ReduceW", fmt.Sprintf("ReduceW[%d:%d]", start, start+nm), prio+prioJoin, func() {
 		ms.df.FinishW(ms.what, ms.wlocs...)
 		st.count("ReduceW", int64(ms.df.K))
 	}, quark.ReadWrite(hS))
@@ -405,7 +430,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		p := p
 		c0 := p * nb
 		acc := []quark.Access{quark.Gather(parent.hV), quark.Gather(parent.hD), quark.ReadWrite(hPerm[p])}
-		rt.Submit("CopyBackDeflated", name("CopyBack", p), func() {
+		rt.SubmitPrio("CopyBackDeflated", name("CopyBack", p), prio+prioCopy, func() {
 			k := ms.df.K
 			j0, j1 := max(c0, k)-k, min(c0+nb, nm)-k
 			if j0 >= j1 {
@@ -420,13 +445,14 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	for p := 0; p < npanels; p++ {
 		p := p
 		j0 := p * nb
-		acc := []quark.Access{quark.Read(hS), quark.ReadWrite(hSec[p])}
+		acc := []quark.Access{quark.Read(hS)}
 		if !o.ExtraWorkspace {
 			// Without extra workspace the deflated copy-back must vacate
 			// the buffer first: serialize after CopyBackDeflated.
 			acc = append(acc, quark.Read(hPerm[p]))
 		}
-		rt.Submit("ComputeVect", name("ComputeVect", p), func() {
+		acc = append(acc, quark.ReadWrite(hSec[p]))
+		rt.SubmitPrio("ComputeVect", name("ComputeVect", p), prio+prioSecular, func() {
 			k := ms.df.K
 			j1 := min(j0+nb, k)
 			if j0 >= j1 {
@@ -441,7 +467,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	for p := 0; p < npanels; p++ {
 		p := p
 		j0 := p * nb
-		rt.Submit("UpdateVect", name("UpdateVect", p), func() {
+		rt.SubmitPrio("UpdateVect", name("UpdateVect", p), prio+prioUpdate, func() {
 			k := ms.df.K
 			j1 := min(j0+nb, k)
 			if j0 >= j1 {
@@ -456,7 +482,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	if o.Mode == ModeScaLAPACK {
 		for p := 0; p < npanels; p++ {
 			g0, g1 := p*nb, min((p+1)*nb, nm)
-			rt.Submit("Redistribute", name("RedistOut", p), func() {
+			rt.SubmitPrio("Redistribute", name("RedistOut", p), prio+prioRedistrib, func() {
 				for g := g0; g < g1; g++ {
 					copy(redist[g*nm:g*nm+nm], qq[g*ldq:g*ldq+nm])
 				}
@@ -466,7 +492,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	}
 
 	// Dlamrg: build the sorting permutation for the merged spectrum.
-	rt.Submit("Dlamrg", fmt.Sprintf("Dlamrg[%d:%d]", start, start+nm), func() {
+	rt.SubmitPrio("Dlamrg", fmt.Sprintf("Dlamrg[%d:%d]", start, start+nm), prio+prioDlamrg, func() {
 		k := ms.df.K
 		if k == 0 {
 			for i := 0; i < nm; i++ {

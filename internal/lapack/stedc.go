@@ -188,17 +188,33 @@ func PartitionSizes(n, smlsiz int) []int {
 }
 
 // SortEigen permutes d and the columns of q into ascending eigenvalue order
-// given indxq, the merge's sorting permutation.
+// given indxq, the merge's sorting permutation (new position i receives old
+// position indxq[i]). The permutation is applied in place by following its
+// cycles with a single n-element column buffer — O(n) scratch instead of the
+// former n×n shadow copy, which dominated peak memory for large matrices.
+// indxq is consumed: it holds the identity permutation on return.
 func SortEigen(n int, d []float64, q []float64, ldq int, indxq []int) {
-	dt := make([]float64, n)
-	qt := make([]float64, n*n)
-	for i := 0; i < n; i++ {
-		j := indxq[i]
-		dt[i] = d[j]
-		copy(qt[i*n:i*n+n], q[j*ldq:j*ldq+n])
-	}
-	copy(d, dt)
-	for i := 0; i < n; i++ {
-		copy(q[i*ldq:i*ldq+n], qt[i*n:i*n+n])
+	col := make([]float64, n)
+	for start := 0; start < n; start++ {
+		j := indxq[start]
+		if j == start {
+			continue
+		}
+		// Save the cycle head, then shift each member one step back along
+		// the cycle; indxq[i] = i marks position i as finalized so the
+		// outer scan skips the rest of this cycle.
+		dsave := d[start]
+		copy(col, q[start*ldq:start*ldq+n])
+		i := start
+		for j != start {
+			d[i] = d[j]
+			copy(q[i*ldq:i*ldq+n], q[j*ldq:j*ldq+n])
+			indxq[i] = i
+			i = j
+			j = indxq[j]
+		}
+		d[i] = dsave
+		copy(q[i*ldq:i*ldq+n], col)
+		indxq[i] = i
 	}
 }

@@ -332,6 +332,74 @@ func TestPartitionSizes(t *testing.T) {
 	}
 }
 
+func TestSortEigenMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for _, n := range []int{1, 2, 3, 7, 40, 129} {
+		for trial := 0; trial < 5; trial++ {
+			ldq := n + trial%3 // exercise ldq > n
+			d := make([]float64, n)
+			q := make([]float64, n*ldq)
+			for i := range d {
+				d[i] = rng.NormFloat64()
+			}
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			indxq := rng.Perm(n)
+
+			// Reference: explicit gather into fresh arrays.
+			wantD := make([]float64, n)
+			wantQ := make([]float64, n*ldq)
+			copy(wantQ, q)
+			for i := 0; i < n; i++ {
+				j := indxq[i]
+				wantD[i] = d[j]
+				copy(wantQ[i*ldq:i*ldq+n], q[j*ldq:j*ldq+n])
+			}
+
+			SortEigen(n, d, q, ldq, indxq)
+			for i := 0; i < n; i++ {
+				if d[i] != wantD[i] {
+					t.Fatalf("n=%d trial=%d: d[%d]=%v want %v", n, trial, i, d[i], wantD[i])
+				}
+				if indxq[i] != i {
+					t.Fatalf("n=%d trial=%d: indxq[%d]=%d, want identity on return", n, trial, i, indxq[i])
+				}
+				for r := 0; r < n; r++ {
+					if q[r+i*ldq] != wantQ[r+i*ldq] {
+						t.Fatalf("n=%d trial=%d: q[%d,%d] mismatch", n, trial, r, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSortEigenScratchIsLinear(t *testing.T) {
+	// The sort must use an O(n) column buffer, not the former n×n shadow
+	// matrix: for n=512 the old implementation allocated ~2 MB per call,
+	// the cycle-following one ~4 KB.
+	const n = 512
+	rng := rand.New(rand.NewSource(97))
+	d := make([]float64, n)
+	q := make([]float64, n*n)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	perm := rng.Perm(n)
+	indxq := make([]int, n)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(indxq, perm)
+			SortEigen(n, d, q, n, indxq)
+		}
+	})
+	if got, limit := res.AllocedBytesPerOp(), int64(200<<10); got > limit {
+		t.Errorf("SortEigen allocates %d B/op for n=%d, want O(n) scratch (< %d B)", got, n, limit)
+	}
+}
+
 func TestDgemmHookIsUsed(t *testing.T) {
 	called := false
 	hook := func(ta, tb bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {

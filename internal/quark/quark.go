@@ -11,10 +11,24 @@
 // ordinary reader or writer submitted afterwards waits for the whole group.
 // This keeps the number of declared dependencies per task constant instead
 // of Θ(n/nb).
+//
+// Scheduling policy (see DESIGN.md §"Scheduler"): every worker owns a ready
+// deque ordered by (priority descending, submission order ascending). A ready
+// task is placed on the deque of the worker that last wrote one of the
+// handles it touches (locality: panel tasks land where their panel data is
+// cache-warm), falling back to the worker that completed its last dependency,
+// falling back to round-robin. Idle workers steal the highest-priority task
+// from a randomly chosen victim. Enqueues wake at most one sleeping worker
+// (targeted wakeup) instead of broadcasting to the whole pool.
+//
+// Failure-aware cancellation: when a task panics, every transitive successor
+// is skipped instead of executed (their kernels would run against
+// half-initialized state); Wait reports the root-cause error only.
 package quark
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -44,6 +58,7 @@ type Handle struct {
 	lastWriter *task
 	readers    []*task
 	gatherers  []*task
+	lastWorker int // worker that last completed a writing task on this handle
 }
 
 // Access pairs a handle with the mode a task uses it in.
@@ -59,7 +74,7 @@ func ReadWrite(h *Handle) Access { return Access{h, InOut} }
 func Gather(h *Handle) Access    { return Access{h, Gatherv} }
 
 type task struct {
-	id       int
+	id       int // submission order; FIFO tie-break within a priority level
 	class    string
 	label    string
 	priority int
@@ -67,6 +82,10 @@ type task struct {
 	pending  int
 	succs    []*task
 	done     bool
+	canceled bool      // a transitive predecessor failed; skip fn
+	hints    []*Handle // non-Gatherv handles in declared order, locality hints
+	writes   []*Handle // handles written (Out/InOut/Gatherv)
+	home     int       // deque the task was placed on (-1 before placement)
 }
 
 // TaskInfo describes one executed task in a captured graph.
@@ -75,7 +94,10 @@ type TaskInfo struct {
 	Class    string // kernel class (e.g. "LAED4"), used for trace coloring
 	Label    string
 	Priority int
-	Worker   int
+	Worker   int           // worker that executed the task (-1 if never executed)
+	Home     int           // deque the task was placed on when it became ready
+	Stolen   bool          // executed by a worker other than its home deque's owner
+	Canceled bool          // skipped because a transitive predecessor failed
 	Start    time.Duration // relative to runtime creation
 	End      time.Duration
 }
@@ -91,20 +113,89 @@ type Graph struct {
 	Edges [][2]int // (from, to) task IDs; from must complete before to starts
 }
 
+// taskHeap is a binary max-heap ordered by (priority desc, id asc): the pop
+// order is numeric priority first, submission order within a priority level.
+type taskHeap []*task
+
+func heapLess(a, b *task) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.id < b.id
+}
+
+func (h *taskHeap) push(t *task) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *taskHeap) pop() *task {
+	old := *h
+	n := len(old)
+	if n == 0 {
+		return nil
+	}
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && heapLess(old[l], old[best]) {
+			best = l
+		}
+		if r < n && heapLess(old[r], old[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		old[i], old[best] = old[best], old[i]
+		i = best
+	}
+	return top
+}
+
+// workerState is one worker's ready deque plus its wakeup channel. The deque
+// mutex is only held for push/pop, never across task execution, so victims
+// remain stealable while their owner runs a kernel.
+type workerState struct {
+	mu   sync.Mutex
+	heap taskHeap
+	wake chan struct{} // buffered(1): a pending token survives races with sleep
+	rng  *rand.Rand    // victim selection; owned by the worker goroutine
+}
+
 // Runtime schedules tasks over a fixed pool of worker goroutines.
 type Runtime struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
+	mu        sync.Mutex // dependency graph, counters, capture, error state
 	workers   int
-	queue     []*task // ready queue: FIFO with priority-to-front
+	ws        []*workerState
+	idleMu    sync.Mutex // idle registry (leaf lock: taken with mu or ws.mu held)
+	idle      []bool
+	rr        int // round-robin placement cursor for hint-less tasks
 	submitted int
 	completed int
+	steals    int64
+	skipped   int64
 	firstErr  error
 	closed    bool
 	capture   bool
 	graph     *Graph
 	start     time.Time
 	wg        sync.WaitGroup
+	done      *sync.Cond // on mu; broadcast when completed == submitted
 }
 
 // Option configures a Runtime.
@@ -122,13 +213,24 @@ func New(workers int, opts ...Option) *Runtime {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rt := &Runtime{workers: workers, start: time.Now()}
-	rt.cond = sync.NewCond(&rt.mu)
+	rt := &Runtime{
+		workers: workers,
+		idle:    make([]bool, workers),
+		start:   time.Now(),
+	}
+	rt.done = sync.NewCond(&rt.mu)
 	for _, o := range opts {
 		o(rt)
 	}
 	if rt.capture {
 		rt.graph = &Graph{}
+	}
+	rt.ws = make([]*workerState, workers)
+	for w := range rt.ws {
+		rt.ws[w] = &workerState{
+			wake: make(chan struct{}, 1),
+			rng:  rand.New(rand.NewSource(int64(w)*2654435769 + 1)),
+		}
 	}
 	rt.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -141,19 +243,22 @@ func New(workers int, opts ...Option) *Runtime {
 func (rt *Runtime) Workers() int { return rt.workers }
 
 // Handle creates a named data handle for dependency tracking.
-func (rt *Runtime) Handle(name string) *Handle { return &Handle{name: name} }
+func (rt *Runtime) Handle(name string) *Handle {
+	return &Handle{name: name, lastWorker: -1}
+}
 
 // Submit registers a task in sequential program order. class groups tasks of
 // the same kernel for tracing; label distinguishes instances. The task may
-// start running before Submit returns. Priority 0 is normal; higher
-// priorities jump the ready queue.
+// start running before Submit returns. Priority 0 is normal; tasks are
+// scheduled by numeric priority (higher first), submission order within a
+// priority level.
 func (rt *Runtime) Submit(class, label string, fn func(), accesses ...Access) {
 	rt.SubmitPrio(class, label, 0, fn, accesses...)
 }
 
 // SubmitPrio is Submit with an explicit priority.
 func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), accesses ...Access) {
-	t := &task{class: class, label: label, priority: priority, fn: fn}
+	t := &task{class: class, label: label, priority: priority, fn: fn, home: -1}
 
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -186,12 +291,16 @@ func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), acce
 				addDep(g)
 			}
 			h.readers = append(h.readers, t)
+			t.hints = append(t.hints, h)
 		case Gatherv:
 			addDep(h.lastWriter)
 			for _, r := range h.readers {
 				addDep(r)
 			}
 			h.gatherers = append(h.gatherers, t)
+			t.writes = append(t.writes, h)
+			// Gatherv handles are merge-wide shared objects; they carry no
+			// panel locality, so they are excluded from the hint scan.
 		case Out, InOut:
 			addDep(h.lastWriter)
 			for _, r := range h.readers {
@@ -203,6 +312,8 @@ func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), acce
 			h.lastWriter = t
 			h.readers = h.readers[:0:0]
 			h.gatherers = h.gatherers[:0:0]
+			t.hints = append(t.hints, h)
+			t.writes = append(t.writes, h)
 		default:
 			panic(fmt.Sprintf("quark: unknown access mode %d", ac.Mode))
 		}
@@ -211,10 +322,20 @@ func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), acce
 	for d := range deps {
 		d.succs = append(d.succs, t)
 	}
+	// A dependency that already failed or was skipped cannot reach us through
+	// succs (they were consumed at its completion); a still-pending one will
+	// cancel us via finishLocked. Either way, propagate eagerly so tasks
+	// submitted after a failure are skipped too.
+	for d := range allDeps {
+		if d.canceled {
+			t.canceled = true
+		}
+	}
 
 	if rt.capture {
 		rt.graph.Tasks = append(rt.graph.Tasks, TaskInfo{
-			ID: t.id, Class: class, Label: label, Priority: priority, Worker: -1,
+			ID: t.id, Class: class, Label: label, Priority: priority,
+			Worker: -1, Home: -1,
 		})
 		for d := range allDeps {
 			rt.graph.Edges = append(rt.graph.Edges, [2]int{d.id, t.id})
@@ -222,59 +343,234 @@ func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), acce
 	}
 
 	if t.pending == 0 {
-		rt.enqueueLocked(t)
+		if t.canceled {
+			rt.skipLocked(t)
+		} else {
+			rt.enqueueLocked(t, -1)
+		}
 	}
 }
 
-func (rt *Runtime) enqueueLocked(t *task) {
-	if t.priority > 0 {
-		rt.queue = append([]*task{t}, rt.queue...)
-	} else {
-		rt.queue = append(rt.queue, t)
+// placeLocked picks a deque for a ready task: the most recent writer-worker
+// among the task's declared handles (scanned from the last declared access
+// backwards, skipping Gatherv accesses — the paper's panel handles come last
+// in core's access lists, so UpdateVect lands where ComputeVect warmed the
+// cache), else fallback (the worker that completed the last dependency), else
+// round-robin.
+func (rt *Runtime) placeLocked(t *task, fallback int) int {
+	for i := len(t.hints) - 1; i >= 0; i-- {
+		if w := t.hints[i].lastWorker; w >= 0 {
+			return w
+		}
 	}
-	rt.cond.Broadcast()
+	if fallback >= 0 {
+		return fallback
+	}
+	w := rt.rr % rt.workers
+	rt.rr++
+	return w
+}
+
+// enqueueLocked places a ready task on a worker deque and wakes a sleeper.
+func (rt *Runtime) enqueueLocked(t *task, fallback int) {
+	w := rt.placeLocked(t, fallback)
+	t.home = w
+	t.hints = nil
+	if rt.capture {
+		rt.graph.Tasks[t.id].Home = w
+	}
+	ws := rt.ws[w]
+	ws.mu.Lock()
+	ws.heap.push(t)
+	ws.mu.Unlock()
+	rt.wakeFor(w)
+}
+
+// wakeFor wakes the owner of deque w if it sleeps, else any one sleeping
+// worker (which will steal). At most one worker is woken per enqueue; busy
+// workers pull further tasks themselves when they finish their current one.
+func (rt *Runtime) wakeFor(w int) {
+	target := -1
+	rt.idleMu.Lock()
+	if rt.idle[w] {
+		target = w
+	} else {
+		for i, id := range rt.idle {
+			if id {
+				target = i
+				break
+			}
+		}
+	}
+	if target >= 0 {
+		rt.idle[target] = false
+	}
+	rt.idleMu.Unlock()
+	if target >= 0 {
+		select {
+		case rt.ws[target].wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (rt *Runtime) setIdle(id int, v bool) {
+	rt.idleMu.Lock()
+	rt.idle[id] = v
+	rt.idleMu.Unlock()
+}
+
+func (rt *Runtime) isClosed() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.closed
+}
+
+// findWork pops the worker's own deque, then steals the highest-priority
+// task from the other deques, scanned once in a randomized rotation.
+func (rt *Runtime) findWork(id int) *task {
+	me := rt.ws[id]
+	me.mu.Lock()
+	t := me.heap.pop()
+	me.mu.Unlock()
+	if t != nil || rt.workers == 1 {
+		return t
+	}
+	off := me.rng.Intn(rt.workers)
+	for i := 0; i < rt.workers; i++ {
+		v := (id + off + i) % rt.workers
+		if v == id {
+			continue
+		}
+		vs := rt.ws[v]
+		vs.mu.Lock()
+		t = vs.heap.pop()
+		vs.mu.Unlock()
+		if t != nil {
+			return t
+		}
+	}
+	return nil
 }
 
 func (rt *Runtime) worker(id int) {
 	defer rt.wg.Done()
+	me := rt.ws[id]
 	for {
-		rt.mu.Lock()
-		for len(rt.queue) == 0 && !rt.closed {
-			rt.cond.Wait()
+		t := rt.findWork(id)
+		if t == nil {
+			// Register idle before the re-scan: an enqueuer either sees the
+			// idle flag (and sends a wake token) or enqueued before the flag
+			// was set (and the re-scan finds the task). Either way no task is
+			// stranded with this worker asleep.
+			rt.setIdle(id, true)
+			if t = rt.findWork(id); t == nil {
+				if rt.isClosed() {
+					// Final scan after observing closed: Submits by the
+					// master happen-before Shutdown, so anything enqueued
+					// before close is visible now. Later successor enqueues
+					// are handled by the enqueuing (still-running) worker.
+					if t = rt.findWork(id); t == nil {
+						rt.setIdle(id, false)
+						return
+					}
+				} else {
+					<-me.wake
+					rt.setIdle(id, false)
+					continue
+				}
+			}
+			rt.setIdle(id, false)
 		}
-		if len(rt.queue) == 0 && rt.closed {
-			rt.mu.Unlock()
-			return
-		}
-		t := rt.queue[0]
-		rt.queue = rt.queue[1:]
-		rt.mu.Unlock()
+		rt.run(id, t)
+	}
+}
 
-		start := time.Since(rt.start)
-		err := safeCall(t.fn)
-		end := time.Since(rt.start)
+func (rt *Runtime) run(id int, t *task) {
+	start := time.Since(rt.start)
+	err := safeCall(t.fn)
+	end := time.Since(rt.start)
 
-		rt.mu.Lock()
-		t.done = true
-		if err != nil && rt.firstErr == nil {
+	rt.mu.Lock()
+	t.done = true
+	if err != nil {
+		// Reusing canceled as "failed": both mean "successors must be
+		// skipped", including ones submitted after this completion.
+		t.canceled = true
+		if rt.firstErr == nil {
 			rt.firstErr = fmt.Errorf("task %q (%s): %w", t.label, t.class, err)
 		}
-		if rt.capture {
-			ti := &rt.graph.Tasks[t.id]
-			ti.Worker = id
-			ti.Start = start
-			ti.End = end
-		}
-		for _, s := range t.succs {
+	}
+	for _, h := range t.writes {
+		h.lastWorker = id
+	}
+	if t.home != id {
+		rt.steals++
+	}
+	if rt.capture {
+		ti := &rt.graph.Tasks[t.id]
+		ti.Worker = id
+		ti.Stolen = t.home != id
+		ti.Start = start
+		ti.End = end
+	}
+	rt.completed++
+	rt.finishLocked(t, id, err != nil)
+	if rt.completed == rt.submitted {
+		rt.done.Broadcast()
+	}
+	rt.mu.Unlock()
+}
+
+// skipLocked completes a canceled task without running it and cascades the
+// cancellation to its successors.
+func (rt *Runtime) skipLocked(t *task) {
+	t.done = true
+	rt.completed++
+	rt.skipped++
+	if rt.capture {
+		rt.graph.Tasks[t.id].Canceled = true
+	}
+	rt.finishLocked(t, -1, true)
+	if rt.completed == rt.submitted {
+		rt.done.Broadcast()
+	}
+}
+
+// finishLocked propagates a completion to the task's successors: failed (or
+// skipped) tasks mark their successors canceled; successors whose last
+// dependency resolved are either enqueued or skipped in turn. Skipping is
+// iterative so a long canceled chain cannot overflow the stack.
+func (rt *Runtime) finishLocked(t *task, worker int, failed bool) {
+	type item struct {
+		t      *task
+		failed bool
+	}
+	stack := []item{{t, failed}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range it.t.succs {
+			if it.failed {
+				s.canceled = true
+			}
 			s.pending--
 			if s.pending == 0 {
-				rt.enqueueLocked(s)
+				if s.canceled {
+					s.done = true
+					rt.completed++
+					rt.skipped++
+					if rt.capture {
+						rt.graph.Tasks[s.id].Canceled = true
+					}
+					stack = append(stack, item{s, true})
+				} else {
+					rt.enqueueLocked(s, worker)
+				}
 			}
 		}
-		t.succs = nil
-		rt.completed++
-		rt.cond.Broadcast()
-		rt.mu.Unlock()
+		it.t.succs = nil
+		it.t.writes = nil
 	}
 }
 
@@ -292,16 +588,33 @@ func safeCall(fn func()) (err error) {
 	return nil
 }
 
-// Wait blocks until every submitted task has completed and returns the first
-// task error, if any. Tasks downstream of a failed task still run (kernels
-// are total functions); the error is surfaced here.
+// Wait blocks until every submitted task has completed or been skipped and
+// returns the root-cause error, if any: transitive successors of a failed
+// task are skipped rather than run, so secondary failures (kernels operating
+// on half-initialized state) never occur and never mask the first error.
 func (rt *Runtime) Wait() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for rt.completed < rt.submitted {
-		rt.cond.Wait()
+		rt.done.Wait()
 	}
 	return rt.firstErr
+}
+
+// Steals returns how many tasks were executed by a worker other than the one
+// whose deque they were placed on.
+func (rt *Runtime) Steals() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.steals
+}
+
+// Skipped returns how many tasks were skipped because a transitive
+// predecessor failed.
+func (rt *Runtime) Skipped() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.skipped
 }
 
 // Graph returns the captured DAG. Call after Wait; requires
@@ -316,7 +629,12 @@ func (rt *Runtime) Graph() *Graph {
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	rt.closed = true
-	rt.cond.Broadcast()
 	rt.mu.Unlock()
+	for _, ws := range rt.ws {
+		select {
+		case ws.wake <- struct{}{}:
+		default:
+		}
+	}
 	rt.wg.Wait()
 }

@@ -1,10 +1,18 @@
 // Package sched replays a captured task graph on P virtual workers. It is
 // the substitution for the paper's 16-core testbed on single-core hosts (see
 // DESIGN.md §2): every task keeps its real measured duration, the real
-// dependency structure is honoured, and a greedy list scheduler (matching the
-// quark runtime's ready-queue policy) assigns tasks to virtual workers. An
-// optional bandwidth model stretches memory-bound tasks when several run
-// concurrently, reproducing the saturation plateau of the paper's Figure 5.
+// dependency structure is honoured, and a greedy list scheduler matching the
+// quark runtime's policy assigns tasks to virtual workers: per-worker ready
+// queues ordered by (priority descending, submission order ascending), newly
+// ready successors placed on the queue of the worker that completed their
+// last dependency (the runtime's locality fallback — the captured graph does
+// not carry handle identities, so the handle-affinity hint is approximated by
+// this completer placement), and idle workers stealing the highest-priority
+// task from the other queues. The simulator scans victims in a deterministic
+// rotation where the runtime randomizes; both are work-conserving, so
+// makespans agree up to tie-breaks. An optional bandwidth model stretches
+// memory-bound tasks when several run concurrently, reproducing the
+// saturation plateau of the paper's Figure 5.
 package sched
 
 import (
@@ -89,12 +97,67 @@ func (r *Result) Speedup() float64 {
 type simTask struct {
 	id        int
 	class     string
+	priority  int
 	remaining float64 // seconds of full-speed work left
 	memBound  bool
 	pending   int
 	succs     []int
 	worker    int
 	start     float64
+}
+
+// simQueue is one virtual worker's ready queue: a max-heap ordered by
+// (priority desc, id asc), mirroring the runtime's deque order.
+type simQueue []*simTask
+
+func simLess(a, b *simTask) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.id < b.id
+}
+
+func (q *simQueue) push(t *simTask) {
+	*q = append(*q, t)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !simLess((*q)[i], (*q)[p]) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *simQueue) pop() *simTask {
+	old := *q
+	n := len(old)
+	if n == 0 {
+		return nil
+	}
+	top := old[0]
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && simLess(old[l], old[best]) {
+			best = l
+		}
+		if r < n && simLess(old[r], old[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		old[i], old[best] = old[best], old[i]
+		i = best
+	}
+	return top
 }
 
 // Simulate list-schedules the graph on cfg.Workers virtual workers and
@@ -116,7 +179,7 @@ func Simulate(g *quark.Graph, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sched: task %d was never executed (graph capture incomplete?)", i)
 		}
 		d := ti.Duration().Seconds()
-		tasks[i] = simTask{id: i, class: ti.Class, remaining: d, memBound: mem[ti.Class], worker: -1}
+		tasks[i] = simTask{id: i, class: ti.Class, priority: ti.Priority, remaining: d, memBound: mem[ti.Class], worker: -1}
 		totalWork += d
 	}
 	for _, e := range g.Edges {
@@ -124,17 +187,39 @@ func Simulate(g *quark.Graph, cfg Config) (*Result, error) {
 		tasks[e[1]].pending++
 	}
 
-	ready := make([]int, 0, n) // FIFO by task id, matching the runtime
-	for i := range tasks {
-		if tasks[i].pending == 0 {
-			ready = append(ready, i)
+	// Initially ready tasks are placed round-robin in submission order,
+	// matching the runtime's hint-less placement of the leaf tasks.
+	queues := make([]simQueue, cfg.Workers)
+	{
+		ready := make([]int, 0, n)
+		for i := range tasks {
+			if tasks[i].pending == 0 {
+				ready = append(ready, i)
+			}
+		}
+		sort.Ints(ready)
+		for i, t := range ready {
+			queues[i%cfg.Workers].push(&tasks[t])
 		}
 	}
-	sort.Ints(ready)
 
-	freeWorkers := make([]int, cfg.Workers)
-	for w := range freeWorkers {
-		freeWorkers[w] = cfg.Workers - 1 - w // pop from the back gives worker 0 first
+	// obtain pops w's own queue, else steals the best task from another
+	// queue (deterministic rotation where the runtime randomizes).
+	obtain := func(w int) *simTask {
+		if t := queues[w].pop(); t != nil {
+			return t
+		}
+		for i := 1; i < cfg.Workers; i++ {
+			if t := queues[(w+i)%cfg.Workers].pop(); t != nil {
+				return t
+			}
+		}
+		return nil
+	}
+
+	free := make([]bool, cfg.Workers)
+	for w := range free {
+		free[w] = true
 	}
 	running := make([]int, 0, cfg.Workers)
 	spans := make([]Span, 0, n)
@@ -145,15 +230,24 @@ func Simulate(g *quark.Graph, cfg Config) (*Result, error) {
 	const eps = 1e-15
 
 	for completed < n {
-		// Assign ready tasks to free workers in FIFO order.
-		for len(ready) > 0 && len(freeWorkers) > 0 {
-			t := ready[0]
-			ready = ready[1:]
-			w := freeWorkers[len(freeWorkers)-1]
-			freeWorkers = freeWorkers[:len(freeWorkers)-1]
-			tasks[t].worker = w
-			tasks[t].start = now
-			running = append(running, t)
+		// Keep assigning until no free worker can obtain a task (own queue
+		// or steal): the scheduler is work-conserving, like the runtime.
+		for assigned := true; assigned; {
+			assigned = false
+			for w := 0; w < cfg.Workers; w++ {
+				if !free[w] {
+					continue
+				}
+				t := obtain(w)
+				if t == nil {
+					continue
+				}
+				free[w] = false
+				t.worker = w
+				t.start = now
+				running = append(running, t.id)
+				assigned = true
+			}
 		}
 		if len(running) == 0 {
 			return nil, fmt.Errorf("sched: deadlock at t=%v with %d/%d tasks done (cyclic graph?)", now, completed, n)
@@ -188,19 +282,20 @@ func Simulate(g *quark.Graph, cfg Config) (*Result, error) {
 			if tasks[t].remaining <= eps {
 				spans = append(spans, Span{Task: t, Worker: tasks[t].worker, Start: tasks[t].start, End: now})
 				classTime[tasks[t].class] += now - tasks[t].start
-				freeWorkers = append(freeWorkers, tasks[t].worker)
+				free[tasks[t].worker] = true
 				completed++
+				// Newly ready successors land on the completer's queue,
+				// like the runtime's locality fallback.
 				for _, s := range tasks[t].succs {
 					tasks[s].pending--
 					if tasks[s].pending == 0 {
-						ready = append(ready, s)
+						queues[tasks[t].worker].push(&tasks[s])
 					}
 				}
 			} else {
 				next = append(next, t)
 			}
 		}
-		sort.Ints(ready)
 		running = next
 	}
 

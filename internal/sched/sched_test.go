@@ -186,6 +186,85 @@ func TestSimulateSpansConsistent(t *testing.T) {
 	}
 }
 
+func TestSimulatePriorityOrder(t *testing.T) {
+	// Four independent unit tasks on one worker: the high-priority ones must
+	// run first regardless of submission order, with FIFO tie-break within a
+	// priority level.
+	g := buildGraph([]float64{1, 1, 1, 1}, nil)
+	g.Tasks[1].Priority = 5
+	g.Tasks[3].Priority = 5
+	r, err := Simulate(g, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, 0, 4)
+	for _, s := range r.Spans {
+		order = append(order, s.Task)
+	}
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimulatePriorityShortensCriticalPath(t *testing.T) {
+	// Task 0 heads a long chain (0->2->3) competing with a short independent
+	// task 1 for a single free slot at t=0 on 2 workers, alongside filler
+	// task 4. Prioritizing the chain head gives makespan 3; running it late
+	// gives 4. The simulator must honour the captured priorities.
+	durs := []float64{1, 1, 1, 1, 2}
+	edges := [][2]int{{0, 2}, {2, 3}}
+	hi := buildGraph(durs, edges)
+	hi.Tasks[0].Priority = 10
+	r, err := Simulate(hi, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-3) > 1e-9 {
+		t.Errorf("prioritized chain makespan %v, want 3", r.Makespan)
+	}
+	lo := buildGraph(durs, edges)
+	lo.Tasks[1].Priority = 10
+	lo.Tasks[4].Priority = 10
+	r2, err := Simulate(lo, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Makespan-4) > 1e-9 {
+		t.Errorf("deprioritized chain makespan %v, want 4", r2.Makespan)
+	}
+}
+
+func TestSimulateStealingBalancesQueues(t *testing.T) {
+	// One root fans out to 8 equal children; all land on the completer's
+	// queue, so without stealing one worker would serialize them (makespan
+	// 9). With stealing across 4 workers the children spread out: 1 + 2 = 3.
+	durs := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	var edges [][2]int
+	for c := 1; c < 9; c++ {
+		edges = append(edges, [2]int{0, c})
+	}
+	g := buildGraph(durs, edges)
+	r, err := Simulate(g, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-3) > 1e-9 {
+		t.Errorf("fan-out makespan %v, want 3 (stealing broken?)", r.Makespan)
+	}
+	workers := map[int]bool{}
+	for _, s := range r.Spans {
+		if s.Task != 0 {
+			workers[s.Worker] = true
+		}
+	}
+	if len(workers) != 4 {
+		t.Errorf("children ran on %d workers, want all 4", len(workers))
+	}
+}
+
 func TestSimulateErrors(t *testing.T) {
 	g := buildGraph([]float64{1}, nil)
 	if _, err := Simulate(g, Config{Workers: 0}); err == nil {

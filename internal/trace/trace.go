@@ -19,6 +19,7 @@ type Event struct {
 	Class  string
 	Label  string
 	Worker int
+	Stolen bool    // ran on a different worker than it was placed on
 	Start  float64 // seconds
 	End    float64
 }
@@ -36,7 +37,8 @@ func FromGraph(g *quark.Graph) *Timeline {
 	for _, t := range g.Tasks {
 		ev := Event{
 			Task: t.ID, Class: t.Class, Label: t.Label, Worker: t.Worker,
-			Start: t.Start.Seconds(), End: t.End.Seconds(),
+			Stolen: t.Stolen,
+			Start:  t.Start.Seconds(), End: t.End.Seconds(),
 		}
 		tl.Events = append(tl.Events, ev)
 		if t.Worker+1 > tl.Workers {
@@ -189,7 +191,22 @@ func (tl *Timeline) BreakdownReport() string {
 	}
 	fmt.Fprintf(&b, "%-20s %10.4f\n", "total work", tot)
 	fmt.Fprintf(&b, "%-20s %10.4f (idle %.1f%%)\n", "makespan", tl.Makespan, 100*tl.IdleFraction())
+	if s := tl.StealCount(); s > 0 {
+		fmt.Fprintf(&b, "%-20s %10d of %d tasks\n", "stolen", s, len(tl.Events))
+	}
 	return b.String()
+}
+
+// StealCount returns how many tasks ran on a worker other than the one they
+// were placed on (work-stealing migrations).
+func (tl *Timeline) StealCount() int {
+	n := 0
+	for _, ev := range tl.Events {
+		if ev.Stolen {
+			n++
+		}
+	}
+	return n
 }
 
 // IdleFraction returns the fraction of worker-seconds spent idle.
@@ -204,14 +221,18 @@ func (tl *Timeline) IdleFraction() float64 {
 	return 1 - busy/(tl.Makespan*float64(tl.Workers))
 }
 
-// CSV exports the timeline as task,class,label,worker,start,end rows.
+// CSV exports the timeline as task,class,label,worker,stolen,start,end rows.
 func (tl *Timeline) CSV() string {
 	var b strings.Builder
-	b.WriteString("task,class,label,worker,start,end\n")
+	b.WriteString("task,class,label,worker,stolen,start,end\n")
 	evs := append([]Event(nil), tl.Events...)
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
 	for _, ev := range evs {
-		fmt.Fprintf(&b, "%d,%s,%q,%d,%.9f,%.9f\n", ev.Task, ev.Class, ev.Label, ev.Worker, ev.Start, ev.End)
+		stolen := 0
+		if ev.Stolen {
+			stolen = 1
+		}
+		fmt.Fprintf(&b, "%d,%s,%q,%d,%d,%.9f,%.9f\n", ev.Task, ev.Class, ev.Label, ev.Worker, stolen, ev.Start, ev.End)
 	}
 	return b.String()
 }

@@ -23,6 +23,7 @@ func sampleGraph() *quark.Graph {
 	add(1, "STEDC", 1, 0, 1)
 	add(2, "ComputeDeflation", 0, 1, 1.2)
 	add(3, "UpdateVect", 1, 1.2, 2.2)
+	g.Tasks[3].Stolen = true
 	g.Edges = [][2]int{{0, 2}, {1, 2}, {2, 3}}
 	return g
 }
@@ -82,8 +83,28 @@ func TestCSV(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("csv lines: %d", len(lines))
 	}
-	if lines[0] != "task,class,label,worker,start,end" {
+	if lines[0] != "task,class,label,worker,stolen,start,end" {
 		t.Errorf("header %q", lines[0])
+	}
+	stolen := 0
+	for _, l := range lines[1:] {
+		if strings.Contains(l, ",1,") && strings.Contains(l, "UpdateVect") {
+			stolen++
+		}
+	}
+	if stolen != 1 {
+		t.Errorf("expected exactly the stolen UpdateVect row flagged, got %d:\n%s", stolen, csv)
+	}
+}
+
+func TestStealCountAndReport(t *testing.T) {
+	tl := FromGraph(sampleGraph())
+	if tl.StealCount() != 1 {
+		t.Errorf("steal count %d, want 1", tl.StealCount())
+	}
+	rep := tl.BreakdownReport()
+	if !strings.Contains(rep, "stolen") {
+		t.Errorf("report missing steal line:\n%s", rep)
 	}
 }
 
