@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke ci clean
+.PHONY: all build vet test race bench-smoke chaos ci clean
 
 all: build
 
@@ -22,4 +22,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'SolveDCTaskFlow2000|SortEigen|Steqr400' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/quark/
 
-ci: vet build test race bench-smoke
+# Fault-injection suite: panic/error/delay probes in every task class across
+# randomized solves, repeated under the race detector; the tests themselves
+# assert zero goroutine leaks and that every fault ends in a verified result
+# (fallback on) or a clean root-cause error (fallback off).
+chaos:
+	$(GO) test -race -count=3 -run 'Chaos' ./eigen/
+	$(GO) test -race -count=3 ./internal/faultinject/
+	$(GO) test -race -count=3 -run 'Cancelled|Cancellation|Deadline|TaskFailure' ./internal/quark/
+
+ci: vet build test race bench-smoke chaos

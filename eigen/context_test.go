@@ -1,0 +1,111 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSolveContextPreCancelled: an already-cancelled context must return
+// ctx.Err() without running any task.
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tri := randomTridiag(rand.New(rand.NewSource(1)), 200)
+	res, err := SolveContext(ctx, tri, &Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("non-nil result from a pre-cancelled solve")
+	}
+}
+
+// TestSolveContextMidSolveCancel: cancelling mid-solve on a large matrix must
+// return promptly — within one task granularity, not after finishing the DAG.
+func TestSolveContextMidSolveCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=4000 solve in -short mode")
+	}
+	tri := randomTridiag(rand.New(rand.NewSource(2)), 4000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	begin := time.Now()
+	go func() {
+		res, err := SolveContext(ctx, tri, &Options{Workers: runtime.GOMAXPROCS(0)})
+		done <- outcome{res, err}
+	}()
+	// Let the solve get well into the task flow, then pull the plug.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	cancelAt := time.Since(begin)
+
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, context.Canceled) {
+			// The solve may legitimately have finished before the cancel on a
+			// very fast machine; anything else is a bug.
+			if out.err != nil {
+				t.Fatalf("err = %v, want context.Canceled", out.err)
+			}
+			t.Logf("solve finished in %v, before the cancel took effect", time.Since(begin))
+			return
+		}
+		if out.res != nil {
+			t.Error("non-nil result from a cancelled solve")
+		}
+		latency := time.Since(begin) - cancelAt
+		// One task granularity: the in-flight kernels (at n=4000, a panel
+		// GEMM) must finish, everything pending is skipped. Seconds would
+		// mean the DAG drained instead of aborting.
+		if latency > 2*time.Second {
+			t.Errorf("cancellation latency %v, want within one task granularity", latency)
+		}
+		t.Logf("cancelled after %v, returned %v later", cancelAt, latency)
+	case <-time.After(30 * time.Second):
+		t.Fatal("solve did not return after cancellation")
+	}
+}
+
+// TestSolveContextDeadline: a deadline expiry surfaces as DeadlineExceeded.
+func TestSolveContextDeadline(t *testing.T) {
+	tri := randomTridiag(rand.New(rand.NewSource(3)), 1500)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := SolveContext(ctx, tri, &Options{Workers: 2})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded or success", err)
+	}
+}
+
+// TestSolveContextCancelNotRetried: with Fallback enabled a cancellation must
+// surface as ctx.Err(), never be retried on a lower tier.
+func TestSolveContextCancelNotRetried(t *testing.T) {
+	tri := randomTridiag(rand.New(rand.NewSource(4)), 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := SolveContext(ctx, tri, &Options{Workers: 4, Fallback: true})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or success", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled solve with Fallback did not return")
+	}
+}

@@ -16,7 +16,10 @@
 package eigen
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"runtime"
 
 	"tridiag/internal/blas"
 	"tridiag/internal/core"
@@ -37,6 +40,23 @@ func (t Tridiagonal) N() int { return len(t.D) }
 func (t Tridiagonal) validate() error {
 	if len(t.E) != max(t.N()-1, 0) {
 		return fmt.Errorf("eigen: len(E)=%d, want n-1=%d", len(t.E), t.N()-1)
+	}
+	return nil
+}
+
+// screen rejects non-finite entries up front with an indexed error, so a NaN
+// or Inf surfaces as a clean diagnostic at the API boundary instead of a
+// numerical breakdown deep inside a solver kernel.
+func (t Tridiagonal) screen() error {
+	for i, v := range t.D {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("invalid input: D[%d] is %v", i, v)
+		}
+	}
+	for i, v := range t.E {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("invalid input: E[%d] is %v", i, v)
+		}
 	}
 	return nil
 }
@@ -82,6 +102,45 @@ type Options struct {
 	MinPartition int
 	// ExtraWorkspace enables the paper's extra-workspace task overlap.
 	ExtraWorkspace bool
+	// Fallback enables tier-by-tier degradation: if the selected solver
+	// fails (or its result does not pass the Residual/Orthogonality
+	// validation), the solve is retried on the next, more conservative
+	// tier — task-flow D&C → sequential DSTEDC → QR iteration — and the
+	// tier that served the result is recorded in Result.Stats. Fallback
+	// never taxes the clean path: validation runs only for results
+	// produced by a degraded tier.
+	Fallback bool
+}
+
+// SolveStats reports how a solve was served: the execution tier that
+// produced the result, the errors of any tiers that failed before it, and
+// the in-tier numerical rescues that degraded speed without failing the
+// solve.
+type SolveStats struct {
+	// Method is the requested algorithm.
+	Method Method
+	// Tier names the execution tier that produced the result: "task-flow",
+	// "dstedc", "mrrr" or "qr".
+	Tier string
+	// TierErrors holds one error per tier that failed (or failed
+	// validation) before the serving tier; empty on the clean path.
+	TierErrors []error
+	// Fallbacks counts in-tier numerical rescues: secular roots recomputed
+	// by the guaranteed bisection safeguard and leaf QR solves retried via
+	// Dsterf + inverse iteration. Zero on the clean path.
+	Fallbacks int64
+	// Validated reports whether the result was verified against the
+	// Residual/Orthogonality checks (done whenever a degraded tier served
+	// the result); Residual and Orthogonality hold the measured values.
+	Validated     bool
+	Residual      float64
+	Orthogonality float64
+}
+
+// Degraded reports whether the result came from a lower tier or needed
+// in-tier numerical rescues.
+func (s *SolveStats) Degraded() bool {
+	return len(s.TierErrors) > 0 || s.Fallbacks > 0
 }
 
 // Result holds an eigendecomposition: ascending eigenvalues and the matching
@@ -90,6 +149,9 @@ type Result struct {
 	N       int
 	Values  []float64
 	Vectors []float64
+	// Stats describes how the solve was served (tier, fallbacks,
+	// validation); nil for results not produced by Solve/SolveContext.
+	Stats *SolveStats
 }
 
 // Vector returns the j-th eigenvector (aliasing the result storage).
@@ -100,46 +162,187 @@ func (r *Result) Vector(j int) []float64 {
 // Solve computes all eigenvalues and eigenvectors of the symmetric
 // tridiagonal matrix t. The input is not modified.
 func Solve(t Tridiagonal, opts *Options) (*Result, error) {
-	if err := t.validate(); err != nil {
-		return nil, err
+	return SolveContext(context.Background(), t, opts)
+}
+
+// Validation thresholds for results produced by a degraded tier, the order
+// of the paper's Figure 9 accuracy metrics (both are normalized by n).
+const (
+	maxResidual      = 1e-12
+	maxOrthogonality = 1e-12
+)
+
+// tiersFor returns the execution tiers tried for a method, most capable
+// first. Without Fallback only the first tier runs.
+func tiersFor(m Method, fallback bool) []string {
+	var tiers []string
+	switch m {
+	case MethodDC:
+		tiers = []string{"task-flow", "dstedc", "qr"}
+	case MethodDCSequential:
+		tiers = []string{"dstedc", "qr"}
+	case MethodMRRR:
+		tiers = []string{"mrrr", "qr"}
+	case MethodQR:
+		tiers = []string{"qr"}
+	default:
+		return nil
 	}
+	if !fallback {
+		return tiers[:1]
+	}
+	return tiers
+}
+
+// SolveContext is Solve bounded by a context: an already-cancelled context
+// returns ctx.Err() before any task runs, and cancellation (or deadline
+// expiry) during a task-flow solve aborts within one task granularity.
+// Cancellation is never retried on a lower tier.
+//
+// Inputs are screened for NaN/Inf up front, and matrices with extreme norms
+// (near overflow or underflow) are scaled into the safe range and the
+// eigenvalues scaled back on return. The input is not modified.
+func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
 	n := t.N()
-	res := &Result{N: n, Values: make([]float64, n), Vectors: make([]float64, n*n)}
+	wrap := func(err error) error {
+		return fmt.Errorf("eigen: Solve(n=%d, method=%s): %w", n, o.Method, err)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.screen(); err != nil {
+		return nil, wrap(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tiers := tiersFor(o.Method, o.Fallback)
+	if tiers == nil {
+		return nil, fmt.Errorf("eigen: unknown method %v", o.Method)
+	}
+	res := &Result{
+		N: n, Values: make([]float64, n), Vectors: make([]float64, n*n),
+		Stats: &SolveStats{Method: o.Method, Tier: tiers[0]},
+	}
 	if n == 0 {
 		return res, nil
 	}
-	copy(res.Values, t.D)
-	e := append([]float64(nil), t.E...)
 
-	switch o.Method {
-	case MethodDC:
-		_, err := core.SolveDC(n, res.Values, e, res.Vectors, n, &core.Options{
+	// Master copies of the input, pre-scaled to the safe range when the
+	// norm is within a square root of overflow or underflow (the existing
+	// Scale path; the D&C core additionally normalizes internally).
+	d := append([]float64(nil), t.D...)
+	e := append([]float64(nil), t.E...)
+	scale := 1.0
+	if orgnrm := lapack.Dlanst('M', n, d, e); orgnrm != 0 {
+		rmin := math.Sqrt(lapack.SafeMin)
+		if orgnrm < rmin || orgnrm > 1/rmin {
+			lapack.Dlascl(n, 1, orgnrm, 1, d, n)
+			if n > 1 {
+				lapack.Dlascl(n-1, 1, orgnrm, 1, e, n-1)
+			}
+			scale = orgnrm
+		}
+	}
+	ework := make([]float64, len(e))
+
+	var lastErr error
+	for ti, tier := range tiers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Fresh inputs per attempt; a failed tier leaves partial data in
+		// the outputs, and the leaf solvers require a zeroed q.
+		copy(res.Values, d)
+		copy(ework, e)
+		if ti > 0 {
+			for i := range res.Vectors {
+				res.Vectors[i] = 0
+			}
+		}
+		fallbacks, err := runTier(ctx, tier, n, &o, res.Values, ework, res.Vectors, e)
+		res.Stats.Fallbacks += fallbacks
+		if err != nil {
+			if ctx.Err() != nil {
+				// Cancelled, not broken: report the cancellation, never a
+				// degraded retry.
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, err))
+			continue
+		}
+		if ti > 0 {
+			// A degraded tier served the result: verify it before trusting
+			// it (the clean first-choice path skips this, so resilience
+			// does not tax the hot path).
+			rres := Residual(Tridiagonal{D: d, E: e}, res)
+			orth := Orthogonality(res)
+			res.Stats.Validated = true
+			res.Stats.Residual, res.Stats.Orthogonality = rres, orth
+			if rres > maxResidual || orth > maxOrthogonality {
+				lastErr = fmt.Errorf("validation failed: residual=%.3e orthogonality=%.3e", rres, orth)
+				res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, lastErr))
+				continue
+			}
+		}
+		res.Stats.Tier = tier
+		if scale != 1 {
+			// Validation (if any) ran in scaled units; both metrics are
+			// scale-invariant, so they stand after the scale-back.
+			lapack.Dlascl(n, 1, 1, scale, res.Values, n)
+		}
+		return res, nil
+	}
+	return nil, wrap(fmt.Errorf("all tiers failed: %w", lastErr))
+}
+
+// runTier executes one tier: d/ework are working copies (overwritten), q
+// receives the eigenvectors, eorig is the untouched off-diagonal for solvers
+// that read rather than consume their input. Returns the number of in-tier
+// numerical rescues.
+func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, eorig []float64) (int64, error) {
+	switch tier {
+	case "task-flow":
+		cres, err := core.SolveDCContext(ctx, n, d, ework, q, n, &core.Options{
 			Workers:        o.Workers,
 			PanelSize:      o.PanelSize,
 			MinPartition:   o.MinPartition,
 			ExtraWorkspace: o.ExtraWorkspace,
 		})
-		return res, err
-	case MethodDCSequential:
-		_, err := core.SolveDC(n, res.Values, e, res.Vectors, n, &core.Options{
+		var nfb int64
+		if cres != nil && cres.Stats != nil {
+			nfb = cres.Stats.Fallbacks()
+		}
+		return nfb, err
+	case "dstedc":
+		cres, err := core.SolveDCContext(ctx, n, d, ework, q, n, &core.Options{
 			Mode:         core.ModeSequential,
 			MinPartition: o.MinPartition,
 		})
-		return res, err
-	case MethodMRRR:
+		var nfb int64
+		if cres != nil && cres.Stats != nil {
+			nfb = cres.Stats.Fallbacks()
+		}
+		return nfb, err
+	case "mrrr":
 		w := make([]float64, n)
-		err := mrrr.Solve(n, t.D, t.E, w, res.Vectors, n, &mrrr.Options{Workers: o.Workers})
-		copy(res.Values, w)
-		return res, err
-	case MethodQR:
-		err := lapack.Dsteqr(lapack.CompIdentity, n, res.Values, e, res.Vectors, n)
-		return res, err
+		err := mrrr.Solve(n, d, eorig, w, q, n, &mrrr.Options{Workers: o.Workers})
+		copy(d, w)
+		return 0, err
+	case "qr":
+		fellBack, err := lapack.DsteqrRobust(n, d, ework, q, n)
+		var nfb int64
+		if fellBack {
+			nfb = 1
+		}
+		return nfb, err
 	}
-	return nil, fmt.Errorf("eigen: unknown method %v", o.Method)
+	return 0, fmt.Errorf("unknown tier %q", tier)
 }
 
 // Values computes the eigenvalues only (ascending), using the root-free QR
@@ -149,10 +352,16 @@ func Values(t Tridiagonal) ([]float64, error) {
 		return nil, err
 	}
 	n := t.N()
+	wrap := func(err error) error {
+		return fmt.Errorf("eigen: Values(n=%d): %w", n, err)
+	}
+	if err := t.screen(); err != nil {
+		return nil, wrap(err)
+	}
 	d := append([]float64(nil), t.D...)
 	e := append([]float64(nil), t.E...)
 	if err := lapack.Dsterf(n, d, e); err != nil {
-		return nil, err
+		return nil, wrap(err)
 	}
 	return d, nil
 }
@@ -166,19 +375,20 @@ func SymEigen(n int, a []float64, lda int, opts *Options) (*Result, error) {
 	if n < 0 || lda < n {
 		return nil, fmt.Errorf("eigen: bad dimensions n=%d lda=%d", n, lda)
 	}
-	workers := 1
-	if opts != nil && opts.Workers > 1 {
+	// Same worker default as Solve: all cores unless explicitly limited.
+	workers := runtime.GOMAXPROCS(0)
+	if opts != nil && opts.Workers > 0 {
 		workers = opts.Workers
 	}
 	d := make([]float64, n)
 	e := make([]float64, max(n-1, 1))
 	tau := make([]float64, max(n-1, 1))
 	if err := lapack.DsytrdParallel(n, a, lda, d, e, tau, 32, workers); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eigen: SymEigen(n=%d): reduction: %w", n, err)
 	}
 	res, err := Solve(Tridiagonal{D: d, E: e[:max(n-1, 0)]}, opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eigen: SymEigen(n=%d): %w", n, err)
 	}
 	lapack.Dormtr(false, n, n, a, lda, tau, res.Vectors, n)
 	return res, nil
@@ -200,11 +410,11 @@ func SymEigen2Stage(n int, a []float64, lda, b int, opts *Options) (*Result, err
 	e := make([]float64, max(n-1, 1))
 	q := make([]float64, n*n)
 	if err := lapack.Dsytrd2Stage(n, a, lda, b, d, e, q, n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eigen: SymEigen2Stage(n=%d, b=%d): reduction: %w", n, b, err)
 	}
 	res, err := Solve(Tridiagonal{D: d, E: e[:max(n-1, 0)]}, opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eigen: SymEigen2Stage(n=%d, b=%d): %w", n, b, err)
 	}
 	// V = Q · Z
 	v := make([]float64, n*n)
@@ -228,7 +438,7 @@ func SymGeneralized(n int, a []float64, lda int, b []float64, ldb int, opts *Opt
 	lapack.Dsygst(n, a, lda, b, ldb)
 	res, err := SymEigen(n, a, lda, opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("eigen: SymGeneralized(n=%d): %w", n, err)
 	}
 	// x_j = L⁻ᵀ y_j
 	blas.DtrsmLeftLowerTrans(n, n, b, ldb, res.Vectors, n)

@@ -1,0 +1,166 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tridiag/internal/testmat"
+)
+
+// wilkinson builds the Wilkinson W⁺ matrix of odd order n: diagonal
+// |i-(n-1)/2|, unit couplings — eigenvalues pair up in notoriously tight
+// clusters.
+func wilkinson(n int) Tridiagonal {
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = math.Abs(float64(i) - float64(n-1)/2)
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	return Tridiagonal{D: d, E: e}
+}
+
+// gluedWilkinson couples k Wilkinson blocks with tiny off-diagonals,
+// producing clusters of k nearly identical eigenvalues.
+func gluedWilkinson(k, blockN int, glue float64) Tridiagonal {
+	n := k * blockN
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	w := wilkinson(blockN)
+	for b := 0; b < k; b++ {
+		copy(d[b*blockN:], w.D)
+		copy(e[b*blockN:], w.E)
+		if b > 0 {
+			e[b*blockN-1] = glue
+		}
+	}
+	return Tridiagonal{D: d, E: e}
+}
+
+func scaled(t Tridiagonal, s float64) Tridiagonal {
+	d := make([]float64, len(t.D))
+	e := make([]float64, len(t.E))
+	for i, v := range t.D {
+		d[i] = v * s
+	}
+	for i, v := range t.E {
+		e[i] = v * s
+	}
+	return Tridiagonal{D: d, E: e}
+}
+
+// TestPathologicalMatrices runs every Method over the classic hard cases and
+// asserts the paper's Figure 9 accuracy order (both metrics are normalized
+// by n and the matrix norm).
+func TestPathologicalMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	w21, err := testmat.Type(11, 21, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := randomTridiag(rng, 60)
+	zeroOff := randomTridiag(rng, 50)
+	for i := range zeroOff.E {
+		zeroOff.E[i] = 0
+	}
+	allEqual := randomTridiag(rng, 60)
+	for i := range allEqual.D {
+		allEqual.D[i] = 3.5
+	}
+	cases := []struct {
+		name string
+		tri  Tridiagonal
+	}{
+		{"wilkinson-w21", Tridiagonal{D: w21.D, E: w21.E}},
+		{"wilkinson-w61", wilkinson(61)},
+		{"glued-wilkinson", gluedWilkinson(4, 21, 1e-6)},
+		{"zero-offdiagonals", zeroOff},
+		{"all-zero", Tridiagonal{D: make([]float64, 40), E: make([]float64, 39)}},
+		{"near-overflow", scaled(base, 1e300)},
+		{"near-underflow", scaled(base, 1e-300)},
+		{"all-equal-diagonals", allEqual},
+	}
+	methods := []Method{MethodDC, MethodDCSequential, MethodMRRR, MethodQR}
+	for _, tc := range cases {
+		for _, m := range methods {
+			res, err := Solve(tc.tri, &Options{Method: m, Workers: 3})
+			if err != nil {
+				t.Errorf("%s/%v: %v", tc.name, m, err)
+				continue
+			}
+			if r := Residual(tc.tri, res); r > 1e-13 {
+				t.Errorf("%s/%v: residual %.3e", tc.name, m, r)
+			}
+			if o := Orthogonality(res); o > 1e-13 {
+				t.Errorf("%s/%v: orthogonality %.3e", tc.name, m, o)
+			}
+			for i := 1; i < res.N; i++ {
+				if res.Values[i-1] > res.Values[i] {
+					t.Errorf("%s/%v: eigenvalues not ascending at %d", tc.name, m, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestPathologicalScalingRoundTrip: the pre-scaling of extreme-norm inputs
+// must scale the eigenvalues back — compare against the unscaled spectrum.
+func TestPathologicalScalingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	base := randomTridiag(rng, 50)
+	ref, err := Solve(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{1e300, 1e-300} {
+		res, err := Solve(scaled(base, s), nil)
+		if err != nil {
+			t.Fatalf("scale %g: %v", s, err)
+		}
+		for i := range ref.Values {
+			want := ref.Values[i] * s
+			if math.Abs(res.Values[i]-want) > 1e-12*math.Abs(want)+1e-15*s {
+				t.Errorf("scale %g: eigenvalue %d: %g, want %g", s, i, res.Values[i], want)
+			}
+		}
+	}
+}
+
+// TestScreeningRejectsNaNInf: non-finite inputs are rejected up front with
+// the offending index, wrapped with the solve's n and method.
+func TestScreeningRejectsNaNInf(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(tri *Tridiagonal)
+		wantSub string
+	}{
+		{"nan-diagonal", func(tri *Tridiagonal) { tri.D[3] = math.NaN() }, "D[3]"},
+		{"inf-diagonal", func(tri *Tridiagonal) { tri.D[0] = math.Inf(1) }, "D[0]"},
+		{"nan-offdiagonal", func(tri *Tridiagonal) { tri.E[7] = math.NaN() }, "E[7]"},
+		{"inf-offdiagonal", func(tri *Tridiagonal) { tri.E[2] = math.Inf(-1) }, "E[2]"},
+	} {
+		tri := randomTridiag(rand.New(rand.NewSource(9)), 20)
+		tc.mutate(&tri)
+		res, err := Solve(tri, nil)
+		if err == nil {
+			t.Errorf("%s: solve accepted a non-finite input", tc.name)
+			continue
+		}
+		if res != nil {
+			t.Errorf("%s: non-nil result alongside error", tc.name)
+		}
+		for _, sub := range []string{tc.wantSub, "invalid input", "n=20", "method="} {
+			if !strings.Contains(err.Error(), sub) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, sub)
+			}
+		}
+		if _, err := Values(tri); err == nil {
+			t.Errorf("%s: Values accepted a non-finite input", tc.name)
+		}
+	}
+}

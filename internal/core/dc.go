@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -107,11 +108,25 @@ type Result struct {
 // leading dimension ldq) the corresponding orthonormal eigenvectors; e is
 // destroyed.
 func SolveDC(n int, d, e []float64, q []float64, ldq int, opts *Options) (*Result, error) {
+	return SolveDCContext(context.Background(), n, d, e, q, ldq, opts)
+}
+
+// SolveDCContext is SolveDC bounded by a context: an already-cancelled
+// context returns ctx.Err() before any task runs, and a cancellation (or
+// deadline expiry) during a task-flow solve aborts within one task
+// granularity — the kernels currently executing finish, every remaining
+// task is skipped, and ctx.Err() is returned. The sequential and fork-join
+// modes check the context only between coarse phases. On a non-nil error
+// the contents of d, e and q are unspecified.
+func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq int, opts *Options) (*Result, error) {
 	o := opts.withDefaults()
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative n")
 	}
 	res := &Result{Stats: newStats()}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if n == 0 {
 		return res, nil
 	}
@@ -133,12 +148,15 @@ func SolveDC(n int, d, e []float64, q []float64, ldq int, opts *Options) (*Resul
 	}
 
 	if n <= o.MinPartition {
-		// Single leaf: no tree, solve directly.
-		err := lapack.Dsteqr(lapack.CompIdentity, n, d, e, q, ldq)
+		// Single leaf: no tree, solve directly (with the QR retry net).
+		fellBack, err := lapack.DsteqrRobust(n, d, e, q, ldq)
+		if fellBack {
+			res.Stats.count("STEDCFallback", 1)
+		}
 		return res, err
 	}
 
-	var rtOpts []quark.Option
+	rtOpts := []quark.Option{quark.WithContext(ctx)}
 	if o.CaptureGraph {
 		rtOpts = append(rtOpts, quark.WithGraphCapture())
 	}
@@ -212,8 +230,12 @@ func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq i
 			hD: rt.Handle(fmt.Sprintf("d[%d:%d]", st0, st0+sz))}
 		level[i] = nd
 		rt.Submit("STEDC", fmt.Sprintf("leaf[%d:%d]", st0, st0+sz), func() {
-			if err := lapack.Dsteqr(lapack.CompIdentity, sz, d[st0:st0+sz], e[st0:st0+max(sz-1, 0)], q[st0+st0*ldq:], ldq); err != nil {
+			fellBack, err := lapack.DsteqrRobust(sz, d[st0:st0+sz], e[st0:st0+max(sz-1, 0)], q[st0+st0*ldq:], ldq)
+			if err != nil {
 				panic(err)
+			}
+			if fellBack {
+				st.count("STEDCFallback", 1)
 			}
 			for j := 0; j < sz; j++ {
 				indxq[st0+j] = j
@@ -390,8 +412,12 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 			if j0 >= j1 {
 				return
 			}
-			if err := ms.df.SecularPanel(ms.ws, dd, j0, j1); err != nil {
+			nfb, err := ms.df.SecularPanel(ms.ws, dd, j0, j1)
+			if err != nil {
 				panic(err)
+			}
+			if nfb > 0 {
+				st.count("LAED4Bisect", int64(nfb))
 			}
 			st.count("LAED4", int64(j1-j0)*int64(k))
 		}, acc...)

@@ -41,6 +41,16 @@ func (s *Stats) recordMerge(level, n, k int) {
 	s.mu.Unlock()
 }
 
+// Fallbacks returns how many numerical-fallback rescues the solve recorded:
+// secular roots recomputed by the bisection safeguard ("LAED4Bisect" ops)
+// plus leaf QR solves retried via Dsterf + inverse iteration
+// ("STEDCFallback" ops). Zero on the clean fast path.
+func (s *Stats) Fallbacks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Ops["LAED4Bisect"] + s.Ops["STEDCFallback"]
+}
+
 // DeflationRatio returns the fraction of eigenvalues deflated across all
 // merges (0 = nothing deflated, 1 = everything deflated).
 func (s *Stats) DeflationRatio() float64 {

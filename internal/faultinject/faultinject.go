@@ -1,0 +1,151 @@
+// Package faultinject provides per-task-kind fault probes for chaos testing
+// the task-flow pipeline: a registered plan can make tasks of a given kernel
+// class panic, fail with a forced error, or stall for a configured delay,
+// each with an independent probability.
+//
+// The package is a registry, not a build flavour: probes are compiled into
+// every binary but cost exactly one atomic load per task while disabled
+// (the default), so the production hot path is untouched. Tests enable a
+// plan with a deterministic seed, run the pipeline, and assert that the
+// resilience machinery (task cancellation, numerical fallbacks, solver tier
+// degradation) turns every injected fault into either a verified-correct
+// result or a clean root-cause error.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the failure mode a probe injects.
+type Kind int
+
+const (
+	// KindPanic makes the task panic, as a latent kernel bug would.
+	KindPanic Kind = iota
+	// KindError makes the task fail with a forced error, as a numerical
+	// breakdown (non-convergence, singular pivot) would.
+	KindError
+	// KindDelay stalls the task, as a descheduled or page-faulting worker
+	// would; it exercises timeout/cancellation paths without failing.
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "error"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ErrInjected marks a forced task failure so tests can tell injected faults
+// from genuine numerical errors.
+type ErrInjected struct {
+	Class string
+	Mode  Kind
+}
+
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("faultinject: forced %v in task class %q", e.Mode, e.Class)
+}
+
+// Probe arms one task class with one failure mode.
+type Probe struct {
+	// Class is the task kernel class the probe fires on ("LAED4",
+	// "STEDC", ...); "*" matches every class.
+	Class string
+	// Kind is the injected failure mode.
+	Kind Kind
+	// P is the per-task firing probability in [0, 1].
+	P float64
+	// Delay is the stall duration for KindDelay probes.
+	Delay time.Duration
+}
+
+type registry struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	probes []Probe
+	fired  map[string]int64
+}
+
+var (
+	active atomic.Bool
+	reg    registry
+)
+
+// Enable arms the given probes with a deterministic seed. It replaces any
+// previous plan. Probes fire until Disable is called.
+func Enable(seed int64, probes ...Probe) {
+	reg.mu.Lock()
+	reg.rng = rand.New(rand.NewSource(seed))
+	reg.probes = append([]Probe(nil), probes...)
+	reg.fired = make(map[string]int64)
+	reg.mu.Unlock()
+	active.Store(len(probes) > 0)
+}
+
+// Disable disarms all probes; Active returns to false and Fire becomes a
+// no-op again.
+func Disable() {
+	active.Store(false)
+	reg.mu.Lock()
+	reg.probes = nil
+	reg.mu.Unlock()
+}
+
+// Active reports whether any probe is armed. This is the only call on the
+// disabled fast path: a single atomic load.
+func Active() bool { return active.Load() }
+
+// Fired returns how many times probes fired per class since Enable.
+func Fired() map[string]int64 {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make(map[string]int64, len(reg.fired))
+	for c, n := range reg.fired {
+		out[c] = n
+	}
+	return out
+}
+
+// Fire consults the armed plan for the given task class: it sleeps for
+// KindDelay probes, returns an *ErrInjected for KindError probes, and panics
+// for KindPanic probes. Callers (the quark runtime) invoke it only when
+// Active() is true, immediately before running a task's kernel.
+func Fire(class string) error {
+	var hit *Probe
+	reg.mu.Lock()
+	for i := range reg.probes {
+		p := &reg.probes[i]
+		if p.Class != "*" && p.Class != class {
+			continue
+		}
+		if reg.rng.Float64() < p.P {
+			hit = p
+			reg.fired[class]++
+			break
+		}
+	}
+	reg.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	switch hit.Kind {
+	case KindDelay:
+		time.Sleep(hit.Delay)
+		return nil
+	case KindError:
+		return &ErrInjected{Class: class, Mode: KindError}
+	default:
+		panic(&ErrInjected{Class: class, Mode: KindPanic})
+	}
+}

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Disable()
+	if Active() {
+		t.Fatal("Active() true with no plan armed")
+	}
+	if err := Fire("LAED4"); err != nil {
+		t.Fatalf("Fire on disabled registry: %v", err)
+	}
+}
+
+func TestErrorProbeFiresAtP1(t *testing.T) {
+	Enable(1, Probe{Class: "LAED4", Kind: KindError, P: 1})
+	defer Disable()
+	if !Active() {
+		t.Fatal("Active() false after Enable")
+	}
+	err := Fire("LAED4")
+	var inj *ErrInjected
+	if !errors.As(err, &inj) {
+		t.Fatalf("Fire: %v, want *ErrInjected", err)
+	}
+	if inj.Class != "LAED4" || inj.Mode != KindError {
+		t.Errorf("injected %+v", inj)
+	}
+	if err := Fire("STEDC"); err != nil {
+		t.Errorf("probe fired for unmatched class: %v", err)
+	}
+	if got := Fired()["LAED4"]; got != 1 {
+		t.Errorf("Fired[LAED4] = %d, want 1", got)
+	}
+}
+
+func TestPanicProbe(t *testing.T) {
+	Enable(2, Probe{Class: "*", Kind: KindPanic, P: 1})
+	defer Disable()
+	defer func() {
+		r := recover()
+		inj, ok := r.(*ErrInjected)
+		if !ok {
+			t.Fatalf("recovered %v, want *ErrInjected", r)
+		}
+		if inj.Mode != KindPanic || inj.Class != "STEDC" {
+			t.Errorf("injected %+v", inj)
+		}
+	}()
+	Fire("STEDC")
+	t.Fatal("panic probe did not panic")
+}
+
+func TestDelayProbeStalls(t *testing.T) {
+	Enable(3, Probe{Class: "ReduceW", Kind: KindDelay, P: 1, Delay: 30 * time.Millisecond})
+	defer Disable()
+	start := time.Now()
+	if err := Fire("ReduceW"); err != nil {
+		t.Fatalf("delay probe returned error: %v", err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("delay probe stalled only %v", el)
+	}
+}
+
+func TestProbabilityIsApproximate(t *testing.T) {
+	Enable(4, Probe{Class: "V", Kind: KindError, P: 0.1})
+	defer Disable()
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if Fire("V") != nil {
+			hits++
+		}
+	}
+	if hits < 120 || hits > 300 {
+		t.Errorf("P=0.1 fired %d/2000 times", hits)
+	}
+	if got := Fired()["V"]; got != int64(hits) {
+		t.Errorf("Fired[V] = %d, want %d", got, hits)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	run := func() []bool {
+		Enable(99, Probe{Class: "*", Kind: KindError, P: 0.3})
+		defer Disable()
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = Fire("X") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}

@@ -12,16 +12,25 @@ import (
 // (d[i]-λ_j accurately) and d[j] the eigenvalue. For K <= 2 the closed forms
 // of Dlaed4 fill S columns with LAPACK's special-case semantics, handled by
 // VectorsPanel.
-func (df *Deflation) SecularPanel(ws *MergeWorkspace, d []float64, j0, j1 int) error {
+//
+// When Dlaed4's rational iteration fails to converge, the root is recomputed
+// by the guaranteed-bracketed bisection Dlaed4Bisect instead of failing the
+// merge; the number of rescued roots is returned so callers can account for
+// degraded (slower but still correct) secular solves.
+func (df *Deflation) SecularPanel(ws *MergeWorkspace, d []float64, j0, j1 int) (fallbacks int, err error) {
 	k := df.K
 	for j := j0; j < j1; j++ {
 		lam, err := Dlaed4(k, j, df.Dlamda, df.W, ws.S[j*k:j*k+k], df.Rho)
 		if err != nil {
-			return fmt.Errorf("secular equation failed at index %d: %w", j, err)
+			lam, err = Dlaed4Bisect(k, j, df.Dlamda, df.W, ws.S[j*k:j*k+k], df.Rho)
+			if err != nil {
+				return fallbacks, fmt.Errorf("secular equation failed at index %d: %w", j, err)
+			}
+			fallbacks++
 		}
 		d[j] = lam
 	}
-	return nil
+	return fallbacks, nil
 }
 
 // LocalWPanel accumulates this panel's factors of Gu's stabilization product

@@ -151,7 +151,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 				dltub = math.Min(dltub, tau)
 			}
 		}
-		return d[n-1] + tau, fmt.Errorf("lapack: Dlaed4: no convergence for last eigenvalue (i=%d, k=%d)", i, k)
+		return d[n-1] + tau, fmt.Errorf("lapack: Dlaed4: no convergence for last eigenvalue (i=%d, k=%d) after %d iterations: |w|=%.3e > tol=%.3e", i, k, maxit, math.Abs(w), eps*erretm)
 	}
 
 	// Interior eigenvalue: root in (d[i], d[i+1]).
@@ -299,7 +299,80 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 			dltub = math.Min(dltub, tau)
 		}
 	}
-	return org + tau, fmt.Errorf("lapack: Dlaed4: no convergence for eigenvalue %d of %d", i, k)
+	return org + tau, fmt.Errorf("lapack: Dlaed4: no convergence for eigenvalue %d of %d after %d iterations: |w|=%.3e > tol=%.3e", i, k, maxit, math.Abs(w), eps*erretm)
+}
+
+// Dlaed4Bisect solves the same secular-equation problem as Dlaed4 by pure
+// bisection: slower (linear convergence, O(k) per step) but guaranteed to
+// converge, since the secular function is strictly increasing between
+// consecutive poles and the root is always bracketed. It is the safeguard
+// the solver falls back to when Dlaed4's rational iteration reports
+// non-convergence, so a hard eigenvalue can degrade speed but never
+// correctness. Semantics of lam and delta match Dlaed4.
+func Dlaed4Bisect(k, i int, d, z, delta []float64, rho float64) (float64, error) {
+	switch {
+	case k <= 0:
+		return 0, fmt.Errorf("lapack: Dlaed4Bisect: k=%d", k)
+	case i < 0 || i >= k:
+		return 0, fmt.Errorf("lapack: Dlaed4Bisect: index %d out of range [0,%d)", i, k)
+	case k == 1:
+		delta[0] = 1
+		return d[0] + rho*z[0]*z[0], nil
+	case k == 2:
+		return Dlaed5(i, d, z, delta, rho)
+	}
+	rhoinv := 1 / rho
+	// w(tau) = 1/rho + Σ_j z_j² / ((d_j - org) - tau): strictly increasing
+	// in tau wherever it is finite, with the differences accumulated
+	// relative to the origin pole to avoid cancellation (as in Dlaed4).
+	eval := func(org, tau float64) float64 {
+		w := rhoinv
+		for j := 0; j < k; j++ {
+			w += z[j] * z[j] / ((d[j] - org) - tau)
+		}
+		return w
+	}
+	var org, lo, hi float64
+	if i == k-1 {
+		// Root in (d[k-1], d[k-1]+rho·‖z‖²]; ‖z‖=1 after deflation, but
+		// widen the bracket if rounding leaves w(hi) non-positive.
+		org = d[k-1]
+		lo, hi = 0, rho
+		for g := 0; g < 4 && eval(org, hi) <= 0; g++ {
+			hi *= 2
+		}
+	} else {
+		// Root in (d[i], d[i+1]): pick the origin on the side of the
+		// midpoint that holds the root, so delta at the nearby pole stays
+		// accurate (w(midpoint) ≥ 0 ⇒ the root lies left of the midpoint).
+		del := d[i+1] - d[i]
+		midpt := del / 2
+		if eval(d[i], midpt) >= 0 {
+			org, lo, hi = d[i], 0, midpt
+		} else {
+			org, lo, hi = d[i+1], -midpt, 0
+		}
+	}
+	// Bisect until the bracket collapses to adjacent floats. w(lo)<0<w(hi)
+	// throughout, and the midpoint stays strictly inside the pole interval,
+	// so the final tau never lands on a pole (delta stays nonzero).
+	tau := lo + (hi-lo)/2
+	for iter := 0; iter < 200; iter++ {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break
+		}
+		if eval(org, mid) >= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		tau = mid
+	}
+	for j := 0; j < k; j++ {
+		delta[j] = (d[j] - org) - tau
+	}
+	return org + tau, nil
 }
 
 // Dlaed5 computes the i-th eigenvalue of a 2×2 rank-one modification

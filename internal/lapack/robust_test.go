@@ -1,0 +1,210 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tridiag/internal/blas"
+)
+
+// randSecular builds a valid secular problem: strictly increasing d and a
+// unit-norm z with no tiny components, as the deflation step guarantees.
+func randSecular(k int, rng *rand.Rand) (d, z []float64) {
+	d = make([]float64, k)
+	z = make([]float64, k)
+	x := 0.0
+	for i := range d {
+		x += 0.1 + rng.Float64()
+		d[i] = x
+	}
+	for i := range z {
+		z[i] = 0.1 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			z[i] = -z[i]
+		}
+	}
+	nrm := blas.Dnrm2(k, z, 1)
+	blas.Dscal(k, 1/nrm, z, 1)
+	return d, z
+}
+
+// TestDlaed4BisectMatchesDlaed4: the bisection safeguard must agree with the
+// rational iteration on well-conditioned secular problems, for every root
+// index, in both the eigenvalue and the cancellation-free delta vector.
+func TestDlaed4BisectMatchesDlaed4(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range []int{3, 5, 17, 40} {
+		for trial := 0; trial < 5; trial++ {
+			d, z := randSecular(k, rng)
+			rho := 0.05 + rng.Float64()
+			spread := d[k-1] - d[0] + rho
+			for i := 0; i < k; i++ {
+				del4 := make([]float64, k)
+				delB := make([]float64, k)
+				lam4, err4 := Dlaed4(k, i, d, z, del4, rho)
+				lamB, errB := Dlaed4Bisect(k, i, d, z, delB, rho)
+				if err4 != nil {
+					t.Fatalf("k=%d i=%d: Dlaed4: %v", k, i, err4)
+				}
+				if errB != nil {
+					t.Fatalf("k=%d i=%d: Dlaed4Bisect: %v", k, i, errB)
+				}
+				if math.Abs(lam4-lamB) > 1e-13*spread {
+					t.Errorf("k=%d i=%d: lam %v vs bisect %v", k, i, lam4, lamB)
+				}
+				for j := 0; j < k; j++ {
+					// delta[j] = d[j] - lam; compare where it is not tiny
+					// (near the root's pole both must stay consistent too,
+					// relative to the local gap).
+					ref := del4[j]
+					tol := 1e-10 * (math.Abs(ref) + 1e-3*spread)
+					if math.Abs(delB[j]-ref) > tol {
+						t.Errorf("k=%d i=%d: delta[%d] %v vs bisect %v", k, i, j, ref, delB[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDlaed4BisectRootProperties: each bisection root must satisfy the
+// secular interlacing property and leave nonzero deltas.
+func TestDlaed4BisectRootProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := 25
+	d, z := randSecular(k, rng)
+	rho := 0.75
+	for i := 0; i < k; i++ {
+		delta := make([]float64, k)
+		lam, err := Dlaed4Bisect(k, i, d, z, delta, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lam <= d[i] {
+			t.Errorf("i=%d: root %v not above pole %v", i, lam, d[i])
+		}
+		if i < k-1 && lam >= d[i+1] {
+			t.Errorf("i=%d: root %v not below pole %v", i, lam, d[i+1])
+		}
+		if i == k-1 && lam >= d[k-1]+4*rho {
+			t.Errorf("last root %v outside bracket", lam)
+		}
+		for j, dl := range delta {
+			if dl == 0 {
+				t.Errorf("i=%d: delta[%d] is exactly zero", i, j)
+			}
+		}
+	}
+}
+
+// TestDstein: inverse iteration must reproduce accurate eigenvectors for
+// both separated and pathologically clustered spectra.
+func TestDstein(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, build := range []struct {
+		name string
+		n    int
+		gen  func(n int) (d, e []float64)
+	}{
+		{"random", 60, func(n int) (dd, ee []float64) {
+			dd = make([]float64, n)
+			ee = make([]float64, n-1)
+			for i := range dd {
+				dd[i] = 2*rng.Float64() - 1
+			}
+			for i := range ee {
+				ee[i] = 2*rng.Float64() - 1
+			}
+			return
+		}},
+		{"wilkinson21", 21, func(n int) (dd, ee []float64) {
+			dd = make([]float64, n)
+			ee = make([]float64, n-1)
+			for i := range dd {
+				dd[i] = math.Abs(float64(i) - float64(n-1)/2)
+			}
+			for i := range ee {
+				ee[i] = 1
+			}
+			return
+		}},
+	} {
+		d, e := build.gen(build.n)
+		n := build.n
+		// Reference eigenvalues from the root-free QR.
+		w := append([]float64(nil), d...)
+		ee := append([]float64(nil), e...)
+		if err := Dsterf(n, w, ee); err != nil {
+			t.Fatalf("%s: Dsterf: %v", build.name, err)
+		}
+		sort.Float64s(w)
+		z := make([]float64, n*n)
+		if err := Dstein(n, d, e, w, z, n); err != nil {
+			t.Fatalf("%s: Dstein: %v", build.name, err)
+		}
+		nrmT := Dlanst('M', n, d, e)
+		for j := 0; j < n; j++ {
+			col := z[j*n : j*n+n]
+			worst := 0.0
+			for i := 0; i < n; i++ {
+				s := d[i] * col[i]
+				if i > 0 {
+					s += e[i-1] * col[i-1]
+				}
+				if i < n-1 {
+					s += e[i] * col[i+1]
+				}
+				if r := math.Abs(s - w[j]*col[i]); r > worst {
+					worst = r
+				}
+			}
+			if worst > 1e-12*nrmT*float64(n) {
+				t.Errorf("%s: residual of vector %d: %.3e", build.name, j, worst)
+			}
+			for p := 0; p < j; p++ {
+				dot := blas.Ddot(n, z[p*n:p*n+n], 1, col, 1)
+				if math.Abs(dot) > 1e-10 {
+					t.Errorf("%s: vectors %d,%d not orthogonal: %.3e", build.name, p, j, dot)
+				}
+			}
+		}
+	}
+}
+
+// TestDsteqrRobustCleanPath: when QR converges, DsteqrRobust must report no
+// fallback and produce exactly Dsteqr's result.
+func TestDsteqrRobustCleanPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 40
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	d1 := append([]float64(nil), d...)
+	e1 := append([]float64(nil), e...)
+	z1 := make([]float64, n*n)
+	if err := Dsteqr(CompIdentity, n, d1, e1, z1, n); err != nil {
+		t.Fatal(err)
+	}
+	d2 := append([]float64(nil), d...)
+	e2 := append([]float64(nil), e...)
+	z2 := make([]float64, n*n)
+	fellBack, err := DsteqrRobust(n, d2, e2, z2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fellBack {
+		t.Error("clean matrix reported a fallback")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("eigenvalue %d differs: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}

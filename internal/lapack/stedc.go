@@ -39,7 +39,7 @@ func Dlaed1(n, cutpnt int, d []float64, q []float64, ldq int, indxq []int, rho f
 		return nil
 	}
 
-	if err := df.SecularPanel(ws, d, 0, df.K); err != nil {
+	if _, err := df.SecularPanel(ws, d, 0, df.K); err != nil {
 		return err
 	}
 	for i := range ws.WLoc {
@@ -130,11 +130,12 @@ func Dstedc(n int, d, e []float64, q []float64, ldq int, cfg *DCConfig) error {
 		d[b] -= ae
 	}
 
-	// Solve the leaf subproblems.
+	// Solve the leaf subproblems; a QR non-convergence on a leaf retries
+	// via Dsterf + inverse iteration instead of failing the whole solve.
 	indxq := make([]int, n)
 	for i, st := range starts[:len(starts)-1] {
 		sz := sizes[i]
-		if err := Dsteqr(CompIdentity, sz, d[st:st+sz], e[st:st+max(sz-1, 0)], q[st+st*ldq:], ldq); err != nil {
+		if _, err := DsteqrRobust(sz, d[st:st+sz], e[st:st+max(sz-1, 0)], q[st+st*ldq:], ldq); err != nil {
 			return fmt.Errorf("leaf [%d,%d): %w", st, st+sz, err)
 		}
 		for j := 0; j < sz; j++ {

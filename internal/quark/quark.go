@@ -24,14 +24,28 @@
 // Failure-aware cancellation: when a task panics, every transitive successor
 // is skipped instead of executed (their kernels would run against
 // half-initialized state); Wait reports the root-cause error only.
+//
+// External cancellation: a runtime created with WithContext aborts when the
+// context is cancelled or its deadline expires. The kernel currently running
+// on each worker finishes (tasks are never interrupted mid-kernel), every
+// not-yet-started task is skipped and marked Canceled, and Wait returns
+// ctx.Err() promptly instead of draining the DAG first.
+//
+// Fault injection: when the faultinject registry is armed (chaos tests
+// only), each task consults it before running its kernel; the disabled cost
+// is a single atomic load per task.
 package quark
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"tridiag/internal/faultinject"
 )
 
 // AccessMode declares how a task uses a handle.
@@ -196,6 +210,11 @@ type Runtime struct {
 	start     time.Time
 	wg        sync.WaitGroup
 	done      *sync.Cond // on mu; broadcast when completed == submitted
+
+	ctx     context.Context // nil unless WithContext
+	ctxErr  error           // on mu; set once when ctx is cancelled
+	aborted atomic.Bool     // fast-path mirror of ctxErr != nil
+	stop    chan struct{}   // closed by Shutdown; ends the context watcher
 }
 
 // Option configures a Runtime.
@@ -205,6 +224,13 @@ type Option func(*Runtime)
 // via Graph after Wait.
 func WithGraphCapture() Option {
 	return func(rt *Runtime) { rt.capture = true }
+}
+
+// WithContext binds the runtime to ctx: when ctx is cancelled (or its
+// deadline expires), in-flight kernels finish, all remaining tasks are
+// skipped and marked Canceled, and Wait returns ctx.Err().
+func WithContext(ctx context.Context) Option {
+	return func(rt *Runtime) { rt.ctx = ctx }
 }
 
 // New creates a runtime with the given number of workers (<=0 selects
@@ -236,7 +262,48 @@ func New(workers int, opts ...Option) *Runtime {
 	for w := 0; w < workers; w++ {
 		go rt.worker(w)
 	}
+	if rt.ctx != nil {
+		if err := rt.ctx.Err(); err != nil {
+			// Already cancelled: guarantee synchronously that no task will
+			// ever run, rather than racing the watcher against Submit.
+			rt.ctxErr = err
+			rt.aborted.Store(true)
+		} else {
+			rt.stop = make(chan struct{})
+			rt.wg.Add(1)
+			go rt.watchContext()
+		}
+	}
 	return rt
+}
+
+// watchContext aborts the runtime when its context is cancelled; Shutdown
+// closes stop so the watcher never outlives the runtime (no goroutine leak).
+func (rt *Runtime) watchContext() {
+	defer rt.wg.Done()
+	select {
+	case <-rt.ctx.Done():
+		rt.abort(rt.ctx.Err())
+	case <-rt.stop:
+	}
+}
+
+// abort records the cancellation cause, wakes Wait, and wakes every worker
+// so queued tasks drain (each is skipped, not run).
+func (rt *Runtime) abort(cause error) {
+	rt.mu.Lock()
+	if rt.ctxErr == nil {
+		rt.ctxErr = cause
+		rt.aborted.Store(true)
+		rt.done.Broadcast()
+	}
+	rt.mu.Unlock()
+	for _, ws := range rt.ws {
+		select {
+		case ws.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Workers returns the size of the worker pool.
@@ -330,6 +397,11 @@ func (rt *Runtime) SubmitPrio(class, label string, priority int, fn func(), acce
 		if d.canceled {
 			t.canceled = true
 		}
+	}
+	if rt.ctxErr != nil {
+		// Cancelled runtime: never start new work. Tasks with unfinished
+		// predecessors are cancelled through the skip cascade instead.
+		t.canceled = true
 	}
 
 	if rt.capture {
@@ -487,8 +559,26 @@ func (rt *Runtime) worker(id int) {
 }
 
 func (rt *Runtime) run(id int, t *task) {
+	if rt.aborted.Load() {
+		// The context was cancelled after this task became ready: skip its
+		// kernel and cascade the cancellation to its successors.
+		rt.mu.Lock()
+		rt.skipLocked(t)
+		rt.mu.Unlock()
+		return
+	}
 	start := time.Since(rt.start)
-	err := safeCall(t.fn)
+	var err error
+	if faultinject.Active() {
+		err = safeCall(func() {
+			if ferr := faultinject.Fire(t.class); ferr != nil {
+				panic(ferr)
+			}
+			t.fn()
+		})
+	} else {
+		err = safeCall(t.fn)
+	}
 	end := time.Since(rt.start)
 
 	rt.mu.Lock()
@@ -592,13 +682,21 @@ func safeCall(fn func()) (err error) {
 // returns the root-cause error, if any: transitive successors of a failed
 // task are skipped rather than run, so secondary failures (kernels operating
 // on half-initialized state) never occur and never mask the first error.
+//
+// If the runtime's context is cancelled, Wait returns promptly with
+// ctx.Err() without waiting for the DAG to drain (a task failure observed
+// before the cancellation still takes precedence as the root cause); the
+// remaining tasks are skipped asynchronously and reclaimed by Shutdown.
 func (rt *Runtime) Wait() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for rt.completed < rt.submitted {
+	for rt.completed < rt.submitted && rt.ctxErr == nil {
 		rt.done.Wait()
 	}
-	return rt.firstErr
+	if rt.firstErr != nil {
+		return rt.firstErr
+	}
+	return rt.ctxErr
 }
 
 // Steals returns how many tasks were executed by a worker other than the one
@@ -628,8 +726,12 @@ func (rt *Runtime) Graph() *Graph {
 // Shutdown drains remaining tasks and stops the workers.
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
+	already := rt.closed
 	rt.closed = true
 	rt.mu.Unlock()
+	if !already && rt.stop != nil {
+		close(rt.stop)
+	}
 	for _, ws := range rt.ws {
 		select {
 		case ws.wake <- struct{}{}:

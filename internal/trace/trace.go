@@ -15,13 +15,14 @@ import (
 
 // Event is one task's placement on the timeline.
 type Event struct {
-	Task   int
-	Class  string
-	Label  string
-	Worker int
-	Stolen bool    // ran on a different worker than it was placed on
-	Start  float64 // seconds
-	End    float64
+	Task     int
+	Class    string
+	Label    string
+	Worker   int
+	Stolen   bool    // ran on a different worker than it was placed on
+	Canceled bool    // skipped: a predecessor failed or the solve was cancelled
+	Start    float64 // seconds
+	End      float64
 }
 
 // Timeline is a complete schedule: real (from a quark run) or simulated.
@@ -37,8 +38,8 @@ func FromGraph(g *quark.Graph) *Timeline {
 	for _, t := range g.Tasks {
 		ev := Event{
 			Task: t.ID, Class: t.Class, Label: t.Label, Worker: t.Worker,
-			Stolen: t.Stolen,
-			Start:  t.Start.Seconds(), End: t.End.Seconds(),
+			Stolen: t.Stolen, Canceled: t.Canceled,
+			Start: t.Start.Seconds(), End: t.End.Seconds(),
 		}
 		tl.Events = append(tl.Events, ev)
 		if t.Worker+1 > tl.Workers {
@@ -194,7 +195,22 @@ func (tl *Timeline) BreakdownReport() string {
 	if s := tl.StealCount(); s > 0 {
 		fmt.Fprintf(&b, "%-20s %10d of %d tasks\n", "stolen", s, len(tl.Events))
 	}
+	if c := tl.CanceledCount(); c > 0 {
+		fmt.Fprintf(&b, "%-20s %10d of %d tasks\n", "canceled", c, len(tl.Events))
+	}
 	return b.String()
+}
+
+// CanceledCount returns how many tasks were skipped instead of executed
+// (failure cascade or external cancellation).
+func (tl *Timeline) CanceledCount() int {
+	n := 0
+	for _, ev := range tl.Events {
+		if ev.Canceled {
+			n++
+		}
+	}
+	return n
 }
 
 // StealCount returns how many tasks ran on a worker other than the one they
@@ -221,18 +237,22 @@ func (tl *Timeline) IdleFraction() float64 {
 	return 1 - busy/(tl.Makespan*float64(tl.Workers))
 }
 
-// CSV exports the timeline as task,class,label,worker,stolen,start,end rows.
+// CSV exports the timeline as
+// task,class,label,worker,stolen,canceled,start,end rows.
 func (tl *Timeline) CSV() string {
 	var b strings.Builder
-	b.WriteString("task,class,label,worker,stolen,start,end\n")
+	b.WriteString("task,class,label,worker,stolen,canceled,start,end\n")
 	evs := append([]Event(nil), tl.Events...)
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
 	for _, ev := range evs {
-		stolen := 0
+		stolen, canceled := 0, 0
 		if ev.Stolen {
 			stolen = 1
 		}
-		fmt.Fprintf(&b, "%d,%s,%q,%d,%d,%.9f,%.9f\n", ev.Task, ev.Class, ev.Label, ev.Worker, stolen, ev.Start, ev.End)
+		if ev.Canceled {
+			canceled = 1
+		}
+		fmt.Fprintf(&b, "%d,%s,%q,%d,%d,%d,%.9f,%.9f\n", ev.Task, ev.Class, ev.Label, ev.Worker, stolen, canceled, ev.Start, ev.End)
 	}
 	return b.String()
 }

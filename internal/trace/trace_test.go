@@ -83,7 +83,7 @@ func TestCSV(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("csv lines: %d", len(lines))
 	}
-	if lines[0] != "task,class,label,worker,stolen,start,end" {
+	if lines[0] != "task,class,label,worker,stolen,canceled,start,end" {
 		t.Errorf("header %q", lines[0])
 	}
 	stolen := 0
