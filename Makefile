@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke chaos ci clean
+.PHONY: all build vet test race bench-smoke bench-gemm chaos ci clean
 
 all: build
 
@@ -21,6 +21,11 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SolveDCTaskFlow2000|SortEigen|Steqr400' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/quark/
+
+# The GEMM kernel benchmarks: the square reference shape, the compressed
+# UpdateVect shapes, and the per-merge packed-operand reuse pattern.
+bench-gemm:
+	$(GO) test -run '^$$' -bench 'Gemm' -benchtime 1x .
 
 # Fault-injection suite: panic/error/delay probes in every task class across
 # randomized solves, repeated under the race detector; the tests themselves

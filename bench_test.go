@@ -234,6 +234,66 @@ func BenchmarkDgemm256(b *testing.B) {
 	b.ReportMetric(2*float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 }
 
+// benchGemmShape measures one C = A·B shape with the GFLOPS metric.
+func benchGemmShape(b *testing.B, m, n, k int) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, m*k)
+	bb := make([]float64, k*n)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bb {
+		bb[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blas.Dgemm(false, false, m, n, k, 1, a, m, bb, k, 0, c, m)
+	}
+	b.ReportMetric(2*float64(m)*float64(n)*float64(k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+// The compressed UpdateVect GEMM shapes of a large merge: tall C (all n rows),
+// panel-width columns, k contracted over the non-deflated columns.
+func BenchmarkGemmUpdateVect1000x128x900(b *testing.B) { benchGemmShape(b, 1000, 128, 900) }
+func BenchmarkGemmUpdateVect500x128x400(b *testing.B)  { benchGemmShape(b, 500, 128, 400) }
+func BenchmarkGemmSkinny2000x32x256(b *testing.B)      { benchGemmShape(b, 2000, 32, 256) }
+
+// BenchmarkGemmPanelsUnpacked vs BenchmarkGemmPanelsPacked: the per-merge
+// reuse pattern — one m×k operand multiplied against 8 column panels — with
+// the operand re-packed per call versus packed once and shared (PackV).
+func benchGemmPanels(b *testing.B, packed bool) {
+	m, k, n, nb := 1000, 900, 1024, 128
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, m*k)
+	bb := make([]float64, k*n)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bb {
+		bb[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if packed {
+			pa := blas.PackA(false, m, k, a, m)
+			for j0 := 0; j0 < n; j0 += nb {
+				blas.PackedGemm(pa, min(nb, n-j0), 1, bb[j0*k:], k, 0, c[j0*m:], m)
+			}
+			pa.Release()
+		} else {
+			for j0 := 0; j0 < n; j0 += nb {
+				blas.Dgemm(false, false, m, min(nb, n-j0), k, 1, a, m, bb[j0*k:], k, 0, c[j0*m:], m)
+			}
+		}
+	}
+	b.ReportMetric(2*float64(m)*float64(n)*float64(k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkGemmPanelsUnpacked(b *testing.B) { benchGemmPanels(b, false) }
+func BenchmarkGemmPanelsPacked(b *testing.B)   { benchGemmPanels(b, true) }
+
 func BenchmarkSecularSolve(b *testing.B) {
 	k := 500
 	rng := rand.New(rand.NewSource(2))

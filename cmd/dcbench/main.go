@@ -12,9 +12,12 @@
 //	dcbench fig8              MRRR vs D&C timing (Figure 8)
 //	dcbench fig9              accuracy comparison (Figure 9 a+b)
 //	dcbench fig10             application matrix set (Figure 10)
+//	dcbench perf              performance snapshot (task-flow medians + GEMM)
 //	dcbench all               everything above in sequence
 //
 // Flags: -sizes 500,1000 -types 2,3,4 -workers 1,2,4,8,16 -seed 7 -quick -bw 4
+// With -json, the perf snapshot is additionally written to
+// BENCH_taskflow.json in the working directory.
 package main
 
 import (
@@ -50,8 +53,9 @@ func main() {
 	seed := fs.Int64("seed", 0, "random seed (0: fixed default)")
 	quick := fs.Bool("quick", false, "smaller sizes for a fast smoke run")
 	bw := fs.Float64("bw", 0, "bandwidth cap in concurrent streams (0: default 4)")
+	jsonOut := fs.Bool("json", false, "write the perf snapshot to BENCH_taskflow.json")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablate|theory|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|ablate|theory|all>\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -66,7 +70,7 @@ func main() {
 		if strings.HasPrefix(args[i], "-") {
 			flagArgs = append(flagArgs, args[i])
 			if !strings.Contains(args[i], "=") && i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") &&
-				args[i] != "-quick" {
+				args[i] != "-quick" && args[i] != "-json" {
 				flagArgs = append(flagArgs, args[i+1])
 				i++
 			}
@@ -117,6 +121,19 @@ func main() {
 			_, err = bench.Fig9(cfg)
 		case "fig10":
 			_, err = bench.Fig10(cfg)
+		case "perf":
+			var rec *bench.PerfRecord
+			rec, err = bench.Perf(cfg)
+			if err == nil && *jsonOut {
+				var data []byte
+				data, err = rec.JSON()
+				if err == nil {
+					err = os.WriteFile("BENCH_taskflow.json", data, 0o644)
+				}
+				if err == nil {
+					fmt.Println("wrote BENCH_taskflow.json")
+				}
+			}
 		case "ablate":
 			err = bench.Ablate(cfg)
 		case "theory":

@@ -72,13 +72,17 @@ func main() {
 		tl = trace.FromSimulation(g, r, *p)
 		fmt.Printf("model %s, P=%d simulated (bandwidth cap %.0f)\n", *model, *p, *bw)
 	}
-	fmt.Printf("matrix %s n=%d, deflation %.1f%%\n\n", m.Name, *n, 100*res.Stats.DeflationRatio())
+	hits, misses, bytes, rate := res.Stats.PackReuse()
+	fmt.Printf("matrix %s n=%d, deflation %.1f%%\n", m.Name, *n, 100*res.Stats.DeflationRatio())
+	fmt.Printf("UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n\n", hits, misses, bytes, rate)
 	fmt.Print(tl.Gantt(*width))
 	fmt.Println()
 	fmt.Print(tl.BreakdownReport())
 
 	if *csv != "" {
-		fail(os.WriteFile(*csv, []byte(tl.CSV()), 0o644))
+		header := fmt.Sprintf("# UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n",
+			hits, misses, bytes, rate)
+		fail(os.WriteFile(*csv, []byte(header+tl.CSV()), 0o644))
 		fmt.Printf("wrote %s\n", *csv)
 	}
 }

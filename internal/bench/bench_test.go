@@ -12,6 +12,13 @@ func quickCfg(sizes ...int) *Config {
 }
 
 func TestTable1SlopesOrdered(t *testing.T) {
+	if raceEnabled {
+		// The race detector skews the fitted slopes: it multiplies the cost
+		// of instrumented Go code (packing, copies) but not of the assembly
+		// GEMM micro-kernel, so the cubic UpdateVect term no longer
+		// dominates at these sizes and the log-log fit flattens.
+		t.Skip("timing-slope fit is not meaningful under the race detector")
+	}
 	cfg := &Config{Sizes: []int{200, 400, 800}, Out: &bytes.Buffer{}}
 	rows, slopes, err := Table1(cfg)
 	if err != nil {

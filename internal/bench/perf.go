@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tridiag/internal/blas"
+	"tridiag/internal/core"
+)
+
+// PerfWorkerPoint is one task-flow timing: the median of Reps solves of an
+// n×n random tridiagonal at the given worker count.
+type PerfWorkerPoint struct {
+	Workers  int     `json:"workers"`
+	MedianMS float64 `json:"median_ms"`
+}
+
+// PerfRecord is the machine-readable performance snapshot emitted by
+// `dcbench perf -json`: the scheduler acceptance numbers (task-flow medians
+// at several worker counts), the GEMM kernel throughput, and the UpdateVect
+// pack-reuse counters of the timed solves.
+type PerfRecord struct {
+	N             int               `json:"n"`
+	Reps          int               `json:"reps"`
+	TaskFlow      []PerfWorkerPoint `json:"taskflow"`
+	GemmN         int               `json:"gemm_n"`
+	GemmGFLOPS    float64           `json:"gemm_gflops"`
+	PackHits      int64             `json:"pack_hits"`
+	PackMisses    int64             `json:"pack_misses"`
+	PackedBytes   int64             `json:"packed_bytes"`
+	PackReuseRate float64           `json:"pack_reuse_rate"`
+}
+
+// Perf measures the performance snapshot: median-of-reps task-flow solve
+// times at 1/4/8 workers (overridden by cfg.Workers), the square Dgemm
+// throughput, and the pack-reuse statistics accumulated over the timed runs.
+func Perf(cfg *Config) (*PerfRecord, error) {
+	n := 2000
+	reps := 3
+	if cfg.Quick {
+		n, reps = 500, 1
+	}
+	if len(cfg.Sizes) > 0 {
+		n = cfg.Sizes[0]
+	}
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 4, 8}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	d0 := make([]float64, n)
+	e0 := make([]float64, n-1)
+	for i := range d0 {
+		d0[i] = rng.NormFloat64()
+	}
+	for i := range e0 {
+		e0[i] = rng.NormFloat64()
+	}
+
+	rec := &PerfRecord{N: n, Reps: reps}
+	q := make([]float64, n*n)
+	fmt.Fprintf(cfg.out(), "task-flow solve, n=%d, median of %d:\n", n, reps)
+	for _, w := range workers {
+		times := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			d := append([]float64(nil), d0...)
+			e := append([]float64(nil), e0...)
+			t0 := time.Now()
+			res, err := core.SolveDC(n, d, e, q, n, &core.Options{Workers: w})
+			if err != nil {
+				return nil, fmt.Errorf("perf n=%d w=%d: %w", n, w, err)
+			}
+			times = append(times, float64(time.Since(t0).Microseconds())/1000)
+			hits, misses, bytes, _ := res.Stats.PackReuse()
+			rec.PackHits += hits
+			rec.PackMisses += misses
+			rec.PackedBytes += bytes
+		}
+		sort.Float64s(times)
+		med := times[len(times)/2]
+		rec.TaskFlow = append(rec.TaskFlow, PerfWorkerPoint{Workers: w, MedianMS: med})
+		fmt.Fprintf(cfg.out(), "  W%-2d  %8.1f ms\n", w, med)
+	}
+	if rec.PackHits+rec.PackMisses > 0 {
+		rec.PackReuseRate = float64(rec.PackHits) / float64(rec.PackHits+rec.PackMisses)
+	}
+	fmt.Fprintf(cfg.out(), "UpdateVect pack: hits=%d misses=%d packed=%d B reuse=%.1f%%\n",
+		rec.PackHits, rec.PackMisses, rec.PackedBytes, 100*rec.PackReuseRate)
+
+	// Square GEMM throughput at the reference size.
+	gn := 256
+	if cfg.Quick {
+		gn = 128
+	}
+	a := make([]float64, gn*gn)
+	b := make([]float64, gn*gn)
+	c := make([]float64, gn*gn)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	best := 0.0
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		blas.Dgemm(false, false, gn, gn, gn, 1, a, gn, b, gn, 0, c, gn)
+		el := time.Since(t0).Seconds()
+		if g := 2 * float64(gn) * float64(gn) * float64(gn) / el / 1e9; g > best {
+			best = g
+		}
+	}
+	rec.GemmN, rec.GemmGFLOPS = gn, best
+	fmt.Fprintf(cfg.out(), "Dgemm %d: %.1f GFLOPS\n", gn, best)
+	return rec, nil
+}
+
+// JSON renders the record as indented JSON (for BENCH_taskflow.json).
+func (r *PerfRecord) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; timing-slope
+// assertions are skipped under it (see race_off_test.go).
+const raceEnabled = true

@@ -1,0 +1,131 @@
+package blas
+
+import "tridiag/internal/pool"
+
+// blockedWorthwhile reports whether the cache-blocked packed path should
+// handle a GEMM of this shape. It needs the assembly micro-kernel (the
+// register-blocked kernels in level3.go already saturate scalar FP ports)
+// and enough work to amortize the two pack passes: a few micro-tiles in
+// each dimension and a flop count comfortably above the pack traffic.
+func blockedWorthwhile(m, n, k int) bool {
+	if !haveAsmKernel {
+		return false
+	}
+	if m < 2*gemmMR || n < gemmNR || k < 8 {
+		return false
+	}
+	return int64(m)*int64(n)*int64(k) >= 1<<15
+}
+
+// PackWorthwhile reports whether packing op(A) up front pays off for GEMMs
+// of the given shape — the predicate callers use to decide whether to build
+// a PackedA for repeated PackedGemm calls (n is the typical per-call column
+// count). It mirrors the internal dispatch of Dgemm so a pre-packed call
+// never lands on a slower path than the plain one.
+func PackWorthwhile(m, n, k int) bool { return blockedWorthwhile(m, n, k) }
+
+// gemmBlocked is the BLIS-style three-level cache-blocked GEMM: pack op(A)
+// into micro-panels once, then stream KC×NC blocks of packed op(B) against
+// MC×KC blocks of A through the register micro-kernel.
+func gemmBlocked(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	pa := PackA(transA, m, k, a, lda)
+	packedGemm(pa, transB, n, alpha, b, ldb, beta, c, ldc)
+	pa.Release()
+}
+
+// PackedGemm computes C = alpha*Ap*B + beta*C where Ap is a pre-packed
+// operand (m×k from pa.Dims) and B is k×n column-major, non-transposed.
+// Safe for concurrent calls sharing one PackedA: the B pack buffer is
+// per-call (pooled) and C regions are the caller's responsibility.
+func PackedGemm(pa *PackedA, n int, alpha float64, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	packedGemm(pa, false, n, alpha, b, ldb, beta, c, ldc)
+}
+
+func packedGemm(pa *PackedA, transB bool, n int, alpha float64, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	m, k := pa.m, pa.k
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha == 0 || k == 0 {
+		scaleCols(m, n, beta, c, ldc)
+		return
+	}
+	ncbMax := min(n, gemmNC)
+	kbMax := min(k, gemmKC)
+	bbuf := pool.Get(((ncbMax + gemmNR - 1) / gemmNR) * gemmNR * kbMax)
+	for jc := 0; jc < n; jc += gemmNC {
+		ncb := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kb := min(gemmKC, k-pc)
+			packB(transB, pc, jc, kb, ncb, b, ldb, bbuf)
+			if pc == 0 {
+				scaleCols(m, ncb, beta, c[jc*ldc:], ldc)
+			}
+			for ic := 0; ic < m; ic += gemmMC {
+				mb := min(gemmMC, m-ic)
+				macroKernel(pa, pc, kb, ic, mb, bbuf, ncb, alpha, c[ic+jc*ldc:], ldc)
+			}
+		}
+	}
+	pool.Put(bbuf)
+}
+
+// macroKernel multiplies one MC×KC block of packed A against one KC×NC
+// block of packed B, updating C(ic:ic+mb, jc:jc+ncb) micro-tile by
+// micro-tile. Full 8×4 tiles go through the assembly kernel; edge tiles
+// through the generic kernel (panels are zero padded, so both compute a
+// full tile and only the store is masked).
+func macroKernel(pa *PackedA, pc, kb, ic, mb int, bbuf []float64, ncb int, alpha float64, c []float64, ldc int) {
+	for jr := 0; jr < ncb; jr += gemmNR {
+		nr := min(gemmNR, ncb-jr)
+		bp := bbuf[(jr/gemmNR)*gemmNR*kb:]
+		for ir := 0; ir < mb; ir += gemmMR {
+			mr := min(gemmMR, mb-ir)
+			ap := pa.buf[((ic+ir)/gemmMR)*gemmMR*pa.k+pc*gemmMR:]
+			ct := c[ir+jr*ldc:]
+			if mr == gemmMR && nr == gemmNR && haveAsmKernel {
+				ukernel8x4avx(kb, ap, bp, ct, ldc, alpha)
+			} else {
+				ukernelGeneric(kb, ap, bp, ct, ldc, mr, nr, alpha)
+			}
+		}
+	}
+}
+
+// ukernelGeneric is the portable micro-kernel: eight accumulator chains per
+// C column over the packed panels, stores masked to the valid mr×nr region.
+// Used for edge tiles and on platforms without the assembly kernel.
+func ukernelGeneric(kb int, ap, bp []float64, c []float64, ldc, mr, nr int, alpha float64) {
+	ap = ap[: kb*gemmMR : kb*gemmMR]
+	for j := 0; j < nr; j++ {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for l := 0; l < kb; l++ {
+			bv := bp[l*gemmNR+j]
+			o := l * gemmMR
+			s0 += ap[o] * bv
+			s1 += ap[o+1] * bv
+			s2 += ap[o+2] * bv
+			s3 += ap[o+3] * bv
+			s4 += ap[o+4] * bv
+			s5 += ap[o+5] * bv
+			s6 += ap[o+6] * bv
+			s7 += ap[o+7] * bv
+		}
+		col := c[j*ldc:]
+		if mr == gemmMR {
+			col[0] += alpha * s0
+			col[1] += alpha * s1
+			col[2] += alpha * s2
+			col[3] += alpha * s3
+			col[4] += alpha * s4
+			col[5] += alpha * s5
+			col[6] += alpha * s6
+			col[7] += alpha * s7
+		} else {
+			ss := [gemmMR]float64{s0, s1, s2, s3, s4, s5, s6, s7}
+			for r := 0; r < mr; r++ {
+				col[r] += alpha * ss[r]
+			}
+		}
+	}
+}

@@ -14,6 +14,10 @@ func Dgemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int
 		scaleCols(m, n, beta, c, ldc)
 		return
 	}
+	if blockedWorthwhile(m, n, k) {
+		gemmBlocked(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
 	switch {
 	case !transA && !transB:
 		gemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
@@ -216,9 +220,56 @@ func gemmNT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 	}
 }
 
-// gemmTT: C = alpha*Aᵀ*Bᵀ + beta*C (rare path, kept simple).
+// gemmTT: C = alpha*Aᵀ*Bᵀ + beta*C. Rows of op(A) are contiguous source
+// columns; rows of op(B) stride by ldb. A 2×2 tile of dot products shares
+// each strided b load across two rows of A (the same structure as gemmTN),
+// instead of re-streaming b column-wise per scalar of C.
 func gemmTT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
-	for j := 0; j < n; j++ {
+	j := 0
+	for ; j+2 <= n; j += 2 {
+		c0 := c[j*ldc : j*ldc+m]
+		c1 := c[(j+1)*ldc : (j+1)*ldc+m]
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			a0 := a[i*lda : i*lda+k]
+			a1 := a[(i+1)*lda : (i+1)*lda+k]
+			var s00, s01, s10, s11 float64
+			for l := 0; l < k; l++ {
+				bv0 := b[j+l*ldb]
+				bv1 := b[j+1+l*ldb]
+				av0, av1 := a0[l], a1[l]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+			}
+			if beta == 0 {
+				c0[i], c0[i+1] = alpha*s00, alpha*s10
+				c1[i], c1[i+1] = alpha*s01, alpha*s11
+			} else {
+				c0[i] = alpha*s00 + beta*c0[i]
+				c0[i+1] = alpha*s10 + beta*c0[i+1]
+				c1[i] = alpha*s01 + beta*c1[i]
+				c1[i+1] = alpha*s11 + beta*c1[i+1]
+			}
+		}
+		for ; i < m; i++ {
+			ai := a[i*lda : i*lda+k]
+			var s0, s1 float64
+			for l := 0; l < k; l++ {
+				av := ai[l]
+				s0 += av * b[j+l*ldb]
+				s1 += av * b[j+1+l*ldb]
+			}
+			if beta == 0 {
+				c0[i], c1[i] = alpha*s0, alpha*s1
+			} else {
+				c0[i] = alpha*s0 + beta*c0[i]
+				c1[i] = alpha*s1 + beta*c1[i]
+			}
+		}
+	}
+	for ; j < n; j++ {
 		cj := c[j*ldc : j*ldc+m]
 		for i := 0; i < m; i++ {
 			var s float64

@@ -1,0 +1,95 @@
+#include "textflag.h"
+
+// func cpuidProbe(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidProbe(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvProbe() (eax, edx uint32)
+TEXT ·xgetbvProbe(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func ukernel8x4avx(kc int, ap, bp []float64, c []float64, ldc int, alpha float64)
+//
+// The register micro-kernel of the blocked GEMM: an 8×4 tile of C
+// accumulates in eight ymm registers across the whole kc depth, reading the
+// packed A micro-panel (8 values per k step, contiguous) and the packed B
+// micro-panel (4 values per k step, contiguous), then C(0:8, 0:4) +=
+// alpha * acc with column stride ldc (in elements). kc must be >= 1 and the
+// packed panels fully populated (zero padded at the edges by the packers).
+TEXT ·ukernel8x4avx(SB), NOSPLIT, $0-96
+	MOVQ kc+0(FP), CX
+	MOVQ ap_base+8(FP), SI
+	MOVQ bp_base+32(FP), DI
+	MOVQ c_base+56(FP), DX
+	MOVQ ldc+80(FP), R8
+	SHLQ $3, R8             // column stride in bytes
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+loop:
+	VMOVUPD (SI), Y8        // a[0:4] of this k step
+	VMOVUPD 32(SI), Y9      // a[4:8]
+	VBROADCASTSD (DI), Y10  // b[0]
+	VBROADCASTSD 8(DI), Y11 // b[1]
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y10 // b[2]
+	VBROADCASTSD 24(DI), Y11 // b[3]
+	VFMADD231PD Y8, Y10, Y4
+	VFMADD231PD Y9, Y10, Y5
+	VFMADD231PD Y8, Y11, Y6
+	VFMADD231PD Y9, Y11, Y7
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+	// C(0:8, j) += alpha * acc_j, one column at a time.
+	VBROADCASTSD alpha+88(FP), Y10
+	VMOVUPD (DX), Y11
+	VMOVUPD 32(DX), Y12
+	VFMADD231PD Y0, Y10, Y11
+	VFMADD231PD Y1, Y10, Y12
+	VMOVUPD Y11, (DX)
+	VMOVUPD Y12, 32(DX)
+	ADDQ R8, DX
+	VMOVUPD (DX), Y11
+	VMOVUPD 32(DX), Y12
+	VFMADD231PD Y2, Y10, Y11
+	VFMADD231PD Y3, Y10, Y12
+	VMOVUPD Y11, (DX)
+	VMOVUPD Y12, 32(DX)
+	ADDQ R8, DX
+	VMOVUPD (DX), Y11
+	VMOVUPD 32(DX), Y12
+	VFMADD231PD Y4, Y10, Y11
+	VFMADD231PD Y5, Y10, Y12
+	VMOVUPD Y11, (DX)
+	VMOVUPD Y12, 32(DX)
+	ADDQ R8, DX
+	VMOVUPD (DX), Y11
+	VMOVUPD 32(DX), Y12
+	VFMADD231PD Y6, Y10, Y11
+	VFMADD231PD Y7, Y10, Y12
+	VMOVUPD Y11, (DX)
+	VMOVUPD Y12, 32(DX)
+	VZEROUPPER
+	RET

@@ -17,9 +17,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"tridiag/internal/blas"
 	"tridiag/internal/lapack"
+	"tridiag/internal/pool"
 	"tridiag/internal/quark"
 )
 
@@ -294,6 +296,22 @@ type mergeState struct {
 	ws    *lapack.MergeWorkspace
 	what  []float64   // stabilized ẑ (ReduceW output)
 	wlocs [][]float64 // per-panel Gu partial products
+	// pending counts the merge's not-yet-finished workspace consumers
+	// (UpdateVect and CopyBackDeflated panels plus PackV); when the last
+	// one finishes, the pooled workspace and packed operands are recycled.
+	pending atomic.Int32
+}
+
+// done marks one workspace consumer finished; the last one returns the
+// merge scratch to the pool. Failed tasks never reach done (their panic
+// propagates through quark first), so a failing merge simply leaves its
+// buffers to the GC instead of risking a recycle of live data.
+func (ms *mergeState) done() {
+	if ms.pending.Add(-1) == 0 {
+		ms.ws.Release()
+		pool.Put(ms.what)
+		ms.what = nil
+	}
 }
 
 // Merge task priorities, as the paper does in QUARK: merges nearer the root
@@ -328,6 +346,9 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	nb := o.PanelSize
 	npanels := (nm + nb - 1) / nb
 	ms := &mergeState{wlocs: make([][]float64, npanels)}
+	// Workspace consumers: every UpdateVect and CopyBackDeflated panel plus
+	// the PackV task; the last to finish recycles the merge scratch.
+	ms.pending.Store(int32(2*npanels + 1))
 
 	dd := d[start : start+nm]
 	qq := q[start+start*ldq:]
@@ -335,6 +356,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	rhoAddr := start + n1 - 1 // e index of the coupling element
 
 	hS := rt.Handle(fmt.Sprintf("ws[%d:%d]", start, start+nm))
+	hPack := rt.Handle(fmt.Sprintf("pack[%d:%d]", start, start+nm))
 	hPerm := make([]*quark.Handle, npanels)
 	hSec := make([]*quark.Handle, npanels)
 	for p := 0; p < npanels; p++ {
@@ -350,7 +372,8 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	// applies pair rotations on V, allocates the merge workspace.
 	rt.SubmitPrio("ComputeDeflation", fmt.Sprintf("deflate[%d:%d]", start, start+nm), prio+prioJoin, func() {
 		rho := e[rhoAddr]
-		z := make([]float64, nm)
+		z := pool.Get(nm)
+		defer pool.Put(z)
 		blas.Dcopy(n1, qq[n1-1:], ldq, z, 1)
 		blas.Dcopy(nm-n1, qq[n1+n1*ldq:], ldq, z[n1:], 1)
 		df, err := lapack.Dlaed2Deflate(nm, n1, dd, qq, ldq, ixq, rho, z)
@@ -359,7 +382,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		}
 		ms.df = df
 		ms.ws = lapack.NewMergeWorkspace(df)
-		ms.what = make([]float64, df.K)
+		ms.what = pool.Get(df.K)
 		st.count("ComputeDeflation", int64(nm))
 		st.recordMerge(lvl, nm, df.K)
 	}, quark.ReadWrite(parent.hV), quark.ReadWrite(parent.hD),
@@ -433,7 +456,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 			if j0 >= j1 {
 				return
 			}
-			wl := make([]float64, k)
+			wl := pool.Get(k)
 			for i := range wl {
 				wl[i] = 1
 			}
@@ -446,6 +469,10 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	// ReduceW: the second join, combining the panel products into ẑ.
 	rt.SubmitPrio("ReduceW", fmt.Sprintf("ReduceW[%d:%d]", start, start+nm), prio+prioJoin, func() {
 		ms.df.FinishW(ms.what, ms.wlocs...)
+		for p, wl := range ms.wlocs {
+			pool.Put(wl)
+			ms.wlocs[p] = nil
+		}
 		st.count("ReduceW", int64(ms.df.K))
 	}, quark.ReadWrite(hS))
 
@@ -457,6 +484,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		c0 := p * nb
 		acc := []quark.Access{quark.Gather(parent.hV), quark.Gather(parent.hD), quark.ReadWrite(hPerm[p])}
 		rt.SubmitPrio("CopyBackDeflated", name("CopyBack", p), prio+prioCopy, func() {
+			defer ms.done()
 			k := ms.df.K
 			j0, j1 := max(c0, k)-k, min(c0+nb, nm)-k
 			if j0 >= j1 {
@@ -489,19 +517,44 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		}, acc...)
 	}
 
-	// UpdateVect: V = Ṽ × X, two compressed GEMMs per panel.
+	// PackV: repack the compressed GEMM operands Q2Top/Q2Bot into blocked
+	// form once per merge; every UpdateVect panel then reuses the packed
+	// operands instead of re-streaming (and re-packing) Q2 per panel. The
+	// Gatherv on the parent V orders it after every PermuteV reader (which
+	// fill Q2Top/Q2Bot) while leaving it concurrent with the UpdateVect
+	// gather group; the hPack write→read edge orders it before each use.
+	rt.SubmitPrio("PackV", fmt.Sprintf("PackV[%d:%d]", start, start+nm), prio+prioSecular, func() {
+		defer ms.done()
+		k := ms.df.K
+		if k == 0 {
+			return
+		}
+		if bytes := ms.df.PackV(ms.ws, min(nb, k)); bytes > 0 {
+			st.count("PackV", int64(bytes))
+		}
+	}, quark.Gather(parent.hV), quark.Write(hPack))
+
+	// UpdateVect: V = Ṽ × X, two compressed GEMMs per panel (through the
+	// shared packed operands where PackV judged the shape worthwhile).
 	for p := 0; p < npanels; p++ {
 		p := p
 		j0 := p * nb
 		rt.SubmitPrio("UpdateVect", name("UpdateVect", p), prio+prioUpdate, func() {
+			defer ms.done()
 			k := ms.df.K
 			j1 := min(j0+nb, k)
 			if j0 >= j1 {
 				return
 			}
-			ms.df.UpdatePanel(qq, ldq, ms.ws, j0, j1, nil)
+			hits, misses := ms.df.UpdatePanel(qq, ldq, ms.ws, j0, j1, nil)
+			if hits > 0 {
+				st.count("UpdateVectPackHit", int64(hits))
+			}
+			if misses > 0 {
+				st.count("UpdateVectPackMiss", int64(misses))
+			}
 			st.count("UpdateVect", 2*int64(j1-j0)*int64(nm)*int64(k))
-		}, quark.Gather(parent.hV), quark.Read(hSec[p]))
+		}, quark.Gather(parent.hV), quark.Read(hPack), quark.Read(hSec[p]))
 	}
 
 	// Redistribution back to block-cyclic layout (ScaLAPACK model only).

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tridiag/internal/blas"
 	"tridiag/internal/testmat"
 )
 
@@ -168,5 +169,37 @@ func TestStatsString(t *testing.T) {
 	}
 	if res.Stats.DeflationRatio() < 0 || res.Stats.DeflationRatio() > 1 {
 		t.Error("deflation ratio out of range")
+	}
+}
+
+// TestPackReuseRecorded: a large low-deflation solve must route UpdateVect
+// GEMMs through per-merge packed operands (on platforms with the blocked
+// kernel) and record the hit/miss/bytes statistics coherently either way.
+func TestPackReuseRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	n := 400
+	d, e := randTridiag(rng, n)
+	q := make([]float64, n*n)
+	res, err := SolveDC(n, d, e, q, n, &Options{MinPartition: 64, PanelSize: 32, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, bytes, rate := res.Stats.PackReuse()
+	if hits+misses == 0 {
+		t.Fatal("no UpdateVect GEMMs recorded")
+	}
+	if hits > 0 && bytes == 0 {
+		t.Errorf("packed hits (%d) without packed bytes", hits)
+	}
+	if hits == 0 && bytes > 0 {
+		t.Errorf("packed %d bytes but every GEMM missed", bytes)
+	}
+	if rate < 0 || rate > 1 {
+		t.Errorf("reuse rate %v out of range", rate)
+	}
+	// The root merge of a random matrix deflates little: with the blocked
+	// kernel available its wide GEMMs must reuse the pack across panels.
+	if blas.PackWorthwhile(n/2, 32, n/2) && hits < int64(2*(n/(2*32))) {
+		t.Errorf("expected pack reuse across panels, hits=%d misses=%d", hits, misses)
 	}
 }

@@ -51,6 +51,22 @@ func (s *Stats) Fallbacks() int64 {
 	return s.Ops["LAED4Bisect"] + s.Ops["STEDCFallback"]
 }
 
+// PackReuse reports the UpdateVect packed-operand reuse of the solve: how
+// many panel GEMMs went through a pre-packed operand (hits) versus the plain
+// per-call path (misses), and the total bytes of packed panels built by the
+// PackV tasks. The reuse rate is hits/(hits+misses), 0 when no GEMMs ran.
+func (s *Stats) PackReuse() (hits, misses, packedBytes int64, rate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits = s.Ops["UpdateVectPackHit"]
+	misses = s.Ops["UpdateVectPackMiss"]
+	packedBytes = s.Ops["PackV"]
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return hits, misses, packedBytes, rate
+}
+
 // DeflationRatio returns the fraction of eigenvalues deflated across all
 // merges (0 = nothing deflated, 1 = everything deflated).
 func (s *Stats) DeflationRatio() float64 {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tridiag/internal/blas"
+	"tridiag/internal/pool"
 )
 
 // Column types produced by the deflation scan, matching LAPACK DLAED2:
@@ -224,25 +225,53 @@ func Dlaed2Deflate(n, n1 int, d []float64, q []float64, ldq int, indxq []int, rh
 // Q2Bot the last n2 rows of the type-2 and type-3 columns, Q2Defl the full
 // deflated columns, and S the k×k secular matrix (delta columns, later
 // overwritten by the updated eigenvectors, as in LAPACK).
+//
+// PackTop/PackBot, when non-nil, hold Q2Top/Q2Bot repacked for the blocked
+// GEMM (see Deflation.PackV): packed once per merge, shared read-only by
+// every UpdateVect panel of that merge.
 type MergeWorkspace struct {
-	Q2Top  []float64 // n1 × c12
-	Q2Bot  []float64 // n2 × c23
-	Q2Defl []float64 // n × c4
-	S      []float64 // k × k
-	WLoc   []float64 // k, scratch for Gu's product (sequential path)
+	Q2Top   []float64 // n1 × c12
+	Q2Bot   []float64 // n2 × c23
+	Q2Defl  []float64 // n × c4
+	S       []float64 // k × k
+	WLoc    []float64 // k, scratch for Gu's product (sequential path)
+	PackTop *blas.PackedA
+	PackBot *blas.PackedA
 }
 
-// NewMergeWorkspace allocates buffers sized for the given deflation outcome.
+// NewMergeWorkspace takes buffers sized for the given deflation outcome
+// from the scratch pool; contents are unspecified and every consumer fully
+// overwrites what it reads. Call Release when the merge is finished to
+// recycle the buffers.
 func NewMergeWorkspace(df *Deflation) *MergeWorkspace {
 	n1, n2 := df.N1, df.N-df.N1
 	k := df.K
 	return &MergeWorkspace{
-		Q2Top:  make([]float64, n1*df.C12()),
-		Q2Bot:  make([]float64, n2*df.C23()),
-		Q2Defl: make([]float64, df.N*df.Ctot[colDeflated]),
-		S:      make([]float64, max(k*k, 1)),
-		WLoc:   make([]float64, k),
+		Q2Top:  pool.Get(n1 * df.C12()),
+		Q2Bot:  pool.Get(n2 * df.C23()),
+		Q2Defl: pool.Get(df.N * df.Ctot[colDeflated]),
+		S:      pool.Get(max(k*k, 1)),
+		WLoc:   pool.Get(k),
 	}
+}
+
+// Release returns the workspace buffers (and any packed operands) to the
+// scratch pool. The workspace must not be used afterwards.
+func (ws *MergeWorkspace) Release() {
+	if ws.PackTop != nil {
+		ws.PackTop.Release()
+		ws.PackTop = nil
+	}
+	if ws.PackBot != nil {
+		ws.PackBot.Release()
+		ws.PackBot = nil
+	}
+	pool.Put(ws.Q2Top)
+	pool.Put(ws.Q2Bot)
+	pool.Put(ws.Q2Defl)
+	pool.Put(ws.S)
+	pool.Put(ws.WLoc)
+	ws.Q2Top, ws.Q2Bot, ws.Q2Defl, ws.S, ws.WLoc = nil, nil, nil, nil, nil
 }
 
 // PermutePanel copies grouped columns [g0, g1) of q into the compressed

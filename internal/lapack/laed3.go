@@ -111,11 +111,40 @@ func (df *Deflation) VectorsPanel(ws *MergeWorkspace, what []float64, j0, j1 int
 	}
 }
 
+// PackV repacks the compressed GEMM operands Q2Top/Q2Bot into blocked-GEMM
+// form (the PackV task): packed once per merge, every UpdateVect panel of
+// the merge then reuses the packed operands instead of re-streaming Q2 from
+// memory per panel. ncol is the typical panel width, used to judge whether
+// the blocked path would be taken for that shape at all; operands whose
+// shape the blocked kernel would decline stay unpacked (UpdatePanel falls
+// back to the plain GEMM for them). Returns the packed-buffer bytes for
+// traffic accounting (0 when nothing was packed).
+func (df *Deflation) PackV(ws *MergeWorkspace, ncol int) (bytes int) {
+	if df.K == 0 || ncol <= 0 {
+		return 0
+	}
+	n1 := df.N1
+	n2 := df.N - n1
+	c12 := df.C12()
+	c23 := df.C23()
+	if c12 > 0 && blas.PackWorthwhile(n1, ncol, c12) {
+		ws.PackTop = blas.PackA(false, n1, c12, ws.Q2Top, n1)
+		bytes += ws.PackTop.Bytes()
+	}
+	if c23 > 0 && blas.PackWorthwhile(n2, ncol, c23) {
+		ws.PackBot = blas.PackA(false, n2, c23, ws.Q2Bot, n2)
+		bytes += ws.PackBot.Bytes()
+	}
+	return bytes
+}
+
 // UpdatePanel computes the final eigenvectors V(:, j0:j1) = Q2 * S(:, j0:j1)
 // as two compressed GEMMs (the paper's UpdateVect task), writing into q.
 // gemm allows the caller to substitute a multithreaded kernel (the fork/join
-// baseline) — pass nil for the serial kernel.
-func (df *Deflation) UpdatePanel(q []float64, ldq int, ws *MergeWorkspace, j0, j1 int, gemm GemmFunc) {
+// baseline) — pass nil for the serial kernel. Operands pre-packed by PackV
+// go through the blocked packed kernel instead; the returned counts say how
+// many of the panel's GEMMs hit the packed fast path versus fell back.
+func (df *Deflation) UpdatePanel(q []float64, ldq int, ws *MergeWorkspace, j0, j1 int, gemm GemmFunc) (packed, unpacked int) {
 	if gemm == nil {
 		gemm = blas.Dgemm
 	}
@@ -127,11 +156,17 @@ func (df *Deflation) UpdatePanel(q []float64, ldq int, ws *MergeWorkspace, j0, j
 	k := df.K
 	ncol := j1 - j0
 	if ncol <= 0 || k == 0 {
-		return
+		return 0, 0
 	}
 	// Top block: rows 0..n1-1 from type-1/2 columns (S rows 0..c12-1).
 	if c12 != 0 {
-		gemm(false, false, n1, ncol, c12, 1, ws.Q2Top, n1, ws.S[j0*k:], k, 0, q[j0*ldq:], ldq)
+		if ws.PackTop != nil {
+			blas.PackedGemm(ws.PackTop, ncol, 1, ws.S[j0*k:], k, 0, q[j0*ldq:], ldq)
+			packed++
+		} else {
+			gemm(false, false, n1, ncol, c12, 1, ws.Q2Top, n1, ws.S[j0*k:], k, 0, q[j0*ldq:], ldq)
+			unpacked++
+		}
 	} else {
 		for j := j0; j < j1; j++ {
 			col := q[j*ldq : j*ldq+n1]
@@ -142,7 +177,13 @@ func (df *Deflation) UpdatePanel(q []float64, ldq int, ws *MergeWorkspace, j0, j
 	}
 	// Bottom block: rows n1..n-1 from type-2/3 columns (S rows c1..c1+c23-1).
 	if c23 != 0 {
-		gemm(false, false, n2, ncol, c23, 1, ws.Q2Bot, n2, ws.S[j0*k+c1:], k, 0, q[j0*ldq+n1:], ldq)
+		if ws.PackBot != nil {
+			blas.PackedGemm(ws.PackBot, ncol, 1, ws.S[j0*k+c1:], k, 0, q[j0*ldq+n1:], ldq)
+			packed++
+		} else {
+			gemm(false, false, n2, ncol, c23, 1, ws.Q2Bot, n2, ws.S[j0*k+c1:], k, 0, q[j0*ldq+n1:], ldq)
+			unpacked++
+		}
 	} else {
 		for j := j0; j < j1; j++ {
 			col := q[j*ldq+n1 : j*ldq+n1+n2]
@@ -151,6 +192,7 @@ func (df *Deflation) UpdatePanel(q []float64, ldq int, ws *MergeWorkspace, j0, j
 			}
 		}
 	}
+	return packed, unpacked
 }
 
 // GemmFunc is the signature of blas.Dgemm, allowing a parallel substitute.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tridiag/internal/blas"
+	"tridiag/internal/pool"
 )
 
 // Dlaed1 performs one merge step of the divide & conquer algorithm
@@ -20,7 +21,8 @@ func Dlaed1(n, cutpnt int, d []float64, q []float64, ldq int, indxq []int, rho f
 		return fmt.Errorf("lapack: Dlaed1: invalid cutpnt %d of %d", cutpnt, n)
 	}
 	// Form the z vector: last row of Q1, first row of Q2.
-	z := make([]float64, n)
+	z := pool.Get(n)
+	defer pool.Put(z)
 	blas.Dcopy(cutpnt, q[cutpnt-1:], ldq, z, 1)
 	blas.Dcopy(n-cutpnt, q[cutpnt+cutpnt*ldq:], ldq, z[cutpnt:], 1)
 
@@ -29,6 +31,7 @@ func Dlaed1(n, cutpnt int, d []float64, q []float64, ldq int, indxq []int, rho f
 		return err
 	}
 	ws := NewMergeWorkspace(df)
+	defer ws.Release()
 	df.PermutePanel(q, ldq, ws, 0, n)
 
 	if df.K == 0 {
@@ -46,7 +49,8 @@ func Dlaed1(n, cutpnt int, d []float64, q []float64, ldq int, indxq []int, rho f
 		ws.WLoc[i] = 1
 	}
 	df.LocalWPanel(ws, ws.WLoc, 0, df.K)
-	what := make([]float64, df.K)
+	what := pool.Get(df.K)
+	defer pool.Put(what)
 	df.FinishW(what, ws.WLoc)
 	df.VectorsPanel(ws, what, 0, df.K)
 	df.CopyBackPanel(q, ldq, d, ws, 0, df.N-df.K)

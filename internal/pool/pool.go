@@ -1,0 +1,50 @@
+// Package pool recycles float64 scratch slices through size-classed
+// sync.Pools. The D&C solver allocates per-merge scratch (deflation z
+// vectors, Gu stabilization products, compressed eigenvector workspaces,
+// GEMM pack buffers) on every merge of every solve; recycling them keeps
+// the hot path allocation-free after warmup instead of churning the GC.
+//
+// Slices are pooled by power-of-two capacity class. Get returns a slice
+// with unspecified contents — callers must fully overwrite what they read.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds pooled capacities at 2^maxClass floats (1 GiB); larger
+// requests fall through to plain allocation.
+const maxClass = 27
+
+var classes [maxClass + 1]sync.Pool
+
+// Get returns a float64 slice of length n with unspecified contents.
+func Get(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1))
+	if c > maxClass {
+		return make([]float64, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// Put recycles a slice previously returned by Get. Slices whose capacity is
+// not an exact power of two (not allocated by Get) are dropped for the GC.
+// The caller must not retain any reference to s.
+func Put(s []float64) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c - 1))
+	if cls > maxClass {
+		return
+	}
+	classes[cls].Put(s[:c])
+}

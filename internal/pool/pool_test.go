@@ -1,0 +1,42 @@
+package pool
+
+import "testing"
+
+func TestGetLengthAndClass(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 1000, 1 << 10, (1 << 10) + 1} {
+		s := Get(n)
+		if len(s) != n {
+			t.Fatalf("Get(%d): len %d", n, len(s))
+		}
+		if c := cap(s); c&(c-1) != 0 {
+			t.Fatalf("Get(%d): cap %d not a power of two", n, c)
+		}
+		Put(s)
+	}
+}
+
+func TestGetZeroAndPutForeign(t *testing.T) {
+	if s := Get(0); s != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+	if s := Get(-3); s != nil {
+		t.Fatal("Get(-3) should be nil")
+	}
+	Put(nil)                  // must not panic
+	Put(make([]float64, 100)) // non-power-of-two cap: dropped, no panic
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	s := Get(100)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	Put(s)
+	// A subsequent Get of the same class may return the same backing array
+	// with unspecified contents; it must still have the right length.
+	r := Get(65)
+	if len(r) != 65 || cap(r) < 65 {
+		t.Fatalf("recycled Get(65): len=%d cap=%d", len(r), cap(r))
+	}
+	Put(r)
+}

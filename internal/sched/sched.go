@@ -32,6 +32,7 @@ var MemoryBoundClasses = map[string]bool{
 	"LASET":            true,
 	"Scale":            true,
 	"Redistribute":     true,
+	"PackV":            true,
 }
 
 // Config tunes a simulation run.

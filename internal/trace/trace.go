@@ -76,6 +76,7 @@ var classSymbols = map[string]byte{
 	"CopyBackDeflated": 'C',
 	"ComputeVect":      'V',
 	"UpdateVect":       'U',
+	"PackV":            'K',
 	"SortEigenvectors": 'E',
 	"Dlamrg":           'm',
 	"Scale":            's',
