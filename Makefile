@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-gemm chaos ci clean
+.PHONY: all build vet test race bench-smoke bench-gemm bench-secular chaos ci clean
 
 all: build
 
@@ -26,6 +26,12 @@ bench-smoke:
 # UpdateVect shapes, and the per-merge packed-operand reuse pattern.
 bench-gemm:
 	$(GO) test -run '^$$' -bench 'Gemm' -benchtime 1x .
+
+# The secular-phase kernel benchmarks: the SIMD dispatch micro-kernels plus
+# the scalar-vs-SIMD Dlaed4/LocalW/ComputeVect comparison of dcbench secular.
+bench-secular:
+	$(GO) test -run '^$$' -bench 'SecularSums|ShiftedSumRatios|RatioSumSq' -benchtime 10x ./internal/simd/
+	$(GO) run ./cmd/dcbench -quick secular
 
 # Fault-injection suite: panic/error/delay probes in every task class across
 # randomized solves, repeated under the race detector; the tests themselves

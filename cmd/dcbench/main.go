@@ -13,11 +13,13 @@
 //	dcbench fig9              accuracy comparison (Figure 9 a+b)
 //	dcbench fig10             application matrix set (Figure 10)
 //	dcbench perf              performance snapshot (task-flow medians + GEMM)
+//	dcbench secular           secular-phase kernels, scalar vs SIMD
 //	dcbench all               everything above in sequence
 //
 // Flags: -sizes 500,1000 -types 2,3,4 -workers 1,2,4,8,16 -seed 7 -quick -bw 4
 // With -json, the perf snapshot is additionally written to
-// BENCH_taskflow.json in the working directory.
+// BENCH_taskflow.json in the working directory (dcbench secular -json merges
+// its record into the same file under the "secular" key).
 package main
 
 import (
@@ -55,7 +57,7 @@ func main() {
 	bw := fs.Float64("bw", 0, "bandwidth cap in concurrent streams (0: default 4)")
 	jsonOut := fs.Bool("json", false, "write the perf snapshot to BENCH_taskflow.json")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|ablate|theory|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|secular|ablate|theory|all>\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -125,13 +127,18 @@ func main() {
 			var rec *bench.PerfRecord
 			rec, err = bench.Perf(cfg)
 			if err == nil && *jsonOut {
-				var data []byte
-				data, err = rec.JSON()
-				if err == nil {
-					err = os.WriteFile("BENCH_taskflow.json", data, 0o644)
-				}
+				err = rec.MergeJSON("BENCH_taskflow.json")
 				if err == nil {
 					fmt.Println("wrote BENCH_taskflow.json")
+				}
+			}
+		case "secular":
+			var rec *bench.SecularRecord
+			rec, err = bench.Secular(cfg)
+			if err == nil && *jsonOut {
+				err = rec.MergeJSON("BENCH_taskflow.json")
+				if err == nil {
+					fmt.Println("merged secular record into BENCH_taskflow.json")
 				}
 			}
 		case "ablate":

@@ -12,12 +12,41 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"tridiag/internal/core"
 	"tridiag/internal/sched"
 	"tridiag/internal/testmat"
 	"tridiag/internal/trace"
 )
+
+// taskTimeReport formats the measured per-task-kind wall-time totals of the
+// capture run (secular-vs-GEMM balance), sorted by descending share. The
+// returned csvLine is a single `#`-comment line for the CSV output.
+func taskTimeReport(times map[string]time.Duration) (report, csvLine string) {
+	if len(times) == 0 {
+		return "", ""
+	}
+	classes := make([]string, 0, len(times))
+	var total time.Duration
+	for c, t := range times {
+		classes = append(classes, c)
+		total += t
+	}
+	sort.Slice(classes, func(i, j int) bool { return times[classes[i]] > times[classes[j]] })
+	var b, csv strings.Builder
+	b.WriteString("measured kernel time per task kind:\n")
+	csv.WriteString("# task_times_us:")
+	for _, c := range classes {
+		t := times[c]
+		fmt.Fprintf(&b, "  %-18s %10s  %5.1f%%\n", c, t.Round(time.Microsecond), 100*float64(t)/float64(total))
+		fmt.Fprintf(&csv, " %s=%d", c, t.Microseconds())
+	}
+	csv.WriteString("\n")
+	return b.String(), csv.String()
+}
 
 func main() {
 	typ := flag.Int("type", 4, "Table III matrix type")
@@ -78,10 +107,12 @@ func main() {
 	fmt.Print(tl.Gantt(*width))
 	fmt.Println()
 	fmt.Print(tl.BreakdownReport())
+	timeReport, timeCSV := taskTimeReport(res.Stats.TaskTimes())
+	fmt.Print(timeReport)
 
 	if *csv != "" {
 		header := fmt.Sprintf("# UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n",
-			hits, misses, bytes, rate)
+			hits, misses, bytes, rate) + timeCSV
 		fail(os.WriteFile(*csv, []byte(header+tl.CSV()), 0o644))
 		fmt.Printf("wrote %s\n", *csv)
 	}

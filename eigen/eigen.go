@@ -96,7 +96,8 @@ type Options struct {
 	Method Method
 	// Workers is the number of worker goroutines (<=0: GOMAXPROCS).
 	Workers int
-	// PanelSize is the D&C task panel width nb (<=0: default).
+	// PanelSize is the D&C task panel width nb (<=0: adaptive, chosen per
+	// merge from the merge width, post-deflation size and worker count).
 	PanelSize int
 	// MinPartition is the D&C leaf cutoff (<=0: default).
 	MinPartition int

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
@@ -120,4 +121,32 @@ func Perf(cfg *Config) (*PerfRecord, error) {
 // JSON renders the record as indented JSON (for BENCH_taskflow.json).
 func (r *PerfRecord) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// MergeJSON writes the record's fields into path at the top level (the
+// historical layout), preserving any foreign keys already in the file —
+// notably the "secular" record written by `dcbench secular -json`.
+func (r *PerfRecord) MergeJSON(path string) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	self, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	fields := map[string]any{}
+	if err := json.Unmarshal(self, &fields); err != nil {
+		return err
+	}
+	for k, v := range fields {
+		doc[k] = v
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -70,9 +70,19 @@ type Options struct {
 	// Workers is the number of worker goroutines (<=0: GOMAXPROCS).
 	Workers int
 	// PanelSize is nb, the number of eigenvector columns per panel task.
+	// When <= 0 the scheduler picks nb adaptively per merge: panel counts
+	// are sized from the merge width and worker count at submit time, and
+	// the secular panel width is re-derived from the post-deflation k once
+	// the deflation task has run (large panels for small k to avoid task
+	// overhead, smaller panels for big k to feed all workers). The chosen
+	// width per merge is recorded in Result.Stats (MergeStat.NB).
 	PanelSize int
 	// MinPartition is the leaf cutoff of the D&C tree (leaves at most this
-	// size are solved by Dsteqr).
+	// size are solved by Dsteqr). The default (48) keeps the O(m³) QR
+	// iteration on the leaves from dominating heavily-deflating solves —
+	// with 128-wide leaves the leaf solves are over half the n=2000 wall
+	// time, while the extra merge level costs only a few small GEMMs.
+	// LAPACK's DSTEDC uses SMLSIZ=25 for the same reason.
 	MinPartition int
 	// ExtraWorkspace, as in the paper, permits PermuteV to overlap LAED4
 	// and CopyBackDeflated to overlap ComputeVect on the same panel, at
@@ -89,11 +99,11 @@ func (o *Options) withDefaults() Options {
 	if o != nil {
 		v = *o
 	}
-	if v.PanelSize < 1 {
-		v.PanelSize = 128
+	if v.PanelSize < 0 {
+		v.PanelSize = 0 // adaptive
 	}
 	if v.MinPartition < 2 {
-		v.MinPartition = 128
+		v.MinPartition = 48
 	}
 	return v
 }
@@ -158,7 +168,7 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 		return res, err
 	}
 
-	rtOpts := []quark.Option{quark.WithContext(ctx)}
+	rtOpts := []quark.Option{quark.WithContext(ctx), quark.WithTaskTimer(res.Stats.addTaskTime)}
 	if o.CaptureGraph {
 		rtOpts = append(rtOpts, quark.WithGraphCapture())
 	}
@@ -289,6 +299,38 @@ func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq i
 	return nil
 }
 
+// adaptivePanelNB picks the submit-time panel width for a merge of width nm:
+// the DAG is matrix independent (submitted before deflation is known), so the
+// panel count is sized to give each worker a few stealable panels while
+// keeping panels wide enough to amortize per-task overhead. The clamp is
+// deliberately tight (96–128): the submit-time width only fixes the panel
+// COUNT, and too few panels would force the runtime secular width above its
+// cache budget (see secularPanelNB), while panels narrower than ~96 columns
+// measurably lose to task overhead on small merges.
+func adaptivePanelNB(nm, workers int) int {
+	nb := (nm + 4*workers - 1) / (4 * workers)
+	return min(max(nb, 96), 128)
+}
+
+// secularPanelNB re-derives the secular panel width once the post-deflation k
+// is known: small k gets a few wide panels (the surplus submitted panels
+// no-op immediately), large k gets panels sized to feed every worker AND to
+// keep an nb-wide, k-row eigenvector panel — the unit the UpdateVect packed
+// GEMM streams — within a ~2 MiB cache footprint. The width never drops
+// below ceil(k/npanels), so the panels submitted for the worst case (no
+// deflation) always cover all k secular columns.
+func secularPanelNB(k, npanels, workers int) int {
+	if k == 0 {
+		return 0
+	}
+	nb := (k + 4*workers - 1) / (4 * workers)
+	nb = max(nb, 48)
+	if cacheNB := max(2<<20/(8*k), 64); nb > cacheNB {
+		nb = cacheNB
+	}
+	return max(nb, (k+npanels-1)/npanels)
+}
+
 // mergeState is the runtime-shared state of one merge: filled by the
 // Compute-deflation task, consumed by the panel tasks.
 type mergeState struct {
@@ -296,6 +338,13 @@ type mergeState struct {
 	ws    *lapack.MergeWorkspace
 	what  []float64   // stabilized ẑ (ReduceW output)
 	wlocs [][]float64 // per-panel Gu partial products
+	// nbSec is the panel width of the secular tasks (LAED4, ComputeLocalW,
+	// ComputeVect, UpdateVect, PackV). With a fixed Options.PanelSize it
+	// equals the submit-time nb; in adaptive mode the deflation task
+	// recomputes it from the post-deflation k before any secular task runs
+	// (every secular task depends on the deflation join through hS or the
+	// parent handles, so the write is ordered before all reads).
+	nbSec int
 	// pending counts the merge's not-yet-finished workspace consumers
 	// (UpdateVect and CopyBackDeflated panels plus PackV); when the last
 	// one finishes, the pooled workspace and packed operands are recycled.
@@ -344,8 +393,11 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	nm := parent.size
 	n1 := left.size
 	nb := o.PanelSize
+	if nb <= 0 {
+		nb = adaptivePanelNB(nm, rt.Workers())
+	}
 	npanels := (nm + nb - 1) / nb
-	ms := &mergeState{wlocs: make([][]float64, npanels)}
+	ms := &mergeState{wlocs: make([][]float64, npanels), nbSec: nb}
 	// Workspace consumers: every UpdateVect and CopyBackDeflated panel plus
 	// the PackV task; the last to finish recycles the merge scratch.
 	ms.pending.Store(int32(2*npanels + 1))
@@ -383,8 +435,11 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		ms.df = df
 		ms.ws = lapack.NewMergeWorkspace(df)
 		ms.what = pool.Get(df.K)
+		if o.PanelSize <= 0 {
+			ms.nbSec = secularPanelNB(df.K, npanels, rt.Workers())
+		}
 		st.count("ComputeDeflation", int64(nm))
-		st.recordMerge(lvl, nm, df.K)
+		st.recordMerge(lvl, nm, df.K, ms.nbSec)
 	}, quark.ReadWrite(parent.hV), quark.ReadWrite(parent.hD),
 		quark.Read(left.hV), quark.Read(right.hV),
 		quark.Read(left.hD), quark.Read(right.hD),
@@ -418,10 +473,12 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		}, quark.Read(parent.hV), quark.Gather(hS), quark.ReadWrite(hPerm[p]))
 	}
 
-	// LAED4: solve the secular equation per panel of eigenvalues.
+	// LAED4: solve the secular equation per panel of eigenvalues. The panel
+	// ranges of the secular tasks come from ms.nbSec at run time, not from
+	// the submit-time nb: in adaptive mode the deflation task re-derives the
+	// width from the post-deflation k.
 	for p := 0; p < npanels; p++ {
 		p := p
-		j0 := p * nb
 		acc := []quark.Access{quark.Gather(hS), quark.Gather(parent.hD)}
 		if !o.ExtraWorkspace {
 			// Without extra workspace the secular panel shares storage
@@ -431,7 +488,8 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		acc = append(acc, quark.ReadWrite(hSec[p]))
 		rt.SubmitPrio("LAED4", name("LAED4", p), prio+prioSecular, func() {
 			k := ms.df.K
-			j1 := min(j0+nb, k)
+			j0 := p * ms.nbSec
+			j1 := min(j0+ms.nbSec, k)
 			if j0 >= j1 {
 				return
 			}
@@ -449,10 +507,10 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	// ComputeLocalW: panel-local factors of Gu's stabilization product.
 	for p := 0; p < npanels; p++ {
 		p := p
-		j0 := p * nb
 		rt.SubmitPrio("ComputeLocalW", name("ComputeLocalW", p), prio+prioSecular, func() {
 			k := ms.df.K
-			j1 := min(j0+nb, k)
+			j0 := p * ms.nbSec
+			j1 := min(j0+ms.nbSec, k)
 			if j0 >= j1 {
 				return
 			}
@@ -498,7 +556,6 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	// ComputeVect: stabilize and form the updated eigenvectors X per panel.
 	for p := 0; p < npanels; p++ {
 		p := p
-		j0 := p * nb
 		acc := []quark.Access{quark.Read(hS)}
 		if !o.ExtraWorkspace {
 			// Without extra workspace the deflated copy-back must vacate
@@ -508,7 +565,8 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		acc = append(acc, quark.ReadWrite(hSec[p]))
 		rt.SubmitPrio("ComputeVect", name("ComputeVect", p), prio+prioSecular, func() {
 			k := ms.df.K
-			j1 := min(j0+nb, k)
+			j0 := p * ms.nbSec
+			j1 := min(j0+ms.nbSec, k)
 			if j0 >= j1 {
 				return
 			}
@@ -529,7 +587,7 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		if k == 0 {
 			return
 		}
-		if bytes := ms.df.PackV(ms.ws, min(nb, k)); bytes > 0 {
+		if bytes := ms.df.PackV(ms.ws, min(ms.nbSec, k)); bytes > 0 {
 			st.count("PackV", int64(bytes))
 		}
 	}, quark.Gather(parent.hV), quark.Write(hPack))
@@ -538,11 +596,11 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 	// shared packed operands where PackV judged the shape worthwhile).
 	for p := 0; p < npanels; p++ {
 		p := p
-		j0 := p * nb
 		rt.SubmitPrio("UpdateVect", name("UpdateVect", p), prio+prioUpdate, func() {
 			defer ms.done()
 			k := ms.df.K
-			j1 := min(j0+nb, k)
+			j0 := p * ms.nbSec
+			j1 := min(j0+ms.nbSec, k)
 			if j0 >= j1 {
 				return
 			}

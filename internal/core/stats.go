@@ -5,27 +5,49 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// Stats aggregates per-kernel operation counts and per-merge deflation data,
-// feeding the paper's cost-model experiments (Table I, Eq. 8).
+// taskClasses is every kernel class the solver submits. Pre-seeding the
+// per-class wall-time counters for all of them keeps the hot-path observer
+// (one atomic add per executed task) free of map writes and locks.
+var taskClasses = []string{
+	"LASET", "Scale", "STEDC", "Barrier", "SortEigenvectors",
+	"ComputeDeflation", "Redistribute", "PermuteV", "LAED4", "ComputeLocalW",
+	"ReduceW", "CopyBackDeflated", "ComputeVect", "PackV", "UpdateVect",
+	"Dlamrg",
+}
+
+// Stats aggregates per-kernel operation counts, wall times and per-merge
+// deflation data, feeding the paper's cost-model experiments (Table I, Eq. 8).
 type Stats struct {
 	mu     sync.Mutex
 	Ops    map[string]int64 // approximate element operations per kernel class
 	Tasks  map[string]int64 // executed task count per kernel class
 	Merges []MergeStat
+
+	taskNanos map[string]*atomic.Int64 // summed kernel wall time per class
+	otherNano atomic.Int64             // classes not in taskClasses (defensive)
 }
 
-// MergeStat describes one merge: its tree level, size and secular size
-// (n - k eigenpairs were deflated).
+// MergeStat describes one merge: its tree level, size, secular size
+// (n - k eigenpairs were deflated), and the secular panel width nb the
+// scheduler used for it (the adaptive choice when Options.PanelSize == 0).
 type MergeStat struct {
 	Level int
 	N     int
 	K     int
+	NB    int
 }
 
 func newStats() *Stats {
-	return &Stats{Ops: make(map[string]int64), Tasks: make(map[string]int64)}
+	s := &Stats{Ops: make(map[string]int64), Tasks: make(map[string]int64)}
+	s.taskNanos = make(map[string]*atomic.Int64, len(taskClasses))
+	for _, c := range taskClasses {
+		s.taskNanos[c] = new(atomic.Int64)
+	}
+	return s
 }
 
 func (s *Stats) count(class string, ops int64) {
@@ -35,9 +57,36 @@ func (s *Stats) count(class string, ops int64) {
 	s.mu.Unlock()
 }
 
-func (s *Stats) recordMerge(level, n, k int) {
+// addTaskTime is the quark.WithTaskTimer observer: one atomic add per
+// executed task, no locks (the map is read-only after newStats).
+func (s *Stats) addTaskTime(class string, d time.Duration) {
+	if c, ok := s.taskNanos[class]; ok {
+		c.Add(int64(d))
+		return
+	}
+	s.otherNano.Add(int64(d))
+}
+
+// TaskTimes returns the summed kernel wall time per task class (only classes
+// that actually ran). Times sum across workers, so the total can exceed the
+// solve's wall time on multi-worker runs. Empty for solves that did not go
+// through the task runtime.
+func (s *Stats) TaskTimes() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for c, n := range s.taskNanos {
+		if v := n.Load(); v > 0 {
+			out[c] = time.Duration(v)
+		}
+	}
+	if v := s.otherNano.Load(); v > 0 {
+		out["other"] = time.Duration(v)
+	}
+	return out
+}
+
+func (s *Stats) recordMerge(level, n, k, nb int) {
 	s.mu.Lock()
-	s.Merges = append(s.Merges, MergeStat{Level: level, N: n, K: k})
+	s.Merges = append(s.Merges, MergeStat{Level: level, N: n, K: k, NB: nb})
 	s.mu.Unlock()
 }
 
@@ -106,9 +155,14 @@ func (s *Stats) String() string {
 		classes = append(classes, c)
 	}
 	sort.Strings(classes)
-	fmt.Fprintf(&b, "%-20s %10s %14s\n", "kernel", "tasks", "ops")
+	times := s.TaskTimes()
+	fmt.Fprintf(&b, "%-20s %10s %14s %12s\n", "kernel", "tasks", "ops", "time")
 	for _, c := range classes {
-		fmt.Fprintf(&b, "%-20s %10d %14d\n", c, s.Tasks[c], s.Ops[c])
+		tm := "-"
+		if t, ok := times[c]; ok {
+			tm = t.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-20s %10d %14d %12s\n", c, s.Tasks[c], s.Ops[c], tm)
 	}
 	return b.String()
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"tridiag/internal/blas"
+	"tridiag/internal/pool"
+	"tridiag/internal/simd"
 )
 
 // SecularPanel solves the secular equation for secular indices [j0, j1)
@@ -44,13 +46,10 @@ func (df *Deflation) LocalWPanel(ws *MergeWorkspace, wloc []float64, j0, j1 int)
 	}
 	for j := j0; j < j1; j++ {
 		col := ws.S[j*k : j*k+k]
-		for i := 0; i < j; i++ {
-			wloc[i] *= col[i] / (df.Dlamda[i] - df.Dlamda[j])
-		}
+		dj := df.Dlamda[j]
+		simd.MulRatioDiff(wloc[:j], col[:j], df.Dlamda[:j], dj)
 		wloc[j] *= col[j] // the diagonal factor dlamda(j) - λ_j
-		for i := j + 1; i < k; i++ {
-			wloc[i] *= col[i] / (df.Dlamda[i] - df.Dlamda[j])
-		}
+		simd.MulRatioDiff(wloc[j+1:k], col[j+1:k], df.Dlamda[j+1:k], dj)
 	}
 }
 
@@ -64,16 +63,29 @@ func (df *Deflation) FinishW(what []float64, wlocs ...[]float64) {
 	if k <= 2 {
 		return
 	}
-	for i := 0; i < k; i++ {
-		p := 1.0
-		for _, wl := range wlocs {
-			if wl == nil {
-				continue
-			}
-			p *= wl[i]
+	// Accumulate the cross-panel product directly in what (it is fully
+	// overwritten below), so no temporary slice is needed: the buffer is
+	// per-merge pooled scratch already released by the caller's
+	// pending-counter mechanism.
+	p := what[:k]
+	first := true
+	for _, wl := range wlocs {
+		if wl == nil {
+			continue
 		}
-		what[i] = Sign(math.Sqrt(-p), df.W[i])
+		if first {
+			copy(p, wl[:k])
+			first = false
+		} else {
+			simd.MulInto(p, wl[:k])
+		}
 	}
+	if first {
+		for i := range p {
+			p[i] = 1
+		}
+	}
+	simd.NegSqrtSign(p, p, df.W[:k])
 }
 
 // VectorsPanel forms the normalized eigenvectors of the rank-one secular
@@ -98,15 +110,21 @@ func (df *Deflation) VectorsPanel(ws *MergeWorkspace, what []float64, j0, j1 int
 		}
 		return
 	}
-	s := make([]float64, k)
+	s := pool.Get(k)
+	defer pool.Put(s)
 	for j := j0; j < j1; j++ {
 		col := ws.S[j*k : j*k+k]
-		for i := 0; i < k; i++ {
-			s[i] = what[i] / col[i]
+		sumsq := simd.RatioSumSq(s[:k], what[:k], col)
+		// The fused sum of squares is safe only while it stays well inside
+		// the normal range; otherwise recompute with the scaled 2-norm.
+		var inv float64
+		if sumsq > 1e-280 && sumsq < 1e280 {
+			inv = 1 / math.Sqrt(sumsq)
+		} else {
+			inv = 1 / blas.Dnrm2(k, s, 1)
 		}
-		nrm := blas.Dnrm2(k, s, 1)
 		for i := 0; i < k; i++ {
-			col[i] = s[df.GroupToSecular[i]] / nrm
+			col[i] = s[df.GroupToSecular[i]] * inv
 		}
 	}
 }

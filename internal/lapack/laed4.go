@@ -3,6 +3,8 @@ package lapack
 import (
 	"fmt"
 	"math"
+
+	"tridiag/internal/simd"
 )
 
 // Dlaed4 computes the i-th (0-based) eigenvalue of the rank-one modified
@@ -43,10 +45,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 		for j := 0; j < n; j++ {
 			delta[j] = (d[j] - d[n-1]) - midpt
 		}
-		var psi float64
-		for j := 0; j < n-2; j++ {
-			psi += z[j] * z[j] / delta[j]
-		}
+		psi := simd.SumRatios(z[:n-2], delta[:n-2])
 		c := rhoinv + psi
 		w := c + z[ii]*z[ii]/delta[n-2] + z[n-1]*z[n-1]/delta[n-1]
 
@@ -83,15 +82,17 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 		}
 
 		evaluate := func() (w, dpsi, dphi, erretm float64) {
-			var psi float64
-			for j := 0; j <= n-2; j++ {
-				temp := z[j] / delta[j]
-				psi += z[j] * temp
-				dpsi += temp * temp
-				erretm += psi
-			}
-			erretm = math.Abs(erretm)
-			temp := z[n-1] / delta[n-1]
+			// ψ over the leading n-1 terms in one vectorized pass. The
+			// reference adds the running prefix of ψ to erretm after every
+			// term, which weights term j by (n-1)-j: w0=n-1, wstep=-1. The
+			// pole terms j=n-2 and j=n-1 stay scalar.
+			psi, dpsiv, werr := simd.SecularSums(z[:n-2], delta[:n-2], float64(n-1), -1)
+			dpsi = dpsiv
+			temp := z[n-2] / delta[n-2]
+			psi += z[n-2] * temp
+			dpsi += temp * temp
+			erretm = math.Abs(werr + z[n-2]*temp)
+			temp = z[n-1] / delta[n-1]
 			phi := z[n-1] * temp
 			dphi = temp * temp
 			erretm = 8*(-phi-psi) + erretm - phi + rhoinv + math.Abs(tau)*(dpsi+dphi)
@@ -162,14 +163,8 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 		delta[j] = (d[j] - d[i]) - midpt
 	}
 
-	var psi0 float64
-	for j := 0; j < i; j++ {
-		psi0 += z[j] * z[j] / delta[j]
-	}
-	var phi0 float64
-	for j := k - 1; j >= i+2; j-- {
-		phi0 += z[j] * z[j] / delta[j]
-	}
+	psi0 := simd.SumRatios(z[:i], delta[:i])
+	phi0 := simd.SumRatios(z[i+2:k], delta[i+2:k])
 	c := rhoinv + psi0 + phi0
 	w := c + z[i]*z[i]/delta[i] + z[ip1]*z[ip1]/delta[ip1]
 
@@ -210,22 +205,29 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 	}
 
 	evaluate := func() (w, dw, dpsi, dphi, erretm float64) {
-		var psi float64
-		for j := 0; j <= ii-1; j++ {
-			temp := z[j] / delta[j]
-			psi += z[j] * temp
-			dpsi += temp * temp
-			erretm += psi
+		// ψ over [0,ii) and φ over (ii,k) in two vectorized passes. The
+		// reference accumulates erretm as a running prefix after every term:
+		// the forward ψ loop maps to weights ii-j (w0=ii, wstep=-1) and the
+		// descending φ loop to weights j-ii over the ascending slice (w0=1,
+		// wstep=+1). The pole terms j==i and j==i+1 stay scalar so the
+		// iteration sees them at full precision.
+		var psi, phi, werrPsi, werrPhi float64
+		if orgati {
+			psi, dpsi, werrPsi = simd.SecularSums(z[:i], delta[:i], float64(i), -1)
+			phi, dphi, werrPhi = simd.SecularSums(z[i+2:k], delta[i+2:k], 2, 1)
+			t := z[ip1] / delta[ip1]
+			phi += z[ip1] * t
+			dphi += t * t
+			werrPhi += z[ip1] * t
+		} else {
+			psi, dpsi, werrPsi = simd.SecularSums(z[:i], delta[:i], float64(i+1), -1)
+			t := z[i] / delta[i]
+			psi += z[i] * t
+			dpsi += t * t
+			werrPsi += z[i] * t
+			phi, dphi, werrPhi = simd.SecularSums(z[ip1+1:k], delta[ip1+1:k], 1, 1)
 		}
-		erretm = math.Abs(erretm)
-		var phi float64
-		for j := k - 1; j >= ii+1; j-- {
-			temp := z[j] / delta[j]
-			phi += z[j] * temp
-			dphi += temp * temp
-			erretm += phi
-		}
-		erretm = math.Abs(erretm)
+		erretm = math.Abs(math.Abs(werrPsi) + werrPhi)
 		w = rhoinv + phi + psi
 		// Add back the ii-th (origin) term.
 		temp := z[ii] / delta[ii]
@@ -326,11 +328,7 @@ func Dlaed4Bisect(k, i int, d, z, delta []float64, rho float64) (float64, error)
 	// in tau wherever it is finite, with the differences accumulated
 	// relative to the origin pole to avoid cancellation (as in Dlaed4).
 	eval := func(org, tau float64) float64 {
-		w := rhoinv
-		for j := 0; j < k; j++ {
-			w += z[j] * z[j] / ((d[j] - org) - tau)
-		}
-		return w
+		return rhoinv + simd.ShiftedSumRatios(d[:k], z[:k], org, tau)
 	}
 	var org, lo, hi float64
 	if i == k-1 {

@@ -215,6 +215,8 @@ type Runtime struct {
 	ctxErr  error           // on mu; set once when ctx is cancelled
 	aborted atomic.Bool     // fast-path mirror of ctxErr != nil
 	stop    chan struct{}   // closed by Shutdown; ends the context watcher
+
+	taskTimer func(class string, d time.Duration) // WithTaskTimer observer, may be nil
 }
 
 // Option configures a Runtime.
@@ -231,6 +233,15 @@ func WithGraphCapture() Option {
 // skipped and marked Canceled, and Wait returns ctx.Err().
 func WithContext(ctx context.Context) Option {
 	return func(rt *Runtime) { rt.ctx = ctx }
+}
+
+// WithTaskTimer registers an observer called once per executed task with the
+// task's class and measured kernel wall time (skipped tasks are not
+// reported). The observer runs on worker goroutines outside the runtime
+// locks, so it must be concurrency-safe and cheap — one atomic add per task
+// is the intended shape.
+func WithTaskTimer(obs func(class string, d time.Duration)) Option {
+	return func(rt *Runtime) { rt.taskTimer = obs }
 }
 
 // New creates a runtime with the given number of workers (<=0 selects
@@ -580,6 +591,9 @@ func (rt *Runtime) run(id int, t *task) {
 		err = safeCall(t.fn)
 	}
 	end := time.Since(rt.start)
+	if rt.taskTimer != nil {
+		rt.taskTimer(t.class, end-start)
+	}
 
 	rt.mu.Lock()
 	t.done = true

@@ -1,0 +1,82 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInputs(k int) (z, den []float64) {
+	rng := rand.New(rand.NewSource(1))
+	z = make([]float64, k)
+	den = make([]float64, k)
+	for i := range z {
+		z[i] = 2*rng.Float64() - 1
+		den[i] = 0.5 + rng.Float64()
+		if i%2 == 0 {
+			den[i] = -den[i]
+		}
+	}
+	return z, den
+}
+
+func benchBoth(b *testing.B, k int, f func(z, den []float64)) {
+	z, den := benchInputs(k)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"scalar", false}, {"simd", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			if mode.on && !Available() {
+				b.Skip("no AVX2+FMA")
+			}
+			defer SetSIMD(Available())
+			SetSIMD(mode.on)
+			b.SetBytes(int64(16 * k))
+			for i := 0; i < b.N; i++ {
+				f(z, den)
+			}
+		})
+	}
+}
+
+func BenchmarkSecularSums(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			benchBoth(b, k, func(z, den []float64) {
+				SecularSums(z, den, float64(len(z)), -1)
+			})
+		})
+	}
+}
+
+func BenchmarkShiftedSumRatios(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			benchBoth(b, k, func(z, den []float64) {
+				ShiftedSumRatios(den, z, 0.1, 1e-8)
+			})
+		})
+	}
+}
+
+func BenchmarkRatioSumSq(b *testing.B) {
+	dst := make([]float64, 1024)
+	for _, k := range []int{64, 256, 1024} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			benchBoth(b, k, func(z, den []float64) {
+				RatioSumSq(dst[:len(z)], z, den)
+			})
+		})
+	}
+}
+
+func sizeName(k int) string {
+	switch k {
+	case 64:
+		return "k=64"
+	case 256:
+		return "k=256"
+	default:
+		return "k=1024"
+	}
+}

@@ -1,0 +1,231 @@
+// Package simd provides the vector kernels of the secular phase of the D&C
+// eigensolver: the ψ/φ/erretm partial sums of the secular function and its
+// derivative (Dlaed4's inner loops), the fused reciprocal-difference products
+// of Gu's stabilization (ComputeLocalW), the form-and-normalize ratios of the
+// secular eigenvectors (ComputeVect), and the cross-panel product reduction
+// (ReduceW). On amd64 with AVX2+FMA the kernels dispatch to hand-written
+// assembly (simd_amd64.s), gated by the same CPUID/XGETBV usability test as
+// the blocked-GEMM micro-kernel; everywhere else they run portable Go.
+//
+// Kernel semantics are fixed independently of dispatch: the assembly and the
+// portable fallbacks process elements in the same order — four interleaved
+// lane accumulators over the 4-aligned prefix, combined as (l0+l2)+(l1+l3),
+// then the scalar tail — with the same rounding (the accumulations use
+// separate multiply and add, never FMA contractions, and divisions and square
+// roots are correctly rounded on both paths). A solve therefore computes
+// bitwise-identical results whether the assembly kernels are active or not.
+// The loops are division-bound, so skipping FMA in the surrounding adds
+// costs nothing.
+package simd
+
+import "math"
+
+// active gates dispatch to the assembly kernels. Flipped only by SetSIMD
+// (benchmarks and property tests); not safe to toggle concurrently with
+// kernel calls.
+var active = haveSIMD
+
+// Available reports whether the AVX2+FMA assembly kernels exist on this
+// platform and CPU.
+func Available() bool { return haveSIMD }
+
+// Active reports whether kernel calls currently dispatch to assembly.
+func Active() bool { return active }
+
+// SetSIMD enables or disables the assembly kernels. Enabling is a no-op when
+// the hardware does not support them. Intended for benchmarks and tests
+// (scalar-vs-SIMD columns); do not toggle concurrently with kernel use.
+func SetSIMD(on bool) { active = on && haveSIMD }
+
+// SecularSums accumulates, over j in [0, len(z)), the three sums of one
+// secular-function evaluation pass with t_j = z[j]/delta[j]:
+//
+//	s  = Σ z[j]·t_j          (ψ or φ, the secular partial sum)
+//	ds = Σ t_j·t_j           (its derivative)
+//	ws = Σ (w0+j·wstep)·z[j]·t_j
+//
+// ws is the running-prefix error accumulation of LAPACK DLAED4 rewritten as
+// a weighted single pass: the reference adds the prefix sum of ψ to erretm
+// after every term, which weights term j by the number of remaining terms.
+// Forward (ascending) accumulation over m terms uses w0=m, wstep=-1; the
+// reference's descending φ loop maps to w0=1, wstep=+1 over the same slice
+// in ascending order. Weights must be exactly representable integers.
+func SecularSums(z, delta []float64, w0, wstep float64) (s, ds, ws float64) {
+	n := len(z)
+	n4 := n &^ 3
+	if n4 > 0 {
+		if active {
+			s, ds, ws = secularSumsAVX(z[:n4], delta[:n4], w0, wstep)
+		} else {
+			s, ds, ws = secularSumsGo(z[:n4], delta[:n4], w0, wstep)
+		}
+	}
+	for j := n4; j < n; j++ {
+		t := z[j] / delta[j]
+		p := z[j] * t
+		s += p
+		ds += t * t
+		ws += (w0 + float64(j)*wstep) * p
+	}
+	return s, ds, ws
+}
+
+func secularSumsGo(z, delta []float64, w0, wstep float64) (s, ds, ws float64) {
+	var s0, s1, s2, s3, d0, d1, d2, d3, u0, u1, u2, u3 float64
+	wv0, wv1, wv2, wv3 := w0, w0+wstep, w0+2*wstep, w0+3*wstep
+	wstep4 := 4 * wstep
+	for j := 0; j+3 < len(z); j += 4 {
+		t0 := z[j] / delta[j]
+		t1 := z[j+1] / delta[j+1]
+		t2 := z[j+2] / delta[j+2]
+		t3 := z[j+3] / delta[j+3]
+		p0 := z[j] * t0
+		p1 := z[j+1] * t1
+		p2 := z[j+2] * t2
+		p3 := z[j+3] * t3
+		s0 += p0
+		s1 += p1
+		s2 += p2
+		s3 += p3
+		d0 += t0 * t0
+		d1 += t1 * t1
+		d2 += t2 * t2
+		d3 += t3 * t3
+		u0 += wv0 * p0
+		u1 += wv1 * p1
+		u2 += wv2 * p2
+		u3 += wv3 * p3
+		wv0 += wstep4
+		wv1 += wstep4
+		wv2 += wstep4
+		wv3 += wstep4
+	}
+	return (s0 + s2) + (s1 + s3), (d0 + d2) + (d1 + d3), (u0 + u2) + (u1 + u3)
+}
+
+// SumRatios returns Σ (z[j]·z[j])/den[j], the plain secular partial sum used
+// by Dlaed4's initial-guess evaluations.
+func SumRatios(z, den []float64) float64 {
+	return ShiftedSumRatios(den, z, 0, 0)
+}
+
+// ShiftedSumRatios returns Σ z[j]·z[j] / ((d[j]-org)-tau), the secular
+// function body evaluated with the cancellation-free two-step shift — the
+// inner loop of the bisection safeguard Dlaed4Bisect.
+func ShiftedSumRatios(d, z []float64, org, tau float64) (s float64) {
+	n := len(d)
+	n4 := n &^ 3
+	if n4 > 0 {
+		if active {
+			s = shiftedSumAVX(d[:n4], z[:n4], org, tau)
+		} else {
+			s = shiftedSumGo(d[:n4], z[:n4], org, tau)
+		}
+	}
+	for j := n4; j < n; j++ {
+		s += z[j] * z[j] / ((d[j] - org) - tau)
+	}
+	return s
+}
+
+func shiftedSumGo(d, z []float64, org, tau float64) float64 {
+	var s0, s1, s2, s3 float64
+	for j := 0; j+3 < len(d); j += 4 {
+		s0 += z[j] * z[j] / ((d[j] - org) - tau)
+		s1 += z[j+1] * z[j+1] / ((d[j+1] - org) - tau)
+		s2 += z[j+2] * z[j+2] / ((d[j+2] - org) - tau)
+		s3 += z[j+3] * z[j+3] / ((d[j+3] - org) - tau)
+	}
+	return (s0 + s2) + (s1 + s3)
+}
+
+// MulRatioDiff performs w[i] *= num[i] / (den[i] - dj) elementwise — one
+// panel column's factors of Gu's stabilization product (ComputeLocalW),
+// with the pole term i==j carved out by the caller. The three slices must
+// have equal length.
+func MulRatioDiff(w, num, den []float64, dj float64) {
+	n := len(w)
+	n4 := n &^ 3
+	if n4 > 0 && active {
+		mulRatioDiffAVX(w[:n4], num[:n4], den[:n4], dj)
+	} else {
+		n4 = 0
+	}
+	for i := n4; i < n; i++ {
+		w[i] *= num[i] / (den[i] - dj)
+	}
+}
+
+// RatioSumSq sets dst[i] = num[i]/den[i] elementwise and returns Σ dst[i]²
+// — the fused form-and-sum-of-squares pass of ComputeVect. The caller is
+// responsible for guarding against overflow/underflow of the squared sum
+// (fall back to a scaled norm when the result is not a normal float).
+func RatioSumSq(dst, num, den []float64) (s float64) {
+	n := len(dst)
+	n4 := n &^ 3
+	if n4 > 0 {
+		if active {
+			s = ratioSumSqAVX(dst[:n4], num[:n4], den[:n4])
+		} else {
+			s = ratioSumSqGo(dst[:n4], num[:n4], den[:n4])
+		}
+	}
+	for i := n4; i < n; i++ {
+		t := num[i] / den[i]
+		dst[i] = t
+		s += t * t
+	}
+	return s
+}
+
+func ratioSumSqGo(dst, num, den []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for i := 0; i+3 < len(dst); i += 4 {
+		t0 := num[i] / den[i]
+		t1 := num[i+1] / den[i+1]
+		t2 := num[i+2] / den[i+2]
+		t3 := num[i+3] / den[i+3]
+		dst[i] = t0
+		dst[i+1] = t1
+		dst[i+2] = t2
+		dst[i+3] = t3
+		s0 += t0 * t0
+		s1 += t1 * t1
+		s2 += t2 * t2
+		s3 += t3 * t3
+	}
+	return (s0 + s2) + (s1 + s3)
+}
+
+// MulInto performs dst[i] *= src[i] elementwise — the cross-panel reduction
+// of Gu's partial products (ReduceW).
+func MulInto(dst, src []float64) {
+	n := len(dst)
+	n4 := n &^ 3
+	if n4 > 0 && active {
+		mulIntoAVX(dst[:n4], src[:n4])
+	} else {
+		n4 = 0
+	}
+	for i := n4; i < n; i++ {
+		dst[i] *= src[i]
+	}
+}
+
+// NegSqrtSign sets dst[i] = copysign(sqrt(-p[i]), sgn[i]) elementwise — the
+// final step of ReduceW, restoring the original secular weight signs onto
+// the stabilized magnitudes. dst and p may alias. Unlike the Fortran SIGN
+// intrinsic this is bit copysign (sgn is a secular weight and never -0, so
+// the distinction is unobservable in the solver).
+func NegSqrtSign(dst, p, sgn []float64) {
+	n := len(dst)
+	n4 := n &^ 3
+	if n4 > 0 && active {
+		negSqrtSignAVX(dst[:n4], p[:n4], sgn[:n4])
+	} else {
+		n4 = 0
+	}
+	for i := n4; i < n; i++ {
+		dst[i] = math.Copysign(math.Sqrt(-p[i]), sgn[i])
+	}
+}

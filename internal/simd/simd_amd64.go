@@ -1,0 +1,56 @@
+//go:build amd64
+
+package simd
+
+// cpuidProbe and xgetbvProbe are implemented in simd_amd64.s.
+func cpuidProbe(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbvProbe() (eax, edx uint32)
+
+// The AVX2+FMA secular kernels (simd_amd64.s). Each processes exactly
+// len/4 quads — the Go wrappers pass 4-aligned slices and handle the tails —
+// and accumulates with separate multiply and add so the results are bitwise
+// identical to the portable lane-ordered fallbacks (see the package comment).
+//
+//go:noescape
+func secularSumsAVX(z, delta []float64, w0, wstep float64) (s, ds, ws float64)
+
+//go:noescape
+func shiftedSumAVX(d, z []float64, org, tau float64) float64
+
+//go:noescape
+func mulRatioDiffAVX(w, num, den []float64, dj float64)
+
+//go:noescape
+func ratioSumSqAVX(dst, num, den []float64) float64
+
+//go:noescape
+func mulIntoAVX(dst, src []float64)
+
+//go:noescape
+func negSqrtSignAVX(dst, p, sgn []float64)
+
+// haveSIMD reports whether the assembly kernels may be used: AVX2 and FMA in
+// CPUID plus OS ymm-state saving in XGETBV (the standard AVX usability
+// test, matching internal/blas's micro-kernel gate).
+var haveSIMD = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidProbe(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidProbe(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+	)
+	if ecx1&osxsave == 0 || ecx1&fma == 0 {
+		return false
+	}
+	if xa, _ := xgetbvProbe(); xa&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidProbe(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

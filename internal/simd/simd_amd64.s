@@ -1,0 +1,226 @@
+#include "textflag.h"
+
+// func cpuidProbe(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidProbe(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvProbe() (eax, edx uint32)
+TEXT ·xgetbvProbe(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// lanes<> = (0.0, 1.0, 2.0, 3.0), the per-lane offsets of the weight vector.
+DATA lanes<>+0(SB)/8, $0x0000000000000000
+DATA lanes<>+8(SB)/8, $0x3FF0000000000000
+DATA lanes<>+16(SB)/8, $0x4000000000000000
+DATA lanes<>+24(SB)/8, $0x4008000000000000
+GLOBL lanes<>(SB), RODATA, $32
+
+// signmask<> = four copies of -0.0 (the sign bit).
+DATA signmask<>+0(SB)/8, $0x8000000000000000
+DATA signmask<>+8(SB)/8, $0x8000000000000000
+DATA signmask<>+16(SB)/8, $0x8000000000000000
+DATA signmask<>+24(SB)/8, $0x8000000000000000
+GLOBL signmask<>(SB), RODATA, $32
+
+// func secularSumsAVX(z, delta []float64, w0, wstep float64) (s, ds, ws float64)
+//
+// One pass of the secular evaluation over len(z) (a multiple of 4) terms:
+// t = z/delta, p = z*t, accumulating s += p, ds += t*t and ws += w*p with
+// w = w0 + j*wstep. Accumulators use separate VMULPD+VADDPD (no FMA) so the
+// lane sums match the portable fallback bitwise; the loop is bounded by the
+// VDIVPD anyway. Lane reduction is (l0+l2)+(l1+l3).
+TEXT ·secularSumsAVX(SB), NOSPLIT, $0-88
+	MOVQ z_base+0(FP), SI
+	MOVQ z_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ delta_base+24(FP), DI
+	VXORPD Y0, Y0, Y0            // s lanes
+	VXORPD Y1, Y1, Y1            // ds lanes
+	VXORPD Y2, Y2, Y2            // ws lanes
+	VBROADCASTSD w0+48(FP), Y12
+	VBROADCASTSD wstep+56(FP), Y13
+	VMOVUPD lanes<>(SB), Y14
+	VFMADD231PD Y14, Y13, Y12    // wv = w0 + lane*wstep (exact: integer weights)
+	VADDPD Y13, Y13, Y13         // 2*wstep
+	VADDPD Y13, Y13, Y13         // 4*wstep
+loop:
+	VMOVUPD (SI), Y8             // z quad
+	VMOVUPD (DI), Y9             // delta quad
+	VDIVPD Y9, Y8, Y10           // t = z/delta
+	VMULPD Y10, Y8, Y11          // p = z*t
+	VADDPD Y11, Y0, Y0           // s += p
+	VMULPD Y10, Y10, Y9          // t*t
+	VADDPD Y9, Y1, Y1            // ds += t*t
+	VMULPD Y12, Y11, Y11         // wv*p
+	VADDPD Y11, Y2, Y2           // ws += wv*p
+	VADDPD Y13, Y12, Y12         // wv += 4*wstep
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, s+64(FP)
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD X8, X1, X1
+	VHADDPD X1, X1, X1
+	MOVSD X1, ds+72(FP)
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD X8, X2, X2
+	VHADDPD X2, X2, X2
+	MOVSD X2, ws+80(FP)
+	VZEROUPPER
+	RET
+
+// func shiftedSumAVX(d, z []float64, org, tau float64) float64
+//
+// Σ z²/((d-org)-tau) over len(d) (a multiple of 4) terms: the secular
+// function body with the cancellation-free two-step shift (Dlaed4Bisect).
+TEXT ·shiftedSumAVX(SB), NOSPLIT, $0-72
+	MOVQ d_base+0(FP), SI
+	MOVQ d_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ z_base+24(FP), DI
+	VXORPD Y0, Y0, Y0
+	VBROADCASTSD org+48(FP), Y12
+	VBROADCASTSD tau+56(FP), Y13
+loop:
+	VMOVUPD (SI), Y8             // d quad
+	VMOVUPD (DI), Y9             // z quad
+	VSUBPD Y12, Y8, Y8           // d - org
+	VSUBPD Y13, Y8, Y8           // (d-org) - tau
+	VMULPD Y9, Y9, Y9            // z²
+	VDIVPD Y8, Y9, Y9            // z²/t
+	VADDPD Y9, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, ret+64(FP)
+	VZEROUPPER
+	RET
+
+// func mulRatioDiffAVX(w, num, den []float64, dj float64)
+//
+// w *= num/(den-dj) elementwise over len(w) (a multiple of 4) — the
+// ComputeLocalW inner loop. Purely lane-local: bitwise identical to the
+// scalar loop in any order.
+TEXT ·mulRatioDiffAVX(SB), NOSPLIT, $0-80
+	MOVQ w_base+0(FP), SI
+	MOVQ w_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ num_base+24(FP), DI
+	MOVQ den_base+48(FP), R8
+	VBROADCASTSD dj+72(FP), Y12
+loop:
+	VMOVUPD (R8), Y9             // den quad
+	VSUBPD Y12, Y9, Y9           // den - dj
+	VMOVUPD (DI), Y8             // num quad
+	VDIVPD Y9, Y8, Y8            // num/(den-dj)
+	VMOVUPD (SI), Y10
+	VMULPD Y8, Y10, Y10
+	VMOVUPD Y10, (SI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	DECQ CX
+	JNZ  loop
+	VZEROUPPER
+	RET
+
+// func ratioSumSqAVX(dst, num, den []float64) float64
+//
+// dst = num/den elementwise, returning Σ dst² — the fused form and
+// sum-of-squares pass of ComputeVect. Lengths are a multiple of 4.
+TEXT ·ratioSumSqAVX(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ num_base+24(FP), DI
+	MOVQ den_base+48(FP), R8
+	VXORPD Y0, Y0, Y0
+loop:
+	VMOVUPD (DI), Y8             // num quad
+	VMOVUPD (R8), Y9             // den quad
+	VDIVPD Y9, Y8, Y8            // t = num/den
+	VMOVUPD Y8, (SI)
+	VMULPD Y8, Y8, Y8            // t²
+	VADDPD Y8, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	DECQ CX
+	JNZ  loop
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, ret+72(FP)
+	VZEROUPPER
+	RET
+
+// func mulIntoAVX(dst, src []float64)
+//
+// dst *= src elementwise over len(dst) (a multiple of 4) — the ReduceW
+// cross-panel product.
+TEXT ·mulIntoAVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ src_base+24(FP), DI
+loop:
+	VMOVUPD (SI), Y8
+	VMOVUPD (DI), Y9
+	VMULPD Y9, Y8, Y8
+	VMOVUPD Y8, (SI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+	VZEROUPPER
+	RET
+
+// func negSqrtSignAVX(dst, p, sgn []float64)
+//
+// dst = copysign(sqrt(-p), sgn) elementwise over len(dst) (a multiple of 4)
+// — ReduceW's final stabilized-weight formation. dst may alias p.
+TEXT ·negSqrtSignAVX(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), SI
+	MOVQ dst_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ p_base+24(FP), DI
+	MOVQ sgn_base+48(FP), R8
+	VMOVUPD signmask<>(SB), Y13
+loop:
+	VMOVUPD (DI), Y8             // p quad
+	VXORPD Y13, Y8, Y8           // -p (flip sign bit, as Go negation does)
+	VSQRTPD Y8, Y8               // sqrt(-p)
+	VMOVUPD (R8), Y9             // sgn quad
+	VANDPD Y13, Y9, Y9           // sign bits of sgn
+	VANDNPD Y8, Y13, Y8          // |sqrt(-p)|
+	VORPD Y9, Y8, Y8             // copysign
+	VMOVUPD Y8, (SI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	DECQ CX
+	JNZ  loop
+	VZEROUPPER
+	RET
