@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-gemm bench-secular chaos ci clean
+.PHONY: all build vet test race bench-smoke bench-gemm bench-secular chaos stress ci clean
 
 all: build
 
@@ -42,4 +42,13 @@ chaos:
 	$(GO) test -race -count=3 ./internal/faultinject/
 	$(GO) test -race -count=3 -run 'Cancelled|Cancellation|Deadline|TaskFailure' ./internal/quark/
 
-ci: vet build test race bench-smoke chaos
+# Serving-layer acceptance gate: 64 concurrent mixed-size solves against a
+# memory-budgeted eigen.Server under wildcard chaos probes and the race
+# detector, plus the watchdog/cancellation goroutine-leak regression tests.
+# Asserts every job ends in a classified disposition, reservations never
+# exceed the budget, the pool accountant returns to baseline, and no
+# goroutines leak.
+stress:
+	$(GO) test -race -count=1 -timeout 5m -run 'TestServerStress|LeaksNoGoroutines' ./eigen/
+
+ci: vet build test race bench-smoke chaos stress

@@ -103,7 +103,8 @@ func main() {
 	}
 	hits, misses, bytes, rate := res.Stats.PackReuse()
 	fmt.Printf("matrix %s n=%d, deflation %.1f%%\n", m.Name, *n, 100*res.Stats.DeflationRatio())
-	fmt.Printf("UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n\n", hits, misses, bytes, rate)
+	fmt.Printf("UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n", hits, misses, bytes, rate)
+	fmt.Printf("workspace leaked to GC: %d bytes\n\n", res.Stats.LeakedBytes())
 	fmt.Print(tl.Gantt(*width))
 	fmt.Println()
 	fmt.Print(tl.BreakdownReport())
@@ -112,7 +113,8 @@ func main() {
 
 	if *csv != "" {
 		header := fmt.Sprintf("# UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n",
-			hits, misses, bytes, rate) + timeCSV
+			hits, misses, bytes, rate) +
+			fmt.Sprintf("# leaked_bytes: %d\n", res.Stats.LeakedBytes()) + timeCSV
 		fail(os.WriteFile(*csv, []byte(header+tl.CSV()), 0o644))
 		fmt.Printf("wrote %s\n", *csv)
 	}

@@ -1,0 +1,186 @@
+// eigserve runs the eigen.Server solve service behind an HTTP JSON API:
+// a long-lived multi-tenant eigensolver with admission control, watchdog
+// retries, circuit breakers and graceful drain.
+//
+//	eigserve -addr :8080 -budget 256 -stall 10s
+//
+//	POST /solve   {"d": [...], "e": [...], "method": "dc", "vectors": false}
+//	           →  {"values": [...], "disposition": "completed", ...}
+//	GET  /stats   → the server's ServerStats counters
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight jobs
+// finish (up to -drain), and the per-job dispositions are logged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tridiag/eigen"
+)
+
+type solveRequest struct {
+	D       []float64 `json:"d"`
+	E       []float64 `json:"e"`
+	Method  string    `json:"method,omitempty"`  // dc | dc-seq | mrrr | qr
+	Workers int       `json:"workers,omitempty"` // per-solve worker cap
+	// TimeoutMS is the job's deadline; admission rejects jobs whose
+	// deadline cannot be met given the current load.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Vectors includes the n×n eigenvector matrix in the response
+	// (column-major, column j = eigenvector j). Off by default: for large n
+	// the payload dwarfs the eigenvalues.
+	Vectors bool `json:"vectors,omitempty"`
+}
+
+type solveResponse struct {
+	N           int       `json:"n"`
+	Values      []float64 `json:"values,omitempty"`
+	Vectors     []float64 `json:"vectors,omitempty"`
+	Disposition string    `json:"disposition"`
+	Attempts    int       `json:"attempts"`
+	Stalls      int       `json:"stalls"`
+	Tier        string    `json:"tier,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+func parseMethod(s string) (eigen.Method, error) {
+	switch s {
+	case "", "dc":
+		return eigen.MethodDC, nil
+	case "dc-seq":
+		return eigen.MethodDCSequential, nil
+	case "mrrr":
+		return eigen.MethodMRRR, nil
+	case "qr":
+		return eigen.MethodQR, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// status maps a server outcome to an HTTP status: overload backpressure is
+// 503 (clients should back off and retry), cancellation 408, persistent
+// failure 500, bad input 400.
+func status(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, eigen.ErrOverloaded), errors.Is(err, eigen.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func solveHandler(s *eigen.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req solveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		method, err := parseMethod(req.Method)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		tri := eigen.Tridiagonal{D: req.D, E: req.E}
+		sr, err := s.Solve(ctx, tri, &eigen.Options{Method: method, Workers: req.Workers})
+		resp := solveResponse{
+			N:           tri.N(),
+			Disposition: sr.Disposition.String(),
+			Attempts:    sr.Attempts,
+			Stalls:      sr.Stalls,
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Values = sr.Result.Values
+			if req.Vectors {
+				resp.Vectors = sr.Result.Vectors
+			}
+			if sr.Result.Stats != nil {
+				resp.Tier = sr.Result.Stats.Tier
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status(err))
+		json.NewEncoder(w).Encode(&resp)
+	}
+}
+
+func statsHandler(s *eigen.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Stats())
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	concurrent := flag.Int("concurrent", 0, "max concurrent solves (0: all cores)")
+	queue := flag.Int("queue", 0, "max queued jobs (0: 4x concurrent)")
+	budget := flag.Int64("budget", 0, "workspace budget in MiB (0: unlimited)")
+	stall := flag.Duration("stall", 10*time.Second, "watchdog no-progress abort window")
+	retries := flag.Int("retries", 2, "same-tier retries for transient failures")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	flag.Parse()
+
+	s := eigen.NewServer(eigen.ServerConfig{
+		MaxConcurrent: *concurrent,
+		MaxQueue:      *queue,
+		MemoryBudget:  *budget << 20,
+		StallWindow:   *stall,
+		MaxRetries:    *retries,
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", solveHandler(s))
+	mux.HandleFunc("/stats", statsHandler(s))
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("draining (deadline %v)...", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		rep, err := s.Shutdown(ctx)
+		for _, j := range rep.Jobs {
+			log.Printf("  job %d (n=%d): %s", j.ID, j.N, j.Disposition)
+		}
+		if err != nil {
+			log.Printf("drain deadline hit, remaining jobs cancelled: %v", err)
+		}
+		hs.Shutdown(context.Background())
+	}()
+
+	log.Printf("eigserve listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	st := s.Stats()
+	log.Printf("served: completed=%d retried=%d degraded=%d rejected=%d cancelled=%d failed=%d",
+		st.Completed, st.Retried, st.Degraded, st.Rejected, st.Cancelled, st.Failed)
+}

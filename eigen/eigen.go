@@ -111,6 +111,14 @@ type Options struct {
 	// never taxes the clean path: validation runs only for results
 	// produced by a degraded tier.
 	Fallback bool
+	// Progress, when non-nil, is called after every executed task of a
+	// task-flow solve and at every tier transition: the heartbeat external
+	// watchdogs (eigen.Server) use to tell a stalled solve from a running
+	// one. It runs on worker goroutines, so it must be concurrency-safe and
+	// cheap — storing a timestamp into an atomic is the intended shape.
+	// Sequential tiers emit no per-task heartbeats; watchdog stall windows
+	// must cover the longest expected sequential phase.
+	Progress func()
 }
 
 // SolveStats reports how a solve was served: the execution tier that
@@ -256,6 +264,11 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if o.Progress != nil {
+			// Tier transitions count as progress: a fallback tier starting
+			// over must not be mistaken for a stall.
+			o.Progress()
+		}
 		// Fresh inputs per attempt; a failed tier leaves partial data in
 		// the outputs, and the leaf solvers require a zeroed q.
 		copy(res.Values, d)
@@ -314,6 +327,7 @@ func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, e
 			PanelSize:      o.PanelSize,
 			MinPartition:   o.MinPartition,
 			ExtraWorkspace: o.ExtraWorkspace,
+			Progress:       o.Progress,
 		})
 		var nfb int64
 		if cres != nil && cres.Stats != nil {

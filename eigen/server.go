@@ -1,0 +1,737 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tridiag/internal/faultinject"
+	"tridiag/internal/pool"
+)
+
+// Server is a multi-tenant solve service: many goroutines call Solve
+// concurrently against one process-wide pool of workers and workspace.
+// It wraps the task-flow solver with the arbitration a long-running service
+// needs and a single library solve does not:
+//
+//   - Admission control: a bounded queue plus an explicit workspace budget.
+//     A job whose queue slot, memory reservation, or deadline cannot be
+//     honored is rejected immediately with ErrOverloaded instead of degrading
+//     every other tenant.
+//   - Watchdog: a per-solve goroutine observes task-completion heartbeats
+//     (Options.Progress → quark.WithProgress) and aborts a solve that makes
+//     no progress within the stall window through the normal context
+//     cancellation path.
+//   - Retries: transient failures (injected faults, stalls — classified by
+//     faultinject.Transient) are retried on the primary tier with exponential
+//     backoff and jitter; persistent numerical failures fall through to the
+//     PR 2 degradation tiers (sequential DSTEDC → QR with validation).
+//   - Circuit breaker: a kernel class that keeps failing stops being retried;
+//     new jobs route straight to the fallback tier until a half-open probe
+//     succeeds.
+//   - Graceful drain: Shutdown stops admission, lets in-flight solves finish
+//     (or cancels them at the drain deadline) and reports every job's
+//     disposition.
+type Server struct {
+	cfg ServerConfig
+
+	mu           sync.Mutex
+	closed       bool
+	queued       int   // admitted, waiting for a worker slot
+	running      int   // holding a worker slot
+	reserved     int64 // admitted-but-unfinished workspace reservations
+	peakReserved int64
+	avgNanos     float64 // EWMA of completed-job service time
+	jobs         map[uint64]*serverJob
+
+	nextID      atomic.Uint64
+	slots       chan struct{}
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+
+	breakers breakerSet
+	counts   [dispositionCount]atomic.Int64
+	retries  atomic.Int64
+	stalls   atomic.Int64
+	admitted atomic.Int64
+}
+
+// ServerConfig tunes a Server; zero values select the documented defaults.
+type ServerConfig struct {
+	// MaxConcurrent is the number of solves executing at once
+	// (default GOMAXPROCS). Each admitted job beyond it waits in the queue.
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted jobs may wait for a slot
+	// (default 4×MaxConcurrent). Beyond it, Solve returns ErrOverloaded.
+	MaxQueue int
+	// MemoryBudget caps the summed workspace reservations of admitted jobs,
+	// in bytes (estimated per job by EstimateSolveBytes from its n and
+	// worker count, and tracked for real by the pool accountant). 0 means
+	// unlimited. A job whose reservation would exceed the budget is
+	// rejected with ErrOverloaded.
+	MemoryBudget int64
+	// StallWindow is the watchdog's no-progress abort threshold per attempt
+	// (default 10s; negative disables the watchdog). It must cover the
+	// longest sequential phase of a solve: only task-flow tiers emit
+	// per-task heartbeats.
+	StallWindow time.Duration
+	// MaxRetries is how many same-tier retries a transient failure earns
+	// before the job degrades to the fallback tier (default 2).
+	MaxRetries int
+	// RetryBase is the first backoff delay; attempt k waits
+	// RetryBase·2^(k-1) with ±50% jitter, capped at 16×RetryBase
+	// (default 10ms).
+	RetryBase time.Duration
+	// BreakerThreshold opens a failure class's circuit after this many
+	// consecutive failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit routes jobs straight to
+	// the fallback tier before one half-open probe may try the primary
+	// tier again (default 2s).
+	BreakerCooldown time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.StallWindow == 0 {
+		c.StallWindow = 10 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	return c
+}
+
+// Sentinel errors of the admission layer. ErrOverloaded is always wrapped
+// with the specific reason (queue full, budget exceeded, deadline
+// unserviceable); match with errors.Is.
+var (
+	ErrOverloaded   = errors.New("eigen: server overloaded")
+	ErrServerClosed = errors.New("eigen: server closed")
+)
+
+// StallError is a watchdog abort: the solve made no task progress within
+// the stall window. It is transient — the stall may have been an injected
+// delay, a descheduled worker, or scheduler pathology — so the retry policy
+// treats it like an injected fault.
+type StallError struct {
+	Window time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("eigen: watchdog: no task progress within %v", e.Window)
+}
+
+// Transient marks stalls retryable (read by faultinject.Transient).
+func (e *StallError) Transient() bool { return true }
+
+// TaskClass attributes stalls to their own breaker class: a stall carries no
+// kernel identity, but repeated stalls should trip a circuit all the same.
+func (e *StallError) TaskClass() string { return "stall" }
+
+// Disposition classifies how the server finished with a job. Every Solve
+// call ends in exactly one disposition, reported in ServeResult and
+// aggregated in ServerStats.
+type Disposition int
+
+const (
+	// DispositionCompleted: served by the primary tier on the first attempt.
+	DispositionCompleted Disposition = iota
+	// DispositionRetried: served by the primary tier after at least one
+	// transient-failure retry.
+	DispositionRetried
+	// DispositionDegraded: served by a fallback tier (validated result).
+	DispositionDegraded
+	// DispositionRejected: refused at admission (overload or closed server).
+	DispositionRejected
+	// DispositionCancelled: the job's context was cancelled, its deadline
+	// expired, or the server drain cancelled it.
+	DispositionCancelled
+	// DispositionFailed: every tier failed persistently.
+	DispositionFailed
+
+	dispositionCount = int(DispositionFailed) + 1
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case DispositionCompleted:
+		return "completed"
+	case DispositionRetried:
+		return "retried-then-completed"
+	case DispositionDegraded:
+		return "degraded"
+	case DispositionRejected:
+		return "rejected"
+	case DispositionCancelled:
+		return "cancelled"
+	case DispositionFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Disposition(%d)", int(d))
+}
+
+// ServeResult is what the server reports for one job: the decomposition (nil
+// when the job did not produce one) plus how it was served. It is non-nil
+// even when Solve returns an error, so callers always get a classified
+// disposition.
+type ServeResult struct {
+	*Result
+	// Disposition classifies the outcome.
+	Disposition Disposition
+	// Attempts counts solve attempts (0 for rejected jobs).
+	Attempts int
+	// Stalls counts watchdog aborts this job suffered.
+	Stalls int
+}
+
+// ServerStats is a snapshot of the service counters.
+type ServerStats struct {
+	// Admitted counts jobs that passed admission control.
+	Admitted int64
+	// Per-disposition totals. Completed+Retried+Degraded+Cancelled+Failed
+	// equals the number of finished admitted jobs; Rejected counts
+	// admission refusals.
+	Completed, Retried, Degraded, Rejected, Cancelled, Failed int64
+	// Retries is the total number of same-tier retry attempts.
+	Retries int64
+	// WatchdogAborts counts solves aborted for lack of progress.
+	WatchdogAborts int64
+	// BreakerOpens counts circuit-breaker open transitions.
+	BreakerOpens int64
+	// OpenBreakers lists the failure classes currently routed to fallback.
+	OpenBreakers []string
+	// Queued and Running are the current queue depth and in-flight count.
+	Queued, Running int
+	// ReservedBytes and PeakReservedBytes track the admission-control
+	// workspace reservations (the pool accountant, pool.InUseBytes, tracks
+	// actual checked-out bytes).
+	ReservedBytes, PeakReservedBytes int64
+}
+
+// JobReport is one job's final disposition in a drain report.
+type JobReport struct {
+	ID          uint64
+	N           int
+	Disposition Disposition
+}
+
+// DrainReport lists the dispositions of the jobs that were in flight when
+// Shutdown was called.
+type DrainReport struct {
+	Jobs []JobReport
+}
+
+type serverJob struct {
+	id          uint64
+	n           int
+	done        chan struct{}
+	disposition Disposition // written before close(done)
+}
+
+// NewServer starts a solve service. Call Shutdown to drain it.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	drainCtx, drainCancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		jobs:        make(map[uint64]*serverJob),
+		slots:       make(chan struct{}, cfg.MaxConcurrent),
+		drainCtx:    drainCtx,
+		drainCancel: drainCancel,
+		breakers: breakerSet{
+			threshold: cfg.BreakerThreshold,
+			cooldown:  cfg.BreakerCooldown,
+			m:         make(map[string]*breaker),
+		},
+	}
+}
+
+// EstimateSolveBytes is the admission-control estimate of the pooled
+// workspace one task-flow solve of order n with the given worker count can
+// have checked out at once, in pool size-class bytes (pool.ClassBytes): the
+// root merge's secular matrix, compressed operands, deflated columns and
+// packed GEMM panels, doubled because the concurrently-live lower tree
+// levels sum to at most one more root merge, plus per-worker small scratch.
+// It deliberately over-reserves — the budget bounds the worst case, and the
+// pool accountant reports what solves actually use.
+func EstimateSolveBytes(n, workers int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nn := int64(n) * int64(n)
+	classBig := func(f int64) int64 {
+		if f > int64(int(^uint(0)>>1)) { // overflow guard for huge n
+			return f * 8
+		}
+		if b := pool.ClassBytes(int(f)); b > 0 {
+			return b
+		}
+		return f * 8 // beyond the largest pool class: plain allocation
+	}
+	// S (k×k ≤ n²) + Q2Top/Q2Bot (≤ n²/2 each) + Q2Defl (≤ n²) + packed
+	// panels (≈ Q2 again).
+	per := classBig(nn) + 2*classBig(nn/2+1) + classBig(nn) + 2*classBig(nn/2+1)
+	per *= 2 // concurrently-live lower levels
+	// z, ẑ and per-panel W products: a few O(n) slices per live merge.
+	per += int64(workers+1) * classBig(int64(8*n)+1)
+	return per
+}
+
+// Solve runs one job through the service: admission, queueing, the
+// watchdog-guarded attempt/retry loop, and disposition accounting. It blocks
+// until the job is served, rejected, or cancelled. The returned ServeResult
+// is non-nil even on error and always carries the job's disposition.
+//
+// opts follows SolveContext semantics except that Fallback and Progress are
+// owned by the server (the retry and degradation policy replaces them).
+func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*ServeResult, error) {
+	sr := &ServeResult{Disposition: DispositionRejected}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	n := t.N()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	est := EstimateSolveBytes(n, workers)
+
+	// Admission: all-or-nothing under the server lock.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.counts[DispositionRejected].Add(1)
+		return sr, ErrServerClosed
+	}
+	if s.queued >= s.cfg.MaxQueue {
+		q := s.queued
+		s.mu.Unlock()
+		s.counts[DispositionRejected].Add(1)
+		return sr, fmt.Errorf("%w: queue full (%d jobs waiting)", ErrOverloaded, q)
+	}
+	if s.cfg.MemoryBudget > 0 && s.reserved+est > s.cfg.MemoryBudget {
+		have := s.cfg.MemoryBudget - s.reserved
+		s.mu.Unlock()
+		s.counts[DispositionRejected].Add(1)
+		return sr, fmt.Errorf("%w: workspace budget exceeded (job n=%d needs %d bytes, %d available)",
+			ErrOverloaded, n, est, have)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if wait := s.expectedLatencyLocked(); wait > 0 && time.Until(dl) < wait {
+			s.mu.Unlock()
+			s.counts[DispositionRejected].Add(1)
+			return sr, fmt.Errorf("%w: deadline %v away, expected service latency %v",
+				ErrOverloaded, time.Until(dl).Round(time.Millisecond), wait.Round(time.Millisecond))
+		}
+	}
+	job := &serverJob{id: s.nextID.Add(1), n: n, done: make(chan struct{})}
+	s.queued++
+	s.reserved += est
+	if s.reserved > s.peakReserved {
+		s.peakReserved = s.reserved
+	}
+	s.jobs[job.id] = job
+	s.mu.Unlock()
+	s.admitted.Add(1)
+
+	start := time.Now()
+	ran := false
+	defer func() {
+		s.mu.Lock()
+		s.reserved -= est
+		delete(s.jobs, job.id)
+		if ran {
+			// EWMA of service time feeds the deadline-aware admission check.
+			d := float64(time.Since(start))
+			if s.avgNanos == 0 {
+				s.avgNanos = d
+			} else {
+				s.avgNanos = 0.8*s.avgNanos + 0.2*d
+			}
+		}
+		s.mu.Unlock()
+		s.counts[sr.Disposition].Add(1)
+		job.disposition = sr.Disposition
+		close(job.done)
+	}()
+
+	// Queue for a worker slot.
+	var slotErr error
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		slotErr = ctx.Err()
+	case <-s.drainCtx.Done():
+		slotErr = fmt.Errorf("%w: drained while queued", ErrServerClosed)
+	}
+	s.mu.Lock()
+	s.queued--
+	if slotErr == nil {
+		s.running++
+	}
+	s.mu.Unlock()
+	if slotErr != nil {
+		sr.Disposition = DispositionCancelled
+		return sr, slotErr
+	}
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		<-s.slots
+	}()
+	ran = true
+
+	// Primary-tier attempts with transient retries.
+	var lastErr error
+	for {
+		probe, primary := s.breakers.route()
+		if !primary {
+			break // every new job routes straight to the fallback tier
+		}
+		po := o
+		po.Fallback = false
+		sr.Attempts++
+		res, err := s.attempt(ctx, t, &po)
+		if err == nil {
+			s.breakers.success(probe)
+			sr.Result = res
+			if sr.Attempts > 1 {
+				sr.Disposition = DispositionRetried
+			} else {
+				sr.Disposition = DispositionCompleted
+			}
+			return sr, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || s.drainCtx.Err() != nil {
+			sr.Disposition = DispositionCancelled
+			return sr, cancelCause(ctx, s.drainCtx)
+		}
+		var stall *StallError
+		if errors.As(err, &stall) {
+			sr.Stalls++
+			s.stalls.Add(1)
+		}
+		s.breakers.failure(faultinject.ClassOf(err), probe)
+		if !faultinject.Transient(err) || sr.Attempts > s.cfg.MaxRetries {
+			break // persistent, or retries exhausted: degrade
+		}
+		s.retries.Add(1)
+		if !s.backoff(ctx, sr.Attempts) {
+			sr.Disposition = DispositionCancelled
+			return sr, cancelCause(ctx, s.drainCtx)
+		}
+	}
+
+	// Fallback tier: the PR 2 degradation chain, injected-fault free
+	// (sequential tiers bypass the task runtime) and validated.
+	fo := o
+	fo.Method = fallbackMethod(o.Method)
+	fo.Fallback = true
+	sr.Attempts++
+	res, err := s.attempt(ctx, t, &fo)
+	if err == nil {
+		sr.Result = res
+		sr.Disposition = DispositionDegraded
+		return sr, nil
+	}
+	if ctx.Err() != nil || s.drainCtx.Err() != nil {
+		sr.Disposition = DispositionCancelled
+		return sr, cancelCause(ctx, s.drainCtx)
+	}
+	sr.Disposition = DispositionFailed
+	if lastErr != nil && !errors.Is(err, lastErr) {
+		err = fmt.Errorf("%w (primary tier: %v)", err, lastErr)
+	}
+	return sr, fmt.Errorf("eigen: server: job n=%d failed on every tier: %w", n, err)
+}
+
+// attempt runs one watchdog-guarded SolveContext. A solve that emits no
+// progress heartbeat within the stall window is cancelled and the error
+// rewritten to *StallError (unless the caller's context was the cause).
+func (s *Server) attempt(ctx context.Context, t Tridiagonal, o *Options) (*Result, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopDrain := context.AfterFunc(s.drainCtx, cancel)
+	defer stopDrain()
+
+	window := s.cfg.StallWindow
+	var stalled atomic.Bool
+	if window > 0 {
+		var last atomic.Int64
+		last.Store(time.Now().UnixNano())
+		ao := *o
+		ao.Progress = func() { last.Store(time.Now().UnixNano()) }
+		o = &ao
+		wdDone := make(chan struct{})
+		defer close(wdDone)
+		go func() {
+			tick := window / 4
+			if tick < time.Millisecond {
+				tick = time.Millisecond
+			}
+			tk := time.NewTicker(tick)
+			defer tk.Stop()
+			for {
+				select {
+				case <-wdDone:
+					return
+				case <-actx.Done():
+					return
+				case <-tk.C:
+					if time.Duration(time.Now().UnixNano()-last.Load()) > window {
+						stalled.Store(true)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+	res, err := SolveContext(actx, t, o)
+	if stalled.Load() && ctx.Err() == nil && s.drainCtx.Err() == nil {
+		// The watchdog declared a stall and cancelled the attempt. The solve
+		// may still have raced to a clean finish (cancellation unblocks
+		// injected delays, and quark only aborts between tasks), but the
+		// attempt exceeded its no-progress window either way: report the
+		// stall so the retry policy — and the abort-to-retry latency bound —
+		// stays deterministic instead of depending on who wins that race.
+		return nil, &StallError{Window: window}
+	}
+	return res, err
+}
+
+// backoff sleeps the exponential-with-jitter retry delay for the given
+// attempt number; false means the job's context (or the drain) fired first.
+func (s *Server) backoff(ctx context.Context, attempt int) bool {
+	d := s.cfg.RetryBase << uint(min(attempt-1, 4)) // cap at 16×base
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-s.drainCtx.Done():
+		return false
+	}
+}
+
+// expectedLatencyLocked estimates a new job's time-to-completion from the
+// service-time EWMA and the current occupancy; 0 when there is no history.
+func (s *Server) expectedLatencyLocked() time.Duration {
+	if s.avgNanos == 0 {
+		return 0
+	}
+	waves := 1 + (s.queued+s.running)/s.cfg.MaxConcurrent
+	return time.Duration(s.avgNanos * float64(waves))
+}
+
+// fallbackMethod maps a job's method to its degradation route: the most
+// capable injected-fault-free tier chain below it.
+func fallbackMethod(m Method) Method {
+	switch m {
+	case MethodDC, MethodDCSequential:
+		return MethodDCSequential // dstedc → qr chain under Fallback
+	default:
+		return MethodQR
+	}
+}
+
+// cancelCause picks the context error a cancelled job reports: the job's own
+// context if it fired, else the server drain.
+func cancelCause(ctx, drain context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: drained mid-solve", ErrServerClosed)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Admitted:       s.admitted.Load(),
+		Completed:      s.counts[DispositionCompleted].Load(),
+		Retried:        s.counts[DispositionRetried].Load(),
+		Degraded:       s.counts[DispositionDegraded].Load(),
+		Rejected:       s.counts[DispositionRejected].Load(),
+		Cancelled:      s.counts[DispositionCancelled].Load(),
+		Failed:         s.counts[DispositionFailed].Load(),
+		Retries:        s.retries.Load(),
+		WatchdogAborts: s.stalls.Load(),
+	}
+	st.BreakerOpens, st.OpenBreakers = s.breakers.snapshot()
+	s.mu.Lock()
+	st.Queued, st.Running = s.queued, s.running
+	st.ReservedBytes, st.PeakReservedBytes = s.reserved, s.peakReserved
+	s.mu.Unlock()
+	return st
+}
+
+// Shutdown drains the server: admission stops immediately (new jobs get
+// ErrServerClosed), in-flight and queued jobs run to completion, and jobs
+// still unfinished when ctx fires are cancelled. It returns every affected
+// job's disposition, and ctx.Err() when the drain deadline forced
+// cancellations. Shutdown is idempotent; later calls return an empty report.
+func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return &DrainReport{}, nil
+	}
+	s.closed = true
+	inflight := make([]*serverJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		inflight = append(inflight, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].id < inflight[j].id })
+
+	done := make(chan struct{})
+	go func() {
+		for _, j := range inflight {
+			<-j.done
+		}
+		close(done)
+	}()
+	var ctxErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+		s.drainCancel()
+		// Cancellation aborts each solve within one task granularity (and
+		// unblocks queued jobs immediately), so this second wait is short.
+		<-done
+	}
+	s.drainCancel()
+
+	rep := &DrainReport{Jobs: make([]JobReport, 0, len(inflight))}
+	for _, j := range inflight {
+		rep.Jobs = append(rep.Jobs, JobReport{ID: j.id, N: j.n, Disposition: j.disposition})
+	}
+	return rep, ctxErr
+}
+
+// breaker tracks one failure class. States: closed (fails < threshold),
+// open (fails ≥ threshold, cooling down), half-open (cooldown expired, one
+// probe in flight).
+type breaker struct {
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	m         map[string]*breaker
+	opens     int64
+}
+
+// route decides the tier for a new job: primary when every breaker is
+// closed, or when an open breaker's cooldown has expired and this job wins
+// its half-open probe (probe = the class being probed). Otherwise the job
+// goes straight to the fallback tier.
+func (bs *breakerSet) route() (probe string, primary bool) {
+	now := time.Now()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	open := false
+	for class, b := range bs.m {
+		if b.fails < bs.threshold {
+			continue
+		}
+		open = true
+		if !b.probing && !now.Before(b.openUntil) {
+			b.probing = true
+			return class, true
+		}
+	}
+	return "", !open
+}
+
+// success closes the probed breaker (if any) and resets the consecutive-
+// failure counters of every still-closed class.
+func (bs *breakerSet) success(probe string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if probe != "" {
+		delete(bs.m, probe)
+	}
+	for class, b := range bs.m {
+		if b.fails < bs.threshold {
+			delete(bs.m, class)
+		}
+	}
+}
+
+// failure records a classified failure ("" → "unclassified"): the class's
+// consecutive-failure count grows and opens the circuit at the threshold. A
+// failed half-open probe re-opens its breaker for another cooldown.
+func (bs *breakerSet) failure(class, probe string) {
+	now := time.Now()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if probe != "" {
+		if b := bs.m[probe]; b != nil {
+			b.probing = false
+			b.openUntil = now.Add(bs.cooldown)
+		}
+	}
+	if class == "" {
+		class = "unclassified"
+	}
+	b := bs.m[class]
+	if b == nil {
+		b = &breaker{}
+		bs.m[class] = b
+	}
+	b.fails++
+	if b.fails == bs.threshold {
+		b.openUntil = now.Add(bs.cooldown)
+		bs.opens++
+	}
+}
+
+func (bs *breakerSet) snapshot() (opens int64, open []string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	for class, b := range bs.m {
+		if b.fails >= bs.threshold {
+			open = append(open, class)
+		}
+	}
+	sort.Strings(open)
+	return bs.opens, open
+}

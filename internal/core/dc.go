@@ -92,6 +92,11 @@ type Options struct {
 	CaptureGraph bool
 	// Mode selects the execution model (default ModeTaskFlow).
 	Mode Mode
+	// Progress, when non-nil, is called after every executed task of a
+	// task-flow solve (the quark WithProgress heartbeat). External watchdogs
+	// use it to detect stalled solves. It runs on worker goroutines, so it
+	// must be concurrency-safe and cheap.
+	Progress func()
 }
 
 func (o *Options) withDefaults() Options {
@@ -172,14 +177,27 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 	if o.CaptureGraph {
 		rtOpts = append(rtOpts, quark.WithGraphCapture())
 	}
+	if o.Progress != nil {
+		rtOpts = append(rtOpts, quark.WithProgress(o.Progress))
+	}
 	rt := quark.New(o.Workers, rtOpts...)
-	defer rt.Shutdown()
 
-	err := submitTaskFlow(rt, n, d, e, q, ldq, &o, res.Stats)
+	var merges []*mergeState
+	err := submitTaskFlow(rt, n, d, e, q, ldq, &o, res.Stats, &merges)
 	werr := rt.Wait()
 	if o.CaptureGraph {
 		res.Graph = rt.Graph()
 	}
+	// Shutdown joins the workers, so after it no task can touch a merge
+	// state: sweep the workspaces that failed or cancelled merges abandoned
+	// (their release chain was skipped) and write them off the pool
+	// accountant so budget accounting stays honest.
+	rt.Shutdown()
+	var leaked int64
+	for _, ms := range merges {
+		leaked += ms.sweepLeaked()
+	}
+	res.Stats.addLeaked(leaked)
 	if err != nil {
 		return res, err
 	}
@@ -193,7 +211,9 @@ type node struct {
 }
 
 // submitTaskFlow submits the whole task graph in sequential program order.
-func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq int, o *Options, st *Stats) error {
+// Every merge's runtime state is appended to *merges so the caller can sweep
+// abandoned workspaces after the runtime stops.
+func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq int, o *Options, st *Stats, merges *[]*mergeState) error {
 	sizes := lapack.PartitionSizes(n, o.MinPartition)
 	starts := make([]int, len(sizes)+1)
 	for i, s := range sizes {
@@ -266,7 +286,7 @@ func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq i
 			parent := &node{start: left.start, size: left.size + right.size,
 				hV: rt.Handle(fmt.Sprintf("V[%d:%d]", left.start, left.start+left.size+right.size)),
 				hD: rt.Handle(fmt.Sprintf("d[%d:%d]", left.start, left.start+left.size+right.size))}
-			submitMerge(rt, parent, left, right, lvl, d, e, q, ldq, indxq, o, st)
+			*merges = append(*merges, submitMerge(rt, parent, left, right, lvl, d, e, q, ldq, indxq, o, st))
 			next = append(next, parent)
 		}
 		if len(level)%2 == 1 {
@@ -352,15 +372,36 @@ type mergeState struct {
 }
 
 // done marks one workspace consumer finished; the last one returns the
-// merge scratch to the pool. Failed tasks never reach done (their panic
-// propagates through quark first), so a failing merge simply leaves its
-// buffers to the GC instead of risking a recycle of live data.
+// merge scratch to the pool. Skipped tasks (cancelled merges, successors of
+// a failed task) never reach done, so a failing merge simply leaves its
+// buffers to the GC instead of risking a recycle of live data; sweepLeaked
+// accounts those abandoned buffers after the runtime stops.
 func (ms *mergeState) done() {
 	if ms.pending.Add(-1) == 0 {
 		ms.ws.Release()
 		pool.Put(ms.what)
 		ms.what = nil
 	}
+}
+
+// sweepLeaked reports the pooled bytes an abandoned merge still holds: when
+// any workspace consumer was skipped (pending never reached zero), the
+// buffers were deliberately leaked to the GC, and their accounted bytes are
+// written off the pool accountant (pool.Forget) so they do not read as
+// checked-out workspace forever. Must only be called after the runtime has
+// shut down, when no task can still touch ms.
+func (ms *mergeState) sweepLeaked() int64 {
+	if ms.ws == nil || ms.pending.Load() <= 0 {
+		return 0
+	}
+	b := ms.ws.PooledBytes() + pool.AccountedBytes(ms.what)
+	for _, wl := range ms.wlocs {
+		b += pool.AccountedBytes(wl)
+	}
+	if b > 0 {
+		pool.Forget(b)
+	}
+	return b
 }
 
 // Merge task priorities, as the paper does in QUARK: merges nearer the root
@@ -387,7 +428,7 @@ const (
 // task's last-declared non-Gatherv handle, so each task lists its panel
 // handle last (UpdateVect follows ComputeVect's hSec panel, CopyBackDeflated
 // follows PermuteV's hPerm panel, and so on).
-func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []float64, q []float64, ldq int, indxq []int, o *Options, st *Stats) {
+func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []float64, q []float64, ldq int, indxq []int, o *Options, st *Stats) *mergeState {
 	prio := lvl * prioStride
 	start := parent.start
 	nm := parent.size
@@ -640,4 +681,5 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 		lapack.Dlamrg(k, nm-k, dd, 1, -1, ixq)
 		st.count("Dlamrg", int64(nm))
 	}, quark.ReadWrite(parent.hD))
+	return ms
 }

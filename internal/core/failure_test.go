@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"tridiag/internal/faultinject"
+	"tridiag/internal/pool"
 	"tridiag/internal/testmat"
 )
 
@@ -63,6 +65,49 @@ func TestCorruptedInputSurfacesRootError(t *testing.T) {
 	}
 	if canceled != len(res.Graph.Tasks)-1 {
 		t.Errorf("canceled %d of %d tasks, want all downstream", canceled, len(res.Graph.Tasks))
+	}
+}
+
+// TestFailedMergeLeakAccounting: a mid-pipeline injected failure skips merge
+// release chains, abandoning pooled workspace to the GC. The solve must
+// report those bytes in Stats.LeakedBytes, and the sweep must write them off
+// the pool accountant so a long-lived process's budget arithmetic stays
+// honest across failed solves.
+func TestFailedMergeLeakAccounting(t *testing.T) {
+	defer faultinject.Disable()
+	base := pool.InUseBytes()
+	rng := rand.New(rand.NewSource(31))
+	sawLeak := false
+	for i := 0; i < 20 && !sawLeak; i++ {
+		// LAED4 sits mid-merge: its failure strands the workspace already
+		// acquired by ComputeDeflation/Redistribute.
+		faultinject.Enable(int64(i), faultinject.Probe{Class: "LAED4", Kind: faultinject.KindError, P: 0.5})
+		m, err := testmat.Type(4, 160+rng.Intn(60), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := m.N()
+		q := make([]float64, n*n)
+		res, serr := SolveDC(n, m.D, m.E, q, n, &Options{Workers: 4, MinPartition: 24})
+		faultinject.Disable()
+		if serr == nil {
+			continue // probe never fired on this draw
+		}
+		if res == nil || res.Stats == nil {
+			t.Fatal("failed solve must still carry stats")
+		}
+		if lb := res.Stats.LeakedBytes(); lb > 0 {
+			sawLeak = true
+			t.Logf("run %d: leaked %d bytes after injected LAED4 failure", i, lb)
+		}
+	}
+	if !sawLeak {
+		t.Fatal("no failed solve ever reported leaked workspace; the sweep was not exercised")
+	}
+	// Whatever was leaked must have been written off the accountant: the
+	// books return to the baseline even though the buffers went to the GC.
+	if got := pool.InUseBytes(); got != base {
+		t.Errorf("pool accountant off baseline after failed solves: %d, want %d", got, base)
 	}
 }
 

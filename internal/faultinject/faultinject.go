@@ -13,6 +13,8 @@
 package faultinject
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -56,6 +58,15 @@ type ErrInjected struct {
 func (e *ErrInjected) Error() string {
 	return fmt.Sprintf("faultinject: forced %v in task class %q", e.Mode, e.Class)
 }
+
+// TaskClass returns the kernel class the fault was injected into, so
+// ClassOf can attribute a failure without importing the runtime package.
+func (e *ErrInjected) TaskClass() string { return e.Class }
+
+// Transient reports true: injected faults model environmental failures
+// (descheduled worker, flipped bit, spurious kernel error) that a retry on
+// the same tier is expected to clear.
+func (e *ErrInjected) Transient() bool { return true }
 
 // Probe arms one task class with one failure mode.
 type Probe struct {
@@ -121,7 +132,13 @@ func Fired() map[string]int64 {
 // KindDelay probes, returns an *ErrInjected for KindError probes, and panics
 // for KindPanic probes. Callers (the quark runtime) invoke it only when
 // Active() is true, immediately before running a task's kernel.
-func Fire(class string) error {
+func Fire(class string) error { return FireCtx(context.Background(), class) }
+
+// FireCtx is Fire bounded by a context: an injected delay ends as soon as
+// ctx is cancelled, so a stalled task can never outlive a cancelled solve —
+// the worker running it unblocks within the cancellation, not within the
+// configured delay. A nil ctx behaves like context.Background().
+func FireCtx(ctx context.Context, class string) error {
 	var hit *Probe
 	reg.mu.Lock()
 	for i := range reg.probes {
@@ -141,11 +158,50 @@ func Fire(class string) error {
 	}
 	switch hit.Kind {
 	case KindDelay:
-		time.Sleep(hit.Delay)
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if ctx.Done() == nil {
+			time.Sleep(hit.Delay)
+			return nil
+		}
+		t := time.NewTimer(hit.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
 		return nil
 	case KindError:
 		return &ErrInjected{Class: class, Mode: KindError}
 	default:
 		panic(&ErrInjected{Class: class, Mode: KindPanic})
 	}
+}
+
+// Transient classifies an error for retry policy: it reports whether the
+// chain contains a transient environmental fault — an injected fault, or any
+// error exposing `Transient() bool` as true (e.g. a watchdog stall abort) —
+// as opposed to a persistent numerical failure (non-convergence, validation
+// miss), which a same-tier retry will just reproduce and which should
+// degrade to a more conservative tier instead.
+func Transient(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if t, ok := e.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassOf returns the task kernel class a failure is attributed to, or ""
+// when the chain carries no class. Both the runtime's task-failure wrapper
+// and ErrInjected expose `TaskClass() string`; circuit breakers key on this.
+func ClassOf(err error) string {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if c, ok := e.(interface{ TaskClass() string }); ok {
+			return c.TaskClass()
+		}
+	}
+	return ""
 }

@@ -1,7 +1,9 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -64,6 +66,41 @@ func TestDelayProbeStalls(t *testing.T) {
 	}
 	if el := time.Since(start); el < 25*time.Millisecond {
 		t.Errorf("delay probe stalled only %v", el)
+	}
+}
+
+func TestDelayProbeBoundedByContext(t *testing.T) {
+	Enable(5, Probe{Class: "ReduceW", Kind: KindDelay, P: 1, Delay: 10 * time.Second})
+	defer Disable()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := FireCtx(ctx, "ReduceW"); err != nil {
+		t.Fatalf("delay probe returned error: %v", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("cancelled delay probe stalled %v; the injected delay outlived the solve", el)
+	}
+}
+
+func TestTransientAndClassOf(t *testing.T) {
+	inj := &ErrInjected{Class: "LAED4", Mode: KindError}
+	wrapped := fmt.Errorf("solve: %w", fmt.Errorf("tier: %w", inj))
+	if !Transient(wrapped) {
+		t.Error("Transient lost the injected cause through wrapping")
+	}
+	if got := ClassOf(wrapped); got != "LAED4" {
+		t.Errorf("ClassOf = %q, want LAED4", got)
+	}
+	plain := errors.New("dlaed4 did not converge")
+	if Transient(plain) {
+		t.Error("plain numerical error classified transient")
+	}
+	if got := ClassOf(plain); got != "" {
+		t.Errorf("ClassOf(plain) = %q, want empty", got)
 	}
 }
 

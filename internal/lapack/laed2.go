@@ -274,6 +274,22 @@ func (ws *MergeWorkspace) Release() {
 	ws.Q2Top, ws.Q2Bot, ws.Q2Defl, ws.S, ws.WLoc = nil, nil, nil, nil, nil
 }
 
+// PooledBytes returns the pool-accounted bytes the workspace currently
+// holds (buffers plus packed operands). Leak sweeps of failed merges use
+// it to size their pool.Forget.
+func (ws *MergeWorkspace) PooledBytes() int64 {
+	b := pool.AccountedBytes(ws.Q2Top) + pool.AccountedBytes(ws.Q2Bot) +
+		pool.AccountedBytes(ws.Q2Defl) + pool.AccountedBytes(ws.S) +
+		pool.AccountedBytes(ws.WLoc)
+	if ws.PackTop != nil {
+		b += ws.PackTop.PooledBytes()
+	}
+	if ws.PackBot != nil {
+		b += ws.PackBot.PooledBytes()
+	}
+	return b
+}
+
 // PermutePanel copies grouped columns [g0, g1) of q into the compressed
 // workspace (the paper's PermuteV task). Deflated columns land in Q2Defl.
 func (df *Deflation) PermutePanel(q []float64, ldq int, ws *MergeWorkspace, g0, g1 int) {

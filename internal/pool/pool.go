@@ -6,11 +6,21 @@
 //
 // Slices are pooled by power-of-two capacity class. Get returns a slice
 // with unspecified contents — callers must fully overwrite what they read.
+//
+// The pool carries an atomic byte accountant: Get charges the size-class
+// capacity of the returned slice and Put credits it back, so InUseBytes
+// reports the pooled workspace currently checked out process-wide. The
+// solve service (eigen.Server) budgets admission against this accountant.
+// Callers that deliberately leak a pooled slice to the GC (e.g. the
+// workspace of a failed merge, which may alias live data) must report it
+// via Forget so the accountant matches reality. The accounting assumes the
+// package contract: only slices obtained from Get are handed to Put.
 package pool
 
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // maxClass bounds pooled capacities at 2^maxClass floats (1 GiB); larger
@@ -18,6 +28,10 @@ import (
 const maxClass = 27
 
 var classes [maxClass + 1]sync.Pool
+
+// inUse is the accountant: bytes of size-class capacity checked out by Get
+// and not yet returned by Put or written off by Forget.
+var inUse atomic.Int64
 
 // Get returns a float64 slice of length n with unspecified contents.
 func Get(n int) []float64 {
@@ -28,6 +42,7 @@ func Get(n int) []float64 {
 	if c > maxClass {
 		return make([]float64, n)
 	}
+	inUse.Add(8 << c)
 	if v := classes[c].Get(); v != nil {
 		return v.([]float64)[:n]
 	}
@@ -46,5 +61,45 @@ func Put(s []float64) {
 	if cls > maxClass {
 		return
 	}
+	inUse.Add(-(8 << cls))
 	classes[cls].Put(s[:c])
+}
+
+// InUseBytes returns the pooled bytes currently checked out: everything Get
+// charged minus everything Put and Forget credited back.
+func InUseBytes() int64 { return inUse.Load() }
+
+// Forget credits bytes back to the accountant without recycling the backing
+// memory. Callers that intentionally abandon pooled slices to the GC (failed
+// merges whose buffers may alias live data) report the accounted bytes here
+// so the leak does not show up as permanently checked-out workspace.
+func Forget(bytes int64) { inUse.Add(-bytes) }
+
+// ClassBytes returns the bytes the accountant charges for Get(n): the
+// size-class capacity in bytes, or 0 when the request falls through to
+// plain (unaccounted) allocation. It is the unit admission-control
+// estimates are built from.
+func ClassBytes(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c > maxClass {
+		return 0
+	}
+	return 8 << c
+}
+
+// AccountedBytes returns what the accountant charged for a slice returned
+// by Get (its size-class capacity in bytes), 0 for slices the pool does not
+// track. Leak sweeps use it to size their Forget.
+func AccountedBytes(s []float64) int64 {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return 0
+	}
+	if bits.Len(uint(c-1)) > maxClass {
+		return 0
+	}
+	return int64(c) * 8
 }

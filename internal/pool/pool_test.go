@@ -26,6 +26,53 @@ func TestGetZeroAndPutForeign(t *testing.T) {
 	Put(make([]float64, 100)) // non-power-of-two cap: dropped, no panic
 }
 
+func TestAccountantGetPut(t *testing.T) {
+	base := InUseBytes()
+	s := Get(100) // class 128 → 1024 bytes
+	if got := InUseBytes() - base; got != 1024 {
+		t.Fatalf("after Get(100): charged %d bytes, want 1024", got)
+	}
+	if b := AccountedBytes(s); b != 1024 {
+		t.Fatalf("AccountedBytes(Get(100)) = %d, want 1024", b)
+	}
+	r := Get(1 << 12) // exact power of two: 4096 floats
+	if got := InUseBytes() - base; got != 1024+8<<12 {
+		t.Fatalf("after second Get: charged %d bytes, want %d", got, 1024+8<<12)
+	}
+	Put(s)
+	Put(r)
+	if got := InUseBytes() - base; got != 0 {
+		t.Fatalf("after Put: %d bytes still charged", got)
+	}
+}
+
+func TestAccountantForgetAndClassBytes(t *testing.T) {
+	base := InUseBytes()
+	s := Get(200) // class 256 → 2048 bytes
+	if got := InUseBytes() - base; got != 2048 {
+		t.Fatalf("charged %d, want 2048", got)
+	}
+	// Leak s to the GC on purpose: Forget must square the books.
+	Forget(AccountedBytes(s))
+	if got := InUseBytes() - base; got != 0 {
+		t.Fatalf("after Forget: %d bytes still charged", got)
+	}
+	if b := ClassBytes(200); b != 2048 {
+		t.Fatalf("ClassBytes(200) = %d, want 2048", b)
+	}
+	if b := ClassBytes(0); b != 0 {
+		t.Fatalf("ClassBytes(0) = %d, want 0", b)
+	}
+	// Requests beyond the largest class are unaccounted plain allocations.
+	if b := ClassBytes(1 << 29); b != 0 {
+		t.Fatalf("ClassBytes(huge) = %d, want 0", b)
+	}
+	huge := make([]float64, 100) // not from Get: never accounted
+	if b := AccountedBytes(huge); b != 0 {
+		t.Fatalf("AccountedBytes(foreign) = %d, want 0", b)
+	}
+}
+
 func TestRecycleRoundTrip(t *testing.T) {
 	s := Get(100)
 	for i := range s {

@@ -75,6 +75,26 @@ type Handle struct {
 	lastWorker int // worker that last completed a writing task on this handle
 }
 
+// TaskError is the failure of one task: the kernel class and label of the
+// task whose kernel failed (or panicked), wrapping the underlying cause.
+// Watchdogs and circuit breakers key retry policy on the class
+// (faultinject.ClassOf reads it through the TaskClass method).
+type TaskError struct {
+	Class string
+	Label string
+	Err   error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("task %q (%s): %v", e.Label, e.Class, e.Err)
+}
+
+// Unwrap exposes the underlying cause (e.g. a faultinject.ErrInjected).
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// TaskClass returns the kernel class of the failed task.
+func (e *TaskError) TaskClass() string { return e.Class }
+
 // Access pairs a handle with the mode a task uses it in.
 type Access struct {
 	H    *Handle
@@ -217,6 +237,7 @@ type Runtime struct {
 	stop    chan struct{}   // closed by Shutdown; ends the context watcher
 
 	taskTimer func(class string, d time.Duration) // WithTaskTimer observer, may be nil
+	progress  func()                              // WithProgress observer, may be nil
 }
 
 // Option configures a Runtime.
@@ -242,6 +263,16 @@ func WithContext(ctx context.Context) Option {
 // is the intended shape.
 func WithTaskTimer(obs func(class string, d time.Duration)) Option {
 	return func(rt *Runtime) { rt.taskTimer = obs }
+}
+
+// WithProgress registers an observer called once after every executed task's
+// kernel finishes (skipped tasks are not reported): the heartbeat external
+// watchdogs use to distinguish a solve that is making progress from one that
+// is stalled. The observer runs on worker goroutines outside the runtime
+// locks, so it must be concurrency-safe and cheap — storing a timestamp into
+// an atomic is the intended shape.
+func WithProgress(fn func()) Option {
+	return func(rt *Runtime) { rt.progress = fn }
 }
 
 // New creates a runtime with the given number of workers (<=0 selects
@@ -581,8 +612,14 @@ func (rt *Runtime) run(id int, t *task) {
 	start := time.Since(rt.start)
 	var err error
 	if faultinject.Active() {
+		// Probes are bounded by the runtime's context (when it has one) so an
+		// injected delay can never outlive a cancelled solve.
+		fctx := rt.ctx
+		if fctx == nil {
+			fctx = context.Background()
+		}
 		err = safeCall(func() {
-			if ferr := faultinject.Fire(t.class); ferr != nil {
+			if ferr := faultinject.FireCtx(fctx, t.class); ferr != nil {
 				panic(ferr)
 			}
 			t.fn()
@@ -594,6 +631,9 @@ func (rt *Runtime) run(id int, t *task) {
 	if rt.taskTimer != nil {
 		rt.taskTimer(t.class, end-start)
 	}
+	if rt.progress != nil {
+		rt.progress()
+	}
 
 	rt.mu.Lock()
 	t.done = true
@@ -602,7 +642,7 @@ func (rt *Runtime) run(id int, t *task) {
 		// skipped", including ones submitted after this completion.
 		t.canceled = true
 		if rt.firstErr == nil {
-			rt.firstErr = fmt.Errorf("task %q (%s): %w", t.label, t.class, err)
+			rt.firstErr = &TaskError{Class: t.class, Label: t.label, Err: err}
 		}
 	}
 	for _, h := range t.writes {

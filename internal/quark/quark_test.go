@@ -481,6 +481,69 @@ func TestWaitThenSubmitAgain(t *testing.T) {
 	}
 }
 
+func TestProgressHeartbeat(t *testing.T) {
+	var beats atomic.Int64
+	rt := New(4, WithProgress(func() { beats.Add(1) }))
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	const tasks = 50
+	for i := 0; i < tasks; i++ {
+		rt.Submit("A", fmt.Sprintf("t%d", i), func() {}, ReadWrite(h))
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := beats.Load(); got != tasks {
+		t.Errorf("progress fired %d times for %d executed tasks", got, tasks)
+	}
+}
+
+func TestProgressNotReportedForSkippedTasks(t *testing.T) {
+	var beats atomic.Int64
+	rt := New(2, WithProgress(func() { beats.Add(1) }))
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	boom := errors.New("boom")
+	rt.Submit("A", "fail", func() { panic(boom) }, Write(h))
+	for i := 0; i < 20; i++ {
+		rt.Submit("B", fmt.Sprintf("skipped%d", i), func() {}, ReadWrite(h))
+	}
+	if err := rt.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait: %v, want boom", err)
+	}
+	// Only the executed failing task may beat: a cancellation cascade that
+	// reports heartbeats would hide the stall it causes from a watchdog.
+	if got := beats.Load(); got != 1 {
+		t.Errorf("progress fired %d times, want 1 (skipped tasks must not beat)", got)
+	}
+}
+
+func TestTaskErrorCarriesClass(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	h := rt.Handle("x")
+	boom := errors.New("boom")
+	rt.Submit("LAED4", "secular", func() { panic(boom) }, Write(h))
+	err := rt.Wait()
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("Wait error %v does not expose *TaskError", err)
+	}
+	if te.Class != "LAED4" || te.Label != "secular" {
+		t.Errorf("TaskError = %+v, want class LAED4 label secular", te)
+	}
+	if te.TaskClass() != "LAED4" {
+		t.Errorf("TaskClass() = %q", te.TaskClass())
+	}
+	if !errors.Is(err, boom) {
+		t.Error("TaskError chain lost the root cause")
+	}
+	want := `task "secular" (LAED4): boom`
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error text %q does not contain %q", err.Error(), want)
+	}
+}
+
 func TestManyTasksStress(t *testing.T) {
 	rt := New(8)
 	defer rt.Shutdown()
