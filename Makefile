@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-gemm bench-secular chaos stress ci clean
+.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady chaos stress ci clean
 
 all: build
 
@@ -12,6 +12,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The scratch pool's ownership-map build: foreign or double Put panics at
+# the violation site instead of being clamp-and-counted.
+test-pooldebug:
+	$(GO) test -tags pooldebug ./internal/pool/
 
 race:
 	$(GO) test -race ./...
@@ -33,6 +38,13 @@ bench-secular:
 	$(GO) test -run '^$$' -bench 'SecularSums|ShiftedSumRatios|RatioSumSq' -benchtime 10x ./internal/simd/
 	$(GO) run ./cmd/dcbench -quick secular
 
+# Steady-state regression detector: N in-process solves per worker count
+# with a reused workspace (the pattern that once degraded 2.5×), medians of
+# the last half vs the first quarter plus GC stats, written to
+# BENCH_taskflow.json.
+bench-steady:
+	$(GO) run ./cmd/dcbench perf -steady 12 -json
+
 # Fault-injection suite: panic/error/delay probes in every task class across
 # randomized solves, repeated under the race detector; the tests themselves
 # assert zero goroutine leaks and that every fault ends in a verified result
@@ -51,4 +63,4 @@ chaos:
 stress:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestServerStress|LeaksNoGoroutines' ./eigen/
 
-ci: vet build test race bench-smoke chaos stress
+ci: vet build test test-pooldebug race bench-smoke bench-steady chaos stress

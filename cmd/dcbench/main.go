@@ -13,6 +13,8 @@
 //	dcbench fig9              accuracy comparison (Figure 9 a+b)
 //	dcbench fig10             application matrix set (Figure 10)
 //	dcbench perf              performance snapshot (task-flow medians + GEMM)
+//	dcbench perf -steady N    + N in-process solves per worker count
+//	                            (steady-state medians and GC stats)
 //	dcbench secular           secular-phase kernels, scalar vs SIMD
 //	dcbench all               everything above in sequence
 //
@@ -54,6 +56,7 @@ func main() {
 	workers := fs.String("workers", "", "comma-separated worker counts for simulation")
 	seed := fs.Int64("seed", 0, "random seed (0: fixed default)")
 	quick := fs.Bool("quick", false, "smaller sizes for a fast smoke run")
+	steady := fs.Int("steady", 0, "perf: run N solves per worker count in one process and report steady-state medians + GC stats")
 	bw := fs.Float64("bw", 0, "bandwidth cap in concurrent streams (0: default 4)")
 	jsonOut := fs.Bool("json", false, "write the perf snapshot to BENCH_taskflow.json")
 	fs.Usage = func() {
@@ -96,7 +99,7 @@ func main() {
 	fail(err)
 	cfg := &bench.Config{
 		Sizes: sz, Types: ty, Workers: wk,
-		Seed: *seed, Quick: *quick, BandwidthStreams: *bw,
+		Seed: *seed, Quick: *quick, Steady: *steady, BandwidthStreams: *bw,
 		Out: os.Stdout,
 	}
 

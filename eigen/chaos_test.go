@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tridiag/internal/faultinject"
+	"tridiag/internal/pool"
 )
 
 // chaosClasses are the task kernel classes of the task-flow D&C pipeline;
@@ -45,12 +46,24 @@ func checkGoroutines(t *testing.T, before int) {
 	}
 }
 
+// checkAccountant asserts the pool accountant returned to its pre-solve
+// baseline: an injected failure abandons merge workspaces mid-flight, and
+// the leak sweep must write every one of them off (pool.Forget) so the
+// server's admission budget is not silently consumed by failed solves.
+func checkAccountant(t *testing.T, label string, baseline int64) {
+	t.Helper()
+	if got := pool.InUseBytes(); got != baseline {
+		t.Fatalf("%s: pool accountant off baseline after solve: %d bytes checked out, want %d", label, got, baseline)
+	}
+}
+
 // TestChaosFallbackAlwaysServes injects a panic and a forced error into every
 // task class across randomized solves with Fallback enabled: every solve must
 // still produce a verified result — the sequential tier is injection-free, so
 // resilience, not luck, is what the assertion tests.
 func TestChaosFallbackAlwaysServes(t *testing.T) {
 	before := runtime.NumGoroutine()
+	baseline := pool.InUseBytes()
 	defer faultinject.Disable()
 	rng := rand.New(rand.NewSource(1234))
 	solves, injected := 0, 0
@@ -60,6 +73,7 @@ func TestChaosFallbackAlwaysServes(t *testing.T) {
 			tri := randomTridiag(rng, 90+rng.Intn(80))
 			res, err := SolveContext(context.Background(), tri, chaosOptions(true))
 			solves++
+			checkAccountant(t, "class="+class, baseline)
 			if err != nil {
 				t.Fatalf("class=%s kind=%v: solve failed despite fallback: %v", class, kind, err)
 			}
@@ -105,6 +119,7 @@ func TestChaosFallbackAlwaysServes(t *testing.T) {
 // the *faultinject.ErrInjected root cause through quark, core and eigen.
 func TestChaosNoFallbackRootCause(t *testing.T) {
 	before := runtime.NumGoroutine()
+	baseline := pool.InUseBytes()
 	defer faultinject.Disable()
 	rng := rand.New(rand.NewSource(4321))
 	failed, clean := 0, 0
@@ -113,6 +128,7 @@ func TestChaosNoFallbackRootCause(t *testing.T) {
 			faultinject.Enable(int64(7000+100*ci)+int64(kind), faultinject.Probe{Class: class, Kind: kind, P: 0.1})
 			tri := randomTridiag(rng, 90+rng.Intn(80))
 			res, err := SolveContext(context.Background(), tri, chaosOptions(false))
+			checkAccountant(t, "class="+class, baseline)
 			if err != nil {
 				failed++
 				if res != nil {
@@ -145,6 +161,7 @@ func TestChaosNoFallbackRootCause(t *testing.T) {
 // three failure modes at once.
 func TestChaosDelayAndMixedPlans(t *testing.T) {
 	before := runtime.NumGoroutine()
+	baseline := pool.InUseBytes()
 	defer faultinject.Disable()
 	rng := rand.New(rand.NewSource(555))
 	for i := 0; i < 6; i++ {
@@ -170,6 +187,7 @@ func TestChaosDelayAndMixedPlans(t *testing.T) {
 		)
 		tri := randomTridiag(rng, 80+rng.Intn(60))
 		res, err := Solve(tri, chaosOptions(true))
+		checkAccountant(t, "mixed plan", baseline)
 		if err != nil {
 			t.Fatalf("mixed run %d: solve failed despite fallback: %v", i, err)
 		}

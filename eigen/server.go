@@ -49,6 +49,8 @@ type Server struct {
 	peakReserved int64
 	avgNanos     float64 // EWMA of completed-job service time
 	jobs         map[uint64]*serverJob
+	idleTimer    *time.Timer // pending idle pool trim, nil when disarmed
+	idleGen      uint64      // invalidates stale idle-trim timer firings
 
 	nextID      atomic.Uint64
 	slots       chan struct{}
@@ -95,6 +97,18 @@ type ServerConfig struct {
 	// the fallback tier before one half-open probe may try the primary
 	// tier again (default 2s).
 	BreakerCooldown time.Duration
+	// PoolRetainBytes, when positive, sets the scratch pool's retention
+	// cap (pool.SetRetainLimit) for the whole process: the ceiling on idle
+	// pooled workspace kept warm between solves. 0 leaves the pool's
+	// default in place. The pool is process-global, so the last server
+	// configured wins.
+	PoolRetainBytes int64
+	// PoolIdleTrimDelay is how long the server must be completely idle
+	// (no queued or running jobs) before it releases ALL idle pooled
+	// scratch back to the GC (default 2s; negative disables idle
+	// trimming). Busy periods never trigger it: any admission re-arms the
+	// timer.
+	PoolIdleTrimDelay time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -120,6 +134,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.PoolIdleTrimDelay == 0 {
+		c.PoolIdleTrimDelay = 2 * time.Second
 	}
 	return c
 }
@@ -229,6 +246,10 @@ type ServerStats struct {
 	// workspace reservations (the pool accountant, pool.InUseBytes, tracks
 	// actual checked-out bytes).
 	ReservedBytes, PeakReservedBytes int64
+	// PoolInUseBytes is the scratch currently checked out of the pool;
+	// PoolRetainedBytes is the idle scratch kept warm for the next solve
+	// (bounded by the retention cap and dropped after idle trimming).
+	PoolInUseBytes, PoolRetainedBytes int64
 }
 
 // JobReport is one job's final disposition in a drain report.
@@ -254,6 +275,9 @@ type serverJob struct {
 // NewServer starts a solve service. Call Shutdown to drain it.
 func NewServer(cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.PoolRetainBytes > 0 {
+		pool.SetRetainLimit(cfg.PoolRetainBytes)
+	}
 	drainCtx, drainCancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:         cfg,
@@ -353,6 +377,13 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	}
 	job := &serverJob{id: s.nextID.Add(1), n: n, done: make(chan struct{})}
 	s.queued++
+	// The server is no longer idle: a pending idle pool trim must not fire
+	// under this job's feet.
+	s.idleGen++
+	if s.idleTimer != nil {
+		s.idleTimer.Stop()
+		s.idleTimer = nil
+	}
 	s.reserved += est
 	if s.reserved > s.peakReserved {
 		s.peakReserved = s.reserved
@@ -406,6 +437,7 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 		s.running--
 		s.mu.Unlock()
 		<-s.slots
+		s.afterJob()
 	}()
 	ran = true
 
@@ -576,6 +608,45 @@ func cancelCause(ctx, drain context.Context) error {
 	return fmt.Errorf("%w: drained mid-solve", ErrServerClosed)
 }
 
+// afterJob runs once per finished job, after its worker slot is released:
+// it enforces the pool's retention cap (covering the sequential and
+// fork-join tiers, which have no task-runtime shutdown of their own) and,
+// when the server just went idle, arms the idle trim that drops all pooled
+// scratch after PoolIdleTrimDelay of quiet.
+func (s *Server) afterJob() {
+	pool.TrimToCap()
+	d := s.cfg.PoolIdleTrimDelay
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.queued == 0 && s.running == 0 {
+		s.idleGen++
+		gen := s.idleGen
+		if s.idleTimer != nil {
+			s.idleTimer.Stop()
+		}
+		s.idleTimer = time.AfterFunc(d, func() { s.idleTrim(gen) })
+	}
+	s.mu.Unlock()
+}
+
+// idleTrim fires from the idle timer: if no job arrived since it was armed
+// (the generation still matches and the server is still quiet), every idle
+// pooled buffer is released so a quiet process holds no solver memory.
+func (s *Server) idleTrim(gen uint64) {
+	s.mu.Lock()
+	stale := gen != s.idleGen || s.queued != 0 || s.running != 0
+	if !stale {
+		s.idleTimer = nil
+	}
+	s.mu.Unlock()
+	if stale {
+		return
+	}
+	pool.TrimAll()
+}
+
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
@@ -589,6 +660,8 @@ func (s *Server) Stats() ServerStats {
 		Retries:        s.retries.Load(),
 		WatchdogAborts: s.stalls.Load(),
 	}
+	st.PoolInUseBytes = pool.InUseBytes()
+	st.PoolRetainedBytes = pool.RetainedBytes()
 	st.BreakerOpens, st.OpenBreakers = s.breakers.snapshot()
 	s.mu.Lock()
 	st.Queued, st.Running = s.queued, s.running
@@ -634,6 +707,15 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 		<-done
 	}
 	s.drainCancel()
+	// A drained server runs nothing again: release the warm scratch too.
+	s.mu.Lock()
+	if s.idleTimer != nil {
+		s.idleTimer.Stop()
+		s.idleTimer = nil
+	}
+	s.idleGen++
+	s.mu.Unlock()
+	pool.TrimAll()
 
 	rep := &DrainReport{Jobs: make([]JobReport, 0, len(inflight))}
 	for _, j := range inflight {

@@ -1,0 +1,64 @@
+package eigen
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tridiag/internal/pool"
+)
+
+// TestServerIdleTrimReleasesPool drives a few solves through a server with a
+// short idle-trim delay and asserts that a quiet server eventually holds no
+// pooled scratch at all: the idle timer fires once no job is queued or
+// running and drops every retained buffer.
+func TestServerIdleTrimReleasesPool(t *testing.T) {
+	s := NewServer(ServerConfig{MaxConcurrent: 2, PoolIdleTrimDelay: 50 * time.Millisecond})
+	rng := rand.New(rand.NewSource(99))
+	tri := randomTridiag(rng, 400)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Solve(context.Background(), tri, &Options{Workers: 2, MinPartition: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.RetainedBytes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle trim never fired: %d bytes still retained", pool.RetainedBytes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.RetainedBytes(); got != 0 {
+		t.Fatalf("drained server retains %d bytes of scratch", got)
+	}
+}
+
+// TestServerBusyKeepsPoolWarm asserts the opposite direction: back-to-back
+// solves must not lose their warm buffers to the idle trimmer (the timer is
+// disarmed while work is queued or running), so steady traffic sees pool
+// hits, not fresh allocations.
+func TestServerBusyKeepsPoolWarm(t *testing.T) {
+	s := NewServer(ServerConfig{MaxConcurrent: 1, PoolIdleTrimDelay: time.Hour})
+	defer s.Shutdown(context.Background())
+	rng := rand.New(rand.NewSource(100))
+	tri := randomTridiag(rng, 400)
+	if _, err := s.Solve(context.Background(), tri, &Options{Workers: 2, MinPartition: 32}); err != nil {
+		t.Fatal(err)
+	}
+	warm := pool.RetainedBytes()
+	if warm == 0 {
+		t.Skip("first solve retained nothing; cannot observe reuse")
+	}
+	before := pool.Counters()
+	if _, err := s.Solve(context.Background(), tri, &Options{Workers: 2, MinPartition: 32}); err != nil {
+		t.Fatal(err)
+	}
+	after := pool.Counters()
+	if hits := (after.Hits + after.Steals) - (before.Hits + before.Steals); hits == 0 {
+		t.Errorf("second solve reused no pooled buffers (gets %d)", after.Gets-before.Gets)
+	}
+}

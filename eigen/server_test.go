@@ -317,7 +317,13 @@ func TestServerShutdownGraceful(t *testing.T) {
 			}
 		}()
 	}
-	waitFor(t, func() bool { return s.Stats().Admitted == 4 })
+	// Wait until all four jobs are simultaneously in flight (not merely
+	// admitted): a fast job that already completed would be gone from the
+	// drain snapshot and flake the report-size assertion below.
+	waitFor(t, func() bool {
+		st := s.Stats()
+		return st.Queued+st.Running == 4
+	})
 	rep, err := s.Shutdown(context.Background())
 	if err != nil {
 		t.Fatalf("shutdown: %v", err)

@@ -29,8 +29,10 @@ func PackWorthwhile(m, n, k int) bool { return blockedWorthwhile(m, n, k) }
 // MC×KC blocks of A through the register micro-kernel.
 func gemmBlocked(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	pa := PackA(transA, m, k, a, lda)
+	// Deferred so the pack buffer is returned (and the accountant credited)
+	// even when a task panic unwinds through the kernel.
+	defer pa.Release()
 	packedGemm(pa, transB, n, alpha, b, ldb, beta, c, ldc)
-	pa.Release()
 }
 
 // PackedGemm computes C = alpha*Ap*B + beta*C where Ap is a pre-packed
@@ -53,6 +55,7 @@ func packedGemm(pa *PackedA, transB bool, n int, alpha float64, b []float64, ldb
 	ncbMax := min(n, gemmNC)
 	kbMax := min(k, gemmKC)
 	bbuf := pool.Get(((ncbMax + gemmNR - 1) / gemmNR) * gemmNR * kbMax)
+	defer pool.Put(bbuf)
 	for jc := 0; jc < n; jc += gemmNC {
 		ncb := min(gemmNC, n-jc)
 		for pc := 0; pc < k; pc += gemmKC {
@@ -67,7 +70,6 @@ func packedGemm(pa *PackedA, transB bool, n int, alpha float64, b []float64, ldb
 			}
 		}
 	}
-	pool.Put(bbuf)
 }
 
 // macroKernel multiplies one MC×KC block of packed A against one KC×NC

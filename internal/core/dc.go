@@ -123,7 +123,9 @@ type Result struct {
 // SolveDC computes all eigenpairs of the symmetric tridiagonal matrix
 // (d, e): on exit d holds the ascending eigenvalues and q (n×n, column
 // leading dimension ldq) the corresponding orthonormal eigenvectors; e is
-// destroyed.
+// destroyed. The entry contents of q are ignored — callers may hand the
+// solver a dirty, reused workspace; the leaf tasks establish the zero
+// structure the merge kernels depend on.
 func SolveDC(n int, d, e []float64, q []float64, ldq int, opts *Options) (*Result, error) {
 	return SolveDCContext(context.Background(), n, d, e, q, ldq, opts)
 }
@@ -262,6 +264,22 @@ func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq i
 			hD: rt.Handle(fmt.Sprintf("d[%d:%d]", st0, st0+sz))}
 		level[i] = nd
 		rt.Submit("STEDC", fmt.Sprintf("leaf[%d:%d]", st0, st0+sz), func() {
+			// The merge kernels (deflation rotations, deflated-column copies)
+			// operate on full merge-window columns and rely on the
+			// structurally-zero off-block rows of q holding exact zeros —
+			// LAPACK's Z=I invariant. Establish it here so callers may pass q
+			// with arbitrary entry contents (e.g. a reused workspace): every
+			// merge rewrites its window densely, so leaf-time zeroing is
+			// enough by induction up the tree.
+			for j := st0; j < st0+sz; j++ {
+				col := q[j*ldq : j*ldq+n]
+				for i := range col[:st0] {
+					col[i] = 0
+				}
+				for i := st0 + sz; i < n; i++ {
+					col[i] = 0
+				}
+			}
 			fellBack, err := lapack.DsteqrRobust(sz, d[st0:st0+sz], e[st0:st0+max(sz-1, 0)], q[st0+st0*ldq:], ldq)
 			if err != nil {
 				panic(err)
@@ -556,11 +574,13 @@ func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []f
 				return
 			}
 			wl := pool.Get(k)
+			// Publish the buffer before running the kernel: if LocalWPanel
+			// panics, sweepLeaked must see wl to write it off the accountant.
+			ms.wlocs[p] = wl
 			for i := range wl {
 				wl[i] = 1
 			}
 			ms.df.LocalWPanel(ms.ws, wl, j0, j1)
-			ms.wlocs[p] = wl
 			st.count("ComputeLocalW", int64(j1-j0)*int64(k))
 		}, quark.Gather(hS), quark.ReadWrite(hSec[p]))
 	}

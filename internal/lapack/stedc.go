@@ -89,7 +89,8 @@ func (c *DCConfig) gemm() GemmFunc {
 // Dstedc computes all eigenvalues and eigenvectors of a symmetric
 // tridiagonal matrix using the divide & conquer method (LAPACK
 // DSTEDC/DLAED0, sequential task order). On exit d holds the ascending
-// eigenvalues, q (n×n) the eigenvectors; e is destroyed.
+// eigenvalues, q (n×n) the eigenvectors; e is destroyed. The entry
+// contents of q are ignored: callers may reuse a dirty workspace.
 func Dstedc(n int, d, e []float64, q []float64, ldq int, cfg *DCConfig) error {
 	if n < 0 {
 		return fmt.Errorf("lapack: Dstedc: negative n")
@@ -136,9 +137,22 @@ func Dstedc(n int, d, e []float64, q []float64, ldq int, cfg *DCConfig) error {
 
 	// Solve the leaf subproblems; a QR non-convergence on a leaf retries
 	// via Dsterf + inverse iteration instead of failing the whole solve.
+	// Each leaf also zeroes the off-block rows of its columns: the merge
+	// kernels rotate and copy full merge-window columns and rely on the
+	// structurally-zero region holding exact zeros (LAPACK's Z=I invariant),
+	// so q's entry contents must not survive into the merges.
 	indxq := make([]int, n)
 	for i, st := range starts[:len(starts)-1] {
 		sz := sizes[i]
+		for j := st; j < st+sz; j++ {
+			col := q[j*ldq : j*ldq+n]
+			for r := range col[:st] {
+				col[r] = 0
+			}
+			for r := st + sz; r < n; r++ {
+				col[r] = 0
+			}
+		}
 		if _, err := DsteqrRobust(sz, d[st:st+sz], e[st:st+max(sz-1, 0)], q[st+st*ldq:], ldq); err != nil {
 			return fmt.Errorf("leaf [%d,%d): %w", st, st+sz, err)
 		}

@@ -1,0 +1,11 @@
+//go:build !pooldebug
+
+package pool
+
+// Release builds compile the ownership hooks away entirely; misuse defence
+// falls back to the clamp-and-count checks in Put. Build with -tags
+// pooldebug to turn contract violations into panics.
+
+func debugOnGet([]float64)       {}
+func debugOnPut([]float64)       {}
+func debugOnDoublePut([]float64) {}

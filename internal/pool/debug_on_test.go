@@ -1,0 +1,39 @@
+//go:build pooldebug
+
+package pool
+
+import "testing"
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic under pooldebug", what)
+		}
+	}()
+	f()
+}
+
+func TestPooldebugForeignPutPanics(t *testing.T) {
+	mustPanic(t, "foreign Put", func() {
+		Put(make([]float64, 128))
+	})
+}
+
+func TestPooldebugDoublePutPanics(t *testing.T) {
+	s := Get(128)
+	Put(s)
+	mustPanic(t, "double Put", func() {
+		Put(s)
+	})
+	TrimAll()
+}
+
+func TestPooldebugRoundTripClean(t *testing.T) {
+	// The ownership map must not flag the legal Get/Put/Get cycle.
+	for i := 0; i < 10; i++ {
+		s := Get(512)
+		Put(s)
+	}
+	TrimAll()
+}

@@ -73,6 +73,67 @@ func TestAccountantForgetAndClassBytes(t *testing.T) {
 	}
 }
 
+func TestRetainedBytesAndTrim(t *testing.T) {
+	TrimAll()
+	if got := RetainedBytes(); got != 0 {
+		t.Fatalf("RetainedBytes after TrimAll = %d", got)
+	}
+	bufs := make([][]float64, 6)
+	for i := range bufs {
+		bufs[i] = Get(1 << 10)
+	}
+	for _, b := range bufs {
+		Put(b)
+	}
+	ret := RetainedBytes()
+	if ret <= 0 {
+		t.Fatalf("RetainedBytes after Puts = %d, want > 0", ret)
+	}
+	target := ret / 2
+	Trim(target)
+	if got := RetainedBytes(); got > target {
+		t.Fatalf("Trim(%d) left %d retained", target, got)
+	}
+	if freed := TrimAll(); RetainedBytes() != 0 {
+		t.Fatalf("TrimAll freed %d but %d still retained", freed, RetainedBytes())
+	}
+}
+
+func TestRetainLimitStopsRetention(t *testing.T) {
+	prev := SetRetainLimit(0)
+	defer SetRetainLimit(prev)
+	TrimAll()
+	s := Get(1 << 10)
+	base := InUseBytes()
+	Put(s)
+	if got := RetainedBytes(); got != 0 {
+		t.Fatalf("retained %d bytes with a zero retain limit", got)
+	}
+	// The checkout itself must still be credited even though the buffer
+	// was dropped.
+	if got := base - InUseBytes(); got != 8<<10 {
+		t.Fatalf("dropped Put credited %d bytes, want %d", got, 8<<10)
+	}
+}
+
+func TestTrimToCap(t *testing.T) {
+	prev := SetRetainLimit(4 * 8 << 10) // four class-1024 buffers
+	defer SetRetainLimit(prev)
+	TrimAll()
+	bufs := make([][]float64, 8)
+	for i := range bufs {
+		bufs[i] = Get(1 << 10)
+	}
+	for _, b := range bufs {
+		Put(b)
+	}
+	TrimToCap()
+	if got, lim := RetainedBytes(), RetainLimit(); got > lim {
+		t.Fatalf("TrimToCap left %d retained, limit %d", got, lim)
+	}
+	TrimAll()
+}
+
 func TestRecycleRoundTrip(t *testing.T) {
 	s := Get(100)
 	for i := range s {

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"tridiag/internal/faultinject"
+	"tridiag/internal/pool"
 )
 
 // AccessMode declares how a task uses a handle.
@@ -777,7 +778,10 @@ func (rt *Runtime) Graph() *Graph {
 	return rt.graph
 }
 
-// Shutdown drains remaining tasks and stops the workers.
+// Shutdown drains remaining tasks and stops the workers. Once the workers
+// have joined it also enforces the scratch pool's retention cap: runtime
+// shutdown is the solve-completion boundary, so transient mid-solve
+// overshoot in the freelists never outlives the solve that caused it.
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	already := rt.closed
@@ -793,4 +797,7 @@ func (rt *Runtime) Shutdown() {
 		}
 	}
 	rt.wg.Wait()
+	if !already {
+		pool.TrimToCap()
+	}
 }
