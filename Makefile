@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady chaos stress ci clean
+.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady chaos stress stress-cluster ci clean
 
 all: build
 
@@ -63,4 +63,12 @@ chaos:
 stress:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestServerStress|LeaksNoGoroutines' ./eigen/
 
-ci: vet build test test-pooldebug race bench-smoke bench-steady chaos stress
+# Cluster-tier acceptance gate: the partition chaos suite under the race
+# detector — 3 httptest workers behind a real coordinator serving 220 mixed
+# jobs while one worker is partitioned away mid-load and revived, plus the
+# all-workers-down degraded-local test. Asserts zero lost jobs, the full
+# breaker open/half-open/close cycle, and no goroutine leaks.
+stress-cluster:
+	$(GO) test -race -count=1 -timeout 5m -run 'TestCluster' ./eigen/cluster/
+
+ci: vet build test test-pooldebug race bench-smoke bench-steady chaos stress stress-cluster

@@ -1,143 +1,57 @@
-// eigserve runs the eigen.Server solve service behind an HTTP JSON API:
-// a long-lived multi-tenant eigensolver with admission control, watchdog
-// retries, circuit breakers and graceful drain.
+// eigserve runs the tridiag solve service behind an HTTP JSON API, in one of
+// two roles.
 //
-//	eigserve -addr :8080 -budget 256 -stall 10s
+// Worker (the default): a long-lived multi-tenant eigensolver with admission
+// control, watchdog retries, circuit breakers and graceful drain:
 //
-//	POST /solve   {"d": [...], "e": [...], "method": "dc", "vectors": false}
-//	           →  {"values": [...], "disposition": "completed", ...}
-//	GET  /stats   → the server's ServerStats counters
+//	eigserve -addr :8081 -budget 256 -stall 10s
+//
+// Coordinator: routes solves across a set of workers with per-worker health
+// probes and circuit breakers, failover on timeout/connection-reset/5xx, and
+// a degraded-local tier that keeps answering when every worker is down:
+//
+//	eigserve -role coordinator -addr :8080 \
+//	    -worker http://host1:8081 -worker http://host2:8081
+//
+// Both roles serve the same API:
+//
+//	POST /solve    {"d": [...], "e": [...], "method": "dc", "vectors": false}
+//	            →  {"values": [...], "disposition": "completed", ...}
+//	GET  /stats    service counters (per-worker breaker state on coordinators)
+//	GET  /healthz  liveness
+//	GET  /readyz   readiness (503 while draining or backed up)
 //
 // SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight jobs
-// finish (up to -drain), and the per-job dispositions are logged.
+// finish (up to -drain), and the per-job dispositions are logged — grouped
+// per worker on coordinators.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tridiag/eigen"
+	"tridiag/eigen/cluster"
 )
 
-type solveRequest struct {
-	D       []float64 `json:"d"`
-	E       []float64 `json:"e"`
-	Method  string    `json:"method,omitempty"`  // dc | dc-seq | mrrr | qr
-	Workers int       `json:"workers,omitempty"` // per-solve worker cap
-	// TimeoutMS is the job's deadline; admission rejects jobs whose
-	// deadline cannot be met given the current load.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Vectors includes the n×n eigenvector matrix in the response
-	// (column-major, column j = eigenvector j). Off by default: for large n
-	// the payload dwarfs the eigenvalues.
-	Vectors bool `json:"vectors,omitempty"`
-}
+// urlList collects repeatable -worker flags.
+type urlList []string
 
-type solveResponse struct {
-	N           int       `json:"n"`
-	Values      []float64 `json:"values,omitempty"`
-	Vectors     []float64 `json:"vectors,omitempty"`
-	Disposition string    `json:"disposition"`
-	Attempts    int       `json:"attempts"`
-	Stalls      int       `json:"stalls"`
-	Tier        string    `json:"tier,omitempty"`
-	Error       string    `json:"error,omitempty"`
-}
-
-func parseMethod(s string) (eigen.Method, error) {
-	switch s {
-	case "", "dc":
-		return eigen.MethodDC, nil
-	case "dc-seq":
-		return eigen.MethodDCSequential, nil
-	case "mrrr":
-		return eigen.MethodMRRR, nil
-	case "qr":
-		return eigen.MethodQR, nil
-	}
-	return 0, fmt.Errorf("unknown method %q", s)
-}
-
-// status maps a server outcome to an HTTP status: overload backpressure is
-// 503 (clients should back off and retry), cancellation 408, persistent
-// failure 500, bad input 400.
-func status(err error) int {
-	switch {
-	case err == nil:
-		return http.StatusOK
-	case errors.Is(err, eigen.ErrOverloaded), errors.Is(err, eigen.ErrServerClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		return http.StatusRequestTimeout
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func solveHandler(s *eigen.Server) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req solveRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		method, err := parseMethod(req.Method)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		ctx := r.Context()
-		if req.TimeoutMS > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-			defer cancel()
-		}
-		tri := eigen.Tridiagonal{D: req.D, E: req.E}
-		sr, err := s.Solve(ctx, tri, &eigen.Options{Method: method, Workers: req.Workers})
-		resp := solveResponse{
-			N:           tri.N(),
-			Disposition: sr.Disposition.String(),
-			Attempts:    sr.Attempts,
-			Stalls:      sr.Stalls,
-		}
-		if err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp.Values = sr.Result.Values
-			if req.Vectors {
-				resp.Vectors = sr.Result.Vectors
-			}
-			if sr.Result.Stats != nil {
-				resp.Tier = sr.Result.Stats.Tier
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status(err))
-		json.NewEncoder(w).Encode(&resp)
-	}
-}
-
-func statsHandler(s *eigen.Server) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.Stats())
-	}
-}
+func (u *urlList) String() string     { return strings.Join(*u, ",") }
+func (u *urlList) Set(v string) error { *u = append(*u, v); return nil }
 
 func main() {
+	role := flag.String("role", "worker", `"worker" serves solves; "coordinator" routes them to -worker instances`)
+	var workers urlList
+	flag.Var(&workers, "worker", "worker base URL (coordinator role; repeat per worker)")
 	addr := flag.String("addr", ":8080", "listen address")
 	concurrent := flag.Int("concurrent", 0, "max concurrent solves (0: all cores)")
 	queue := flag.Int("queue", 0, "max queued jobs (0: 4x concurrent)")
@@ -145,8 +59,20 @@ func main() {
 	stall := flag.Duration("stall", 10*time.Second, "watchdog no-progress abort window")
 	retries := flag.Int("retries", 2, "same-tier retries for transient failures")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	maxBody := flag.Int64("max-body", 64, "max /solve request body in MiB (413 beyond)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "HTTP read deadline (headers+body)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Minute,
+		"HTTP write deadline; must cover the longest solve plus its response")
+	probe := flag.Duration("probe", 250*time.Millisecond, "coordinator health-probe interval")
+	attemptTimeout := flag.Duration("attempt-timeout", 60*time.Second,
+		"coordinator per-attempt cap before failing a job over to another worker")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that open a worker's circuit")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit rest before the half-open probe")
 	flag.Parse()
 
+	httpCfg := cluster.HTTPConfig{MaxBodyBytes: *maxBody << 20}
+	// Both roles run an eigen.Server: it is the whole service on a worker and
+	// the degraded-local tier on a coordinator.
 	s := eigen.NewServer(eigen.ServerConfig{
 		MaxConcurrent: *concurrent,
 		MaxQueue:      *queue,
@@ -154,10 +80,75 @@ func main() {
 		StallWindow:   *stall,
 		MaxRetries:    *retries,
 	})
-	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", solveHandler(s))
-	mux.HandleFunc("/stats", statsHandler(s))
-	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	var handler http.Handler
+	var drainFn func(ctx context.Context)
+	var statsFn func()
+	switch *role {
+	case "worker":
+		handler = cluster.NewWorkerHandler(s, httpCfg)
+		drainFn = func(ctx context.Context) {
+			rep, err := s.Shutdown(ctx)
+			for _, j := range rep.Jobs {
+				log.Printf("  job %d (n=%d): %s", j.ID, j.N, j.Disposition)
+			}
+			if err != nil {
+				log.Printf("drain deadline hit, remaining jobs cancelled: %v", err)
+			}
+		}
+		statsFn = func() {
+			st := s.Stats()
+			log.Printf("served: completed=%d retried=%d degraded=%d rejected=%d cancelled=%d failed=%d",
+				st.Completed, st.Retried, st.Degraded, st.Rejected, st.Cancelled, st.Failed)
+		}
+	case "coordinator":
+		c, err := cluster.NewCoordinator(cluster.Config{
+			Workers:          workers,
+			Local:            s,
+			ProbeInterval:    *probe,
+			AttemptTimeout:   *attemptTimeout,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = cluster.NewCoordinatorHandler(c, httpCfg)
+		drainFn = func(ctx context.Context) {
+			rep, err := c.Shutdown(ctx)
+			for _, wd := range rep.Workers {
+				log.Printf("  worker %s:", wd.Worker)
+				for _, j := range wd.Jobs {
+					log.Printf("    job %d (n=%d): %s", j.ID, j.N, j.Disposition)
+				}
+			}
+			if rep.Local != nil {
+				for _, j := range rep.Local.Jobs {
+					log.Printf("  local job %d (n=%d): %s", j.ID, j.N, j.Disposition)
+				}
+			}
+			if err != nil {
+				log.Printf("drain deadline hit, remaining jobs cancelled: %v", err)
+			}
+		}
+		statsFn = func() {
+			st := c.Stats()
+			log.Printf("routed: completed=%d retried=%d failed-over=%d degraded-local=%d rejected=%d cancelled=%d failed=%d",
+				st.Completed, st.Retried, st.FailedOver, st.DegradedLocal, st.Rejected, st.Cancelled, st.Failed)
+		}
+	default:
+		log.Fatalf("unknown -role %q (want worker or coordinator)", *role)
+	}
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Slowloris protection and bounded request/response lifetimes; the
+		// write deadline must cover the longest solve the deployment serves.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -166,21 +157,18 @@ func main() {
 		log.Printf("draining (deadline %v)...", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		rep, err := s.Shutdown(ctx)
-		for _, j := range rep.Jobs {
-			log.Printf("  job %d (n=%d): %s", j.ID, j.N, j.Disposition)
+		drainFn(ctx)
+		// The HTTP shutdown shares the drain deadline: a client that never
+		// reads its response must not hold the process open forever.
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v; closing remaining connections", err)
+			hs.Close()
 		}
-		if err != nil {
-			log.Printf("drain deadline hit, remaining jobs cancelled: %v", err)
-		}
-		hs.Shutdown(context.Background())
 	}()
 
-	log.Printf("eigserve listening on %s", *addr)
+	log.Printf("eigserve %s listening on %s", *role, *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	st := s.Stats()
-	log.Printf("served: completed=%d retried=%d degraded=%d rejected=%d cancelled=%d failed=%d",
-		st.Completed, st.Retried, st.Degraded, st.Rejected, st.Cancelled, st.Failed)
+	statsFn()
 }

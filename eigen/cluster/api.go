@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tridiag/eigen"
+)
+
+// SolveRequest is the wire form of one solve job, shared by the worker and
+// coordinator /solve endpoints.
+type SolveRequest struct {
+	D      []float64 `json:"d"`
+	E      []float64 `json:"e"`
+	Method string    `json:"method,omitempty"` // dc | dc-seq | mrrr | qr
+	// Workers is the per-solve worker-goroutine cap on the serving instance.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS is the job's deadline; admission rejects jobs whose deadline
+	// cannot be met given the current load.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Vectors includes the n×n eigenvector matrix in the response
+	// (column-major, column j = eigenvector j). Off by default: for large n
+	// the payload dwarfs the eigenvalues.
+	Vectors bool `json:"vectors,omitempty"`
+}
+
+// Tri views the request's problem as an eigen.Tridiagonal (aliasing the
+// request slices).
+func (r *SolveRequest) Tri() eigen.Tridiagonal {
+	return eigen.Tridiagonal{D: r.D, E: r.E}
+}
+
+// SolveResponse is the wire form of one solve outcome. A worker reports its
+// eigen.Server disposition; a coordinator overwrites Disposition with the
+// cluster-level one and fills Worker/Failovers.
+type SolveResponse struct {
+	N           int       `json:"n"`
+	Values      []float64 `json:"values,omitempty"`
+	Vectors     []float64 `json:"vectors,omitempty"`
+	Disposition string    `json:"disposition"`
+	Attempts    int       `json:"attempts"`
+	Stalls      int       `json:"stalls"`
+	Tier        string    `json:"tier,omitempty"`
+	// Worker names the instance that served the job ("local" for the
+	// coordinator's degraded-local tier); set by coordinators only.
+	Worker string `json:"worker,omitempty"`
+	// Failovers counts the remote attempts that were abandoned before a
+	// different worker served the job; set by coordinators only.
+	Failovers int    `json:"failovers,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ParseMethod maps the wire method name to the eigen.Method ("" selects the
+// task-flow D&C default).
+func ParseMethod(s string) (eigen.Method, error) {
+	switch s {
+	case "", "dc":
+		return eigen.MethodDC, nil
+	case "dc-seq":
+		return eigen.MethodDCSequential, nil
+	case "mrrr":
+		return eigen.MethodMRRR, nil
+	case "qr":
+		return eigen.MethodQR, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// StatusOf maps a serve error to its HTTP status: malformed input is the
+// client's fault (400), overload backpressure asks the client to back off
+// and retry (503), cancellation/deadline expiry is 408, and anything else is
+// an internal failure (500).
+func StatusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, eigen.ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, eigen.ErrOverloaded), errors.Is(err, eigen.ErrServerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tridiag/eigen"
+	"tridiag/internal/faultinject"
+)
+
+// manualProbeConfig disables the background prober (interval far beyond the
+// test) so breaker transitions are driven only by jobs and explicit probe()
+// calls — the deterministic setting for unit-testing the state machine.
+func manualProbeConfig(urls []string, client *http.Client) Config {
+	cfg := testCoordConfig(urls, client)
+	cfg.ProbeInterval = time.Hour
+	return cfg
+}
+
+func newCoord(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return c
+}
+
+func mustClusterSolve(t *testing.T, c *Coordinator, req *SolveRequest) *SolveResponse {
+	t.Helper()
+	resp, err := c.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("cluster solve n=%d: %v", len(req.D), err)
+	}
+	checkSpectrum(t, req, resp)
+	return resp
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rg := newRing(names, 64)
+	all := func(int) bool { return true }
+	counts := make([]int, len(names))
+	for i := 0; i < 1000; i++ {
+		key := affinityKey([]float64{float64(i), 2}, []float64{0.5})
+		w := rg.pick(key, all)
+		if w < 0 || w >= len(names) {
+			t.Fatalf("pick(%d) = %d out of range", key, w)
+		}
+		if again := rg.pick(key, all); again != w {
+			t.Fatalf("pick(%d) unstable: %d then %d", key, w, again)
+		}
+		counts[w]++
+		// Losing the owner moves the key to another worker, deterministically.
+		failedOver := rg.pick(key, func(i int) bool { return i != w })
+		if failedOver == w || failedOver < 0 {
+			t.Fatalf("pick(%d) without %d = %d", key, w, failedOver)
+		}
+		if rg.pick(key, func(int) bool { return false }) != -1 {
+			t.Fatal("pick with no eligible worker must return -1")
+		}
+	}
+	for i, got := range counts {
+		if got < 100 { // 1000 keys over 3 workers: each owns a real share
+			t.Errorf("worker %d owns only %d/1000 keys; ring is unbalanced", i, got)
+		}
+	}
+}
+
+func TestAffinityKeyContentBased(t *testing.T) {
+	d := []float64{1, 2, 3}
+	e := []float64{0.5, 0.25}
+	k1 := affinityKey(d, e)
+	k2 := affinityKey(append([]float64(nil), d...), append([]float64(nil), e...))
+	if k1 != k2 {
+		t.Error("same content must hash to the same key regardless of identity")
+	}
+	if affinityKey([]float64{1, 2, 3.0000001}, e) == k1 {
+		t.Error("different content hashed to the same key")
+	}
+}
+
+// TestRemoteErrorClassification: the duck-typed Transient()/TaskClass()
+// convention that feeds the breakers and the failover policy.
+func TestRemoteErrorClassification(t *testing.T) {
+	cases := []struct {
+		status    int
+		transient bool
+	}{
+		{0, true},   // transport-level: reset, refused, truncated
+		{500, true}, // worker-side failure; another worker may serve
+		{502, true},
+		{http.StatusRequestTimeout, true},
+		{http.StatusTooManyRequests, true},
+		{400, false}, // definitive client error: replay reproduces it
+		{404, false},
+		{413, false},
+	}
+	for _, tc := range cases {
+		re := &RemoteError{Worker: "http://w:1", Status: tc.status, Err: errors.New("x")}
+		if got := faultinject.Transient(re); got != tc.transient {
+			t.Errorf("status %d: Transient = %v, want %v", tc.status, got, tc.transient)
+		}
+	}
+	re := &RemoteError{Worker: "http://w:1", Err: context.DeadlineExceeded}
+	if got, want := faultinject.ClassOf(re), faultinject.NetClass("http://w:1"); got != want {
+		t.Errorf("ClassOf = %q, want %q", got, want)
+	}
+	if !errors.Is(fmt.Errorf("attempt: %w", re), context.DeadlineExceeded) {
+		t.Error("RemoteError must unwrap to its cause")
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(Config{}); err == nil {
+		t.Error("no workers: want error")
+	}
+	if _, err := NewCoordinator(Config{Workers: []string{"not a url"}}); err == nil {
+		t.Error("scheme-less worker URL: want error")
+	}
+	if _, err := NewCoordinator(Config{Workers: []string{"://nope"}}); err == nil {
+		t.Error("malformed worker URL: want error")
+	}
+}
+
+// TestCoordinatorRejectsBadInput: malformed jobs are rejected at admission
+// with eigen.ErrBadInput — they never become cluster jobs.
+func TestCoordinatorRejectsBadInput(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	c := newCoord(t, manualProbeConfig([]string{w.ts.URL}, nil))
+	defer c.Shutdown(context.Background())
+
+	for _, req := range []*SolveRequest{
+		{D: []float64{1, 2, 3}, E: []float64{0.5}},
+		{D: []float64{1, 2}, E: []float64{0.5}, Method: "cholesky"},
+	} {
+		resp, err := c.Solve(context.Background(), req)
+		if !errors.Is(err, eigen.ErrBadInput) {
+			t.Fatalf("bad input: err = %v, want ErrBadInput", err)
+		}
+		if resp.Disposition != "rejected" {
+			t.Fatalf("bad input: disposition %q, want rejected", resp.Disposition)
+		}
+	}
+	if st := c.Stats(); st.Rejected != 2 || st.Admitted != 0 {
+		t.Errorf("stats rejected=%d admitted=%d, want 2/0", st.Rejected, st.Admitted)
+	}
+}
+
+// TestCoordinatorSmallJobAffinity: resubmitting the same small system lands
+// on the same worker every time.
+func TestCoordinatorSmallJobAffinity(t *testing.T) {
+	var workers []*testWorker
+	var urls []string
+	for i := 0; i < 3; i++ {
+		w := newTestWorker(workerServerConfig())
+		defer w.close()
+		workers = append(workers, w)
+		urls = append(urls, w.ts.URL)
+	}
+	c := newCoord(t, manualProbeConfig(urls, nil))
+	defer c.Shutdown(context.Background())
+
+	req := randomRequest(rand.New(rand.NewSource(11)), 32)
+	first := mustClusterSolve(t, c, req)
+	if first.Disposition != "completed" || first.Worker == "" {
+		t.Fatalf("disposition=%q worker=%q", first.Disposition, first.Worker)
+	}
+	for i := 0; i < 3; i++ {
+		if resp := mustClusterSolve(t, c, req); resp.Worker != first.Worker {
+			t.Fatalf("resubmission %d went to %s, want affinity to %s", i, resp.Worker, first.Worker)
+		}
+	}
+}
+
+// TestCoordinatorFailoverAndBreaker walks the full breaker state machine with
+// job traffic only (probes disabled): a partitioned worker causes failovers,
+// opens after the threshold, stops receiving traffic, and re-closes through
+// the half-open probe after revival.
+func TestCoordinatorFailoverAndBreaker(t *testing.T) {
+	w0 := newTestWorker(workerServerConfig())
+	defer w0.close()
+	w1 := newTestWorker(workerServerConfig())
+	defer w1.close()
+	c := newCoord(t, manualProbeConfig([]string{w0.ts.URL, w1.ts.URL}, nil))
+	defer c.Shutdown(context.Background())
+
+	rng := rand.New(rand.NewSource(21))
+	// n > SmallN routes least-loaded; with equal load the tie goes to the
+	// first configured worker, so every fresh job tries w0 first.
+	large := func() *SolveRequest { return randomRequest(rng, 300) }
+
+	w0.gate.down.Store(true)
+	for i := 0; i < c.cfg.BreakerThreshold; i++ {
+		resp := mustClusterSolve(t, c, large())
+		if resp.Disposition != "failed-over" || resp.Worker != w1.ts.URL || resp.Failovers != 1 {
+			t.Fatalf("job %d: disposition=%q worker=%q failovers=%d, want failed-over to w1",
+				i, resp.Disposition, resp.Worker, resp.Failovers)
+		}
+	}
+	if got := c.workers[0].breakerState(); got != "open" {
+		t.Fatalf("w0 breaker %q after %d failures, want open", got, c.cfg.BreakerThreshold)
+	}
+
+	// Open circuit: w0 gets no traffic, jobs complete on w1 first try.
+	sentBefore := c.workers[0].sent.Load()
+	if resp := mustClusterSolve(t, c, large()); resp.Disposition != "completed" || resp.Worker != w1.ts.URL {
+		t.Fatalf("open-circuit job: disposition=%q worker=%q", resp.Disposition, resp.Worker)
+	}
+	if got := c.workers[0].sent.Load(); got != sentBefore {
+		t.Fatalf("open-circuit worker still received %d attempts", got-sentBefore)
+	}
+
+	// Revive; after the cooldown the breaker reads half-open and the next
+	// health probe re-closes it.
+	w0.gate.down.Store(false)
+	waitFor(t, 2*time.Second, "cooldown expiry", func() bool {
+		return c.workers[0].breakerState() == "half-open"
+	})
+	c.probe(c.workers[0])
+	if got := c.workers[0].breakerState(); got != "closed" {
+		t.Fatalf("w0 breaker %q after successful half-open probe, want closed", got)
+	}
+	if resp := mustClusterSolve(t, c, large()); resp.Disposition != "completed" || resp.Worker != w0.ts.URL {
+		t.Fatalf("post-revival job: disposition=%q worker=%q, want completed on w0", resp.Disposition, resp.Worker)
+	}
+
+	st := c.Stats()
+	if st.BreakerOpens != 1 || st.BreakerCloses != 1 {
+		t.Errorf("breaker opens=%d closes=%d, want 1/1", st.BreakerOpens, st.BreakerCloses)
+	}
+	if st.FailedOver != int64(c.cfg.BreakerThreshold) {
+		t.Errorf("failed-over=%d, want %d", st.FailedOver, c.cfg.BreakerThreshold)
+	}
+	if st.Completed != 2 || st.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 2/0", st.Completed, st.Failed)
+	}
+	if st.Retries != int64(c.cfg.BreakerThreshold) {
+		t.Errorf("retries=%d, want %d", st.Retries, c.cfg.BreakerThreshold)
+	}
+}
+
+// TestCoordinatorProbeEWMA: probe outcomes move the health estimate both
+// ways, and an unreachable worker reads unhealthy within a few probes.
+func TestCoordinatorProbeEWMA(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	c := newCoord(t, manualProbeConfig([]string{w.ts.URL}, nil))
+	defer c.Shutdown(context.Background())
+
+	wk := c.workers[0]
+	w.gate.down.Store(true)
+	for i := 0; i < 4; i++ {
+		c.probe(wk)
+		if wk.breakerState() == "open" {
+			break // probes feed the breaker too; stop before cooling down
+		}
+	}
+	if wk.healthy() {
+		t.Error("worker still healthy after consecutive probe failures")
+	}
+	st := c.Stats()
+	if st.Workers[0].ProbeFailEWMA < 0.5 || st.Workers[0].LastProbeErr == "" {
+		t.Errorf("worker status %+v, want ewma ≥ 0.5 with a probe error", st.Workers[0])
+	}
+
+	w.gate.down.Store(false)
+	waitFor(t, 2*time.Second, "cooldown expiry", func() bool { return !wk.coolingDown() })
+	for i := 0; i < 4 && !wk.healthy(); i++ {
+		c.probe(wk)
+	}
+	if !wk.healthy() {
+		t.Error("worker not healthy again after consecutive probe successes")
+	}
+	// A healthy probe round also refreshes the load snapshot from /stats.
+	if st := c.Stats(); st.Workers[0].LastProbeErr != "" {
+		t.Errorf("probe error %q survived recovery", st.Workers[0].LastProbeErr)
+	}
+}
+
+// TestCoordinatorShutdown: admission stops, later Shutdowns are no-ops, and
+// a job in flight at drain time is cancelled at the deadline and reported
+// under the worker it was trying.
+func TestCoordinatorShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	c := newCoord(t, manualProbeConfig([]string{w.ts.URL}, nil))
+
+	// A network-path delay keeps one job in flight long past the drain
+	// deadline; FireCtx is context-bounded, so the drain cancels it.
+	defer faultinject.Disable()
+	faultinject.Enable(13, faultinject.Probe{
+		Class: faultinject.NetClass(w.ts.URL), Kind: faultinject.KindDelay, P: 1, Delay: time.Minute,
+	})
+	type out struct {
+		resp *SolveResponse
+		err  error
+	}
+	done := make(chan out, 1)
+	go func() {
+		resp, err := c.Solve(context.Background(), randomRequest(rand.New(rand.NewSource(31)), 48))
+		done <- out{resp, err}
+	}()
+	waitFor(t, 5*time.Second, "job admitted", func() bool { return c.Stats().Inflight == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rep, err := c.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded (deadline forced a cancellation)", err)
+	}
+	o := <-done
+	if o.err == nil || o.resp.Disposition != "cancelled" {
+		t.Fatalf("drained job: err=%v disposition=%q, want cancelled", o.err, o.resp.Disposition)
+	}
+	if len(rep.Workers) != 1 || rep.Workers[0].Worker != w.ts.URL {
+		t.Fatalf("drain report %+v, want the job grouped under %s", rep.Workers, w.ts.URL)
+	}
+	if jobs := rep.Workers[0].Jobs; len(jobs) != 1 || jobs[0].Disposition != DispositionCancelled {
+		t.Fatalf("drain report jobs %+v, want one cancelled job", jobs)
+	}
+	if rep.Local == nil {
+		t.Fatal("drain report must include the local tier's report")
+	}
+
+	// Admission is closed, and Shutdown is idempotent.
+	if _, err := c.Solve(context.Background(), randomRequest(rand.New(rand.NewSource(32)), 16)); !errors.Is(err, eigen.ErrServerClosed) {
+		t.Fatalf("post-drain solve err = %v, want ErrServerClosed", err)
+	}
+	if rep2, err := c.Shutdown(context.Background()); err != nil || len(rep2.Workers) != 0 {
+		t.Fatalf("second Shutdown: rep=%+v err=%v, want empty/nil", rep2, err)
+	}
+	faultinject.Disable()
+	checkGoroutines(t, before)
+}
+
+// TestCoordinatorHTTPRoundTrip: the coordinator behind its HTTP handler
+// serves the same API as a worker, and /readyz flips on drain.
+func TestCoordinatorHTTPRoundTrip(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	c := newCoord(t, manualProbeConfig([]string{w.ts.URL}, nil))
+	ts := httptest.NewServer(NewCoordinatorHandler(c, HTTPConfig{Logf: discardLogf}))
+	defer ts.Close()
+
+	req := randomRequest(rand.New(rand.NewSource(41)), 24)
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	checkSpectrum(t, req, &sr)
+	if sr.Worker != w.ts.URL || sr.Disposition != "completed" {
+		t.Fatalf("worker=%q disposition=%q", sr.Worker, sr.Disposition)
+	}
+
+	// Shape mismatch over the wire is a 400 from the coordinator too.
+	bad, _ := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"d": [1, 2], "e": []}`))
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shape via coordinator: status %d, want 400", bad.StatusCode)
+	}
+
+	rs, _ := http.Get(ts.URL + "/readyz")
+	rs.Body.Close()
+	if rs.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz: %d, want 200", rs.StatusCode)
+	}
+	if _, err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rs, _ = http.Get(ts.URL + "/readyz")
+	rs.Body.Close()
+	if rs.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: %d, want 503", rs.StatusCode)
+	}
+}

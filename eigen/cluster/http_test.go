@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tridiag/eigen"
+	"tridiag/internal/faultinject"
+)
+
+func postSolve(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	return resp
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestWorkerHTTPMethodRejection: every endpoint rejects the wrong verb with
+// 405 instead of misbehaving.
+func TestWorkerHTTPMethodRejection(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	cases := []struct{ method, path string }{
+		{http.MethodGet, "/solve"},
+		{http.MethodDelete, "/solve"},
+		{http.MethodPost, "/stats"},
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/readyz"},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, w.ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestWorkerHTTPBadRequests: malformed JSON, unknown methods and shape
+// mismatches are client errors (400), not internal solve failures (500).
+func TestWorkerHTTPBadRequests(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	cases := []struct{ name, body string }{
+		{"truncated JSON", `{"d": [1, 2`},
+		{"not JSON", `eigenvalues please`},
+		{"unknown method", `{"d": [1, 2], "e": [0.5], "method": "cholesky"}`},
+		{"shape mismatch", `{"d": [1, 2, 3], "e": [0.5, 0.5, 0.5]}`},
+		{"missing off-diagonal", `{"d": [1, 2, 3]}`},
+	}
+	for _, tc := range cases {
+		resp := postSolve(t, w.ts.URL, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestWorkerHTTPOversizedBody: bodies beyond MaxBodyBytes get 413 before the
+// decoder buffers them.
+func TestWorkerHTTPOversizedBody(t *testing.T) {
+	s := eigen.NewServer(workerServerConfig())
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(NewWorkerHandler(s, HTTPConfig{MaxBodyBytes: 1 << 10, Logf: discardLogf}))
+	defer ts.Close()
+
+	var b bytes.Buffer
+	b.WriteString(`{"d": [`)
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "%d,", i)
+	}
+	b.WriteString(`1], "e": []}`)
+	resp := postSolve(t, ts.URL, b.String())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+
+	// A body under the cap still works.
+	resp = postSolve(t, ts.URL, `{"d": [2.0], "e": []}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestWorkerHTTPTimeoutMaps408: a job whose timeout_ms expires mid-solve
+// reports 408, disposition cancelled.
+func TestWorkerHTTPTimeoutMaps408(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	req := randomRequest(rand.New(rand.NewSource(3)), 1500)
+	req.TimeoutMS = 1
+	resp := postSolve(t, w.ts.URL, mustJSON(t, req))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408", resp.StatusCode)
+	}
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sr.Disposition != "cancelled" {
+		t.Fatalf("disposition %q, want cancelled", sr.Disposition)
+	}
+}
+
+// TestWorkerHTTPOverloadMaps503: a full queue rejects with 503, and /readyz
+// flips to 503 while the backlog lasts.
+func TestWorkerHTTPOverloadMaps503(t *testing.T) {
+	cfg := workerServerConfig()
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 1
+	w := newTestWorker(cfg)
+	defer w.close()
+	defer faultinject.Disable()
+	// Injected per-task delays keep the first job on the slot and the second
+	// in the queue long enough to observe the backlog deterministically.
+	faultinject.Enable(7, faultinject.Probe{Class: "*", Kind: faultinject.KindDelay, P: 1, Delay: 100 * time.Millisecond})
+
+	slow := mustJSON(t, randomRequest(rand.New(rand.NewSource(4)), 96))
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(w.ts.URL+"/solve", "application/json", strings.NewReader(slow))
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+		if i == 0 {
+			waitFor(t, 5*time.Second, "job 1 running", func() bool { return w.srv.Stats().Running == 1 })
+		}
+	}
+	waitFor(t, 5*time.Second, "job 2 queued", func() bool { return w.srv.Stats().Queued == 1 })
+
+	if rs, err := http.Get(w.ts.URL + "/readyz"); err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	} else {
+		rs.Body.Close()
+		if rs.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/readyz with full queue: status %d, want 503", rs.StatusCode)
+		}
+	}
+
+	resp := postSolve(t, w.ts.URL, slow)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third job: status %d, want 503", resp.StatusCode)
+	}
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("queued job finished with status %d, want 200", code)
+		}
+	}
+}
+
+// TestWorkerHTTPVectorsRoundTrip: a vectors-included solve round-trips and
+// the eigenpairs verify against the input matrix.
+func TestWorkerHTTPVectorsRoundTrip(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	req := randomRequest(rand.New(rand.NewSource(5)), 24)
+	req.Vectors = true
+	resp := postSolve(t, w.ts.URL, mustJSON(t, req))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	checkSpectrum(t, req, &sr)
+	n := len(req.D)
+	if len(sr.Vectors) != n*n {
+		t.Fatalf("vectors length %d, want %d", len(sr.Vectors), n*n)
+	}
+	res := &eigen.Result{N: n, Values: sr.Values, Vectors: sr.Vectors}
+	if r := eigen.Residual(req.Tri(), res); r > 1e-12 {
+		t.Errorf("residual %.3e beyond 1e-12", r)
+	}
+	if o := eigen.Orthogonality(res); o > 1e-12 {
+		t.Errorf("orthogonality %.3e beyond 1e-12", o)
+	}
+	if sr.Disposition != "completed" || sr.Tier != "task-flow" {
+		t.Errorf("disposition=%q tier=%q, want completed/task-flow", sr.Disposition, sr.Tier)
+	}
+
+	// Without the flag, the n×n payload stays home.
+	req.Vectors = false
+	resp2 := postSolve(t, w.ts.URL, mustJSON(t, req))
+	defer resp2.Body.Close()
+	var sr2 SolveResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&sr2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(sr2.Vectors) != 0 {
+		t.Errorf("vectors returned without vectors flag")
+	}
+}
+
+// TestWorkerHTTPReadiness: /healthz stays 200 for a live process; /readyz
+// flips to 503 once a drain starts.
+func TestWorkerHTTPReadiness(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.ts.Close()
+	get := func(path string) int {
+		resp, err := http.Get(w.ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz: %d, want 200", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz: %d, want 200", code)
+	}
+	if _, err := w.srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after drain: %d, want 200 (process is alive)", code)
+	}
+	if resp := postSolve(t, w.ts.URL, `{"d": [1.0], "e": []}`); true {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("solve after drain: %d, want 503", resp.StatusCode)
+		}
+	}
+}
+
+// TestStatusOf: the error→HTTP mapping, including the bad-input class that
+// used to surface as a generic 500.
+func TestStatusOf(t *testing.T) {
+	badInput := eigen.Tridiagonal{D: []float64{1, math.NaN()}, E: []float64{0.5}}
+	_, screenErr := eigen.Solve(badInput, nil)
+	if screenErr == nil {
+		t.Fatal("NaN input solved")
+	}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{screenErr, http.StatusBadRequest},
+		{eigen.Tridiagonal{D: []float64{1, 2}, E: nil}.Validate(), http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", eigen.ErrOverloaded), http.StatusServiceUnavailable},
+		{fmt.Errorf("wrap: %w", eigen.ErrServerClosed), http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusRequestTimeout},
+		{context.Canceled, http.StatusRequestTimeout},
+		{fmt.Errorf("numerical breakdown"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := StatusOf(tc.err); got != tc.want {
+			t.Errorf("StatusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

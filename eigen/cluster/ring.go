@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// hashRing is a consistent-hash ring over worker indices: each worker owns
+// `replicas` pseudo-random points on the 64-bit circle, and a key is served
+// by the first eligible worker clockwise from it. Small solves route through
+// it so repeated problems land on the same worker's warm caches, and a
+// worker going down only redistributes its own arc instead of reshuffling
+// every key.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+func newRing(names []string, replicas int) hashRing {
+	pts := make([]ringPoint, 0, len(names)*replicas)
+	for i, name := range names {
+		for r := 0; r < replicas; r++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", name, r)
+			pts = append(pts, ringPoint{hash: h.Sum64(), worker: i})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].worker < pts[j].worker
+	})
+	return hashRing{points: pts}
+}
+
+// pick walks clockwise from key and returns the first worker for which
+// eligible reports true, or -1 when none qualifies. Each worker is consulted
+// at most once per walk.
+func (rg hashRing) pick(key uint64, eligible func(worker int) bool) int {
+	if len(rg.points) == 0 {
+		return -1
+	}
+	start := sort.Search(len(rg.points), func(i int) bool { return rg.points[i].hash >= key })
+	seen := make(map[int]bool)
+	for k := 0; k < len(rg.points); k++ {
+		p := rg.points[(start+k)%len(rg.points)]
+		if seen[p.worker] {
+			continue
+		}
+		seen[p.worker] = true
+		if eligible(p.worker) {
+			return p.worker
+		}
+	}
+	return -1
+}
+
+// affinityKey hashes a problem's content (not its identity) so resubmissions
+// of the same small system — parameter sweeps, iterative refinement loops —
+// keep hitting the same worker.
+func affinityKey(d, e []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range d {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	for _, v := range e {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}

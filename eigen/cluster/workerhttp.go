@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"tridiag/eigen"
+)
+
+// HTTPConfig tunes an HTTP front end (worker or coordinator); zero values
+// select the documented defaults.
+type HTTPConfig struct {
+	// MaxBodyBytes caps the /solve request body (default 64 MiB). Larger
+	// bodies are rejected with 413 before the decoder buffers them.
+	MaxBodyBytes int64
+	// Logf sinks handler diagnostics — most importantly response-encode
+	// failures, which happen after the status line is committed and would
+	// otherwise vanish (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// NewWorkerHandler exposes an eigen.Server over HTTP — the worker side of
+// the cluster tier, and the whole API of a standalone eigserve:
+//
+//	POST /solve    run one job ({"d": [...], "e": [...], ...})
+//	GET  /stats    the server's ServerStats counters
+//	GET  /healthz  liveness: 200 while the process can answer at all
+//	GET  /readyz   readiness: 503 once a drain has started or the queue
+//	               is full, 200 otherwise
+//
+// Coordinators probe /healthz and poll /stats for load; deployments point
+// load-balancer health checks at /readyz.
+func NewWorkerHandler(s *eigen.Server, cfg HTTPConfig) http.Handler {
+	cfg = cfg.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", workerSolveHandler(s, cfg))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats(), cfg.Logf)
+	})
+	mux.HandleFunc("/healthz", healthzHandler)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !requireMethod(w, r, http.MethodGet) {
+			return
+		}
+		switch {
+		case s.Draining():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case s.QueueFull():
+			http.Error(w, "queue full", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	})
+	return mux
+}
+
+func workerSolveHandler(s *eigen.Server, cfg HTTPConfig) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeSolveRequest(w, r, cfg)
+		if !ok {
+			return
+		}
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		method, _ := ParseMethod(req.Method) // validated by decodeSolveRequest
+		sr, err := s.Solve(ctx, req.Tri(), &eigen.Options{Method: method, Workers: req.Workers})
+		resp := SolveResponse{
+			N:           req.Tri().N(),
+			Disposition: sr.Disposition.String(),
+			Attempts:    sr.Attempts,
+			Stalls:      sr.Stalls,
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Values = sr.Result.Values
+			if req.Vectors {
+				resp.Vectors = sr.Result.Vectors
+			}
+			if sr.Result.Stats != nil {
+				resp.Tier = sr.Result.Stats.Tier
+			}
+		}
+		writeJSON(w, StatusOf(err), &resp, cfg.Logf)
+	}
+}
+
+// decodeSolveRequest enforces the /solve preconditions shared by workers and
+// coordinators: POST only (405), body under MaxBodyBytes (413), well-formed
+// JSON with a known method and a consistent shape (400). Malformed jobs are
+// client errors — they must be rejected here, before they consume a solve
+// slot and surface as spurious internal failures.
+func decodeSolveRequest(w http.ResponseWriter, r *http.Request, cfg HTTPConfig) (*SolveRequest, bool) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if _, err := ParseMethod(req.Method); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if err := req.Tri().Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return &req, true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		http.Error(w, method+" only", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func healthzHandler(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// writeJSON commits the status line and encodes v. An encode failure at this
+// point (client hung up, response write timed out) cannot change the status
+// anymore, so it is logged instead of silently dropped.
+func writeJSON(w http.ResponseWriter, status int, v any, logf func(string, ...any)) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("cluster: encoding %d response: %v", status, err)
+	}
+}

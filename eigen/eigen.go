@@ -17,6 +17,7 @@ package eigen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -34,15 +35,27 @@ type Tridiagonal struct {
 	E []float64
 }
 
+// ErrBadInput marks malformed problem input — a shape mismatch
+// (len(E) != n-1) or non-finite entries — so service front ends can map it
+// to a client error (HTTP 400) instead of an internal failure. Every
+// validation and screening error wraps it; match with errors.Is.
+var ErrBadInput = errors.New("eigen: invalid input")
+
 // N returns the matrix order.
 func (t Tridiagonal) N() int { return len(t.D) }
 
 func (t Tridiagonal) validate() error {
 	if len(t.E) != max(t.N()-1, 0) {
-		return fmt.Errorf("eigen: len(E)=%d, want n-1=%d", len(t.E), t.N()-1)
+		return fmt.Errorf("%w: len(E)=%d, want n-1=%d", ErrBadInput, len(t.E), t.N()-1)
 	}
 	return nil
 }
+
+// Validate checks the shape invariant (len(E) == n-1) without touching the
+// entries. Service front ends call it at admission so malformed requests
+// are rejected as client errors before they consume a solve slot; the error
+// wraps ErrBadInput.
+func (t Tridiagonal) Validate() error { return t.validate() }
 
 // screen rejects non-finite entries up front with an indexed error, so a NaN
 // or Inf surfaces as a clean diagnostic at the API boundary instead of a
@@ -50,12 +63,12 @@ func (t Tridiagonal) validate() error {
 func (t Tridiagonal) screen() error {
 	for i, v := range t.D {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("invalid input: D[%d] is %v", i, v)
+			return fmt.Errorf("%w: D[%d] is %v", ErrBadInput, i, v)
 		}
 	}
 	for i, v := range t.E {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("invalid input: E[%d] is %v", i, v)
+			return fmt.Errorf("%w: E[%d] is %v", ErrBadInput, i, v)
 		}
 	}
 	return nil

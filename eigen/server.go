@@ -647,6 +647,23 @@ func (s *Server) idleTrim(gen uint64) {
 	pool.TrimAll()
 }
 
+// Draining reports whether Shutdown has been called: the readiness signal
+// that tells load balancers and cluster coordinators to stop routing work
+// here while in-flight jobs finish.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// QueueFull reports whether a new job would be rejected right now for queue
+// depth — the readiness probe's backpressure signal.
+func (s *Server) QueueFull() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued >= s.cfg.MaxQueue
+}
+
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{

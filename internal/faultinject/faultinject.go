@@ -68,6 +68,21 @@ func (e *ErrInjected) TaskClass() string { return e.Class }
 // the same tier is expected to clear.
 func (e *ErrInjected) Transient() bool { return true }
 
+// NetClassPrefix prefixes the probe classes of the cluster tier's network
+// paths (see NetClass); arming them simulates partitions and slow links
+// between a coordinator and its workers.
+const NetClassPrefix = "net:"
+
+// NetClass returns the probe class of the coordinator→worker network path
+// for the given worker name. eigen/cluster consults it before every request
+// it sends to that worker — solve forwards and health probes alike — so a
+// KindError probe behaves like a network partition (the injected error
+// surfaces as a transient transport failure, trips the worker's circuit
+// breaker and triggers failover) and a KindDelay probe like a slow or lossy
+// link. Task-kernel wildcard plans ("*") also match these classes, which
+// extends whole-pipeline chaos runs across the cluster hop.
+func NetClass(worker string) string { return NetClassPrefix + worker }
+
 // Probe arms one task class with one failure mode.
 type Probe struct {
 	// Class is the task kernel class the probe fires on ("LAED4",
