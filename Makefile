@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady chaos stress stress-cluster ci clean
+.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady bench-batch chaos stress stress-cluster ci clean
 
 all: build
 
@@ -45,6 +45,15 @@ bench-secular:
 bench-steady:
 	$(GO) run ./cmd/dcbench perf -steady 12 -json
 
+# Batched small-solve throughput: a sequential Solve loop vs one SolveBatch
+# DAG vs a coalescing server flood over the same matrices, with every batch
+# member validated against the residual/orthogonality bars. Merged into
+# BENCH_taskflow.json under the "batch" key. The batch/server speedups scale
+# with core count (a single-core CI box only shows the runtime-amortization
+# fraction of the win).
+bench-batch:
+	$(GO) run ./cmd/dcbench batch -quick -json
+
 # Fault-injection suite: panic/error/delay probes in every task class across
 # randomized solves, repeated under the race detector; the tests themselves
 # assert zero goroutine leaks and that every fault ends in a verified result
@@ -71,4 +80,4 @@ stress:
 stress-cluster:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestCluster' ./eigen/cluster/
 
-ci: vet build test test-pooldebug race bench-smoke bench-steady chaos stress stress-cluster
+ci: vet build test test-pooldebug race bench-smoke bench-steady bench-batch chaos stress stress-cluster

@@ -16,6 +16,8 @@
 //	dcbench perf -steady N    + N in-process solves per worker count
 //	                            (steady-state medians and GC stats)
 //	dcbench secular           secular-phase kernels, scalar vs SIMD
+//	dcbench batch             batched small-solve throughput: sequential
+//	                            Solve loop vs SolveBatch vs coalescing server
 //	dcbench all               everything above in sequence
 //
 // Flags: -sizes 500,1000 -types 2,3,4 -workers 1,2,4,8,16 -seed 7 -quick -bw 4
@@ -60,7 +62,7 @@ func main() {
 	bw := fs.Float64("bw", 0, "bandwidth cap in concurrent streams (0: default 4)")
 	jsonOut := fs.Bool("json", false, "write the perf snapshot to BENCH_taskflow.json")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|secular|ablate|theory|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|secular|batch|ablate|theory|all>\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -142,6 +144,15 @@ func main() {
 				err = rec.MergeJSON("BENCH_taskflow.json")
 				if err == nil {
 					fmt.Println("merged secular record into BENCH_taskflow.json")
+				}
+			}
+		case "batch":
+			var rec *bench.BatchRecord
+			rec, err = bench.Batch(cfg)
+			if err == nil && *jsonOut {
+				err = rec.MergeJSON("BENCH_taskflow.json")
+				if err == nil {
+					fmt.Println("merged batch record into BENCH_taskflow.json")
 				}
 			}
 		case "ablate":

@@ -1,0 +1,208 @@
+package eigen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"tridiag/internal/core"
+	"tridiag/internal/lapack"
+)
+
+// BatchError aggregates the per-matrix failures of a SolveBatch: Errs is
+// indexed like the input slice, nil at every position that succeeded.
+type BatchError struct {
+	Errs []error
+}
+
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	n := 0
+	for i, err := range e.Errs {
+		if err == nil {
+			continue
+		}
+		if n == 0 {
+			fmt.Fprintf(&b, "eigen: SolveBatch: matrix %d: %v", i, err)
+		}
+		n++
+	}
+	if n > 1 {
+		fmt.Fprintf(&b, " (and %d more)", n-1)
+	}
+	return b.String()
+}
+
+// Failed returns how many matrices failed.
+func (e *BatchError) Failed() int {
+	n := 0
+	for _, err := range e.Errs {
+		if err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SolveBatch solves many independent tridiagonal matrices as one task DAG on
+// one shared worker pool. For small matrices this is the throughput path: a
+// single small solve cannot feed the work-stealing scheduler (per-solve tree
+// setup and runtime startup dwarf the math), but a batch's leaf and merge
+// tasks interleave across workers, and packed-GEMM buffers and secular
+// scratch recycle across batch-mates through the shared pool.
+//
+// The result slice is indexed like tris; a failed matrix has a nil entry and
+// its error is reported through the returned *BatchError (also indexed like
+// tris). One matrix failing never poisons its batch-mates: each matrix's
+// tasks run in their own failure-attribution scope, so a fault's skip cascade
+// stays inside that matrix's subtree. With opts.Fallback set, a matrix whose
+// batched task-flow attempt fails is retried alone on the degraded tiers
+// (sequential DSTEDC, then QR) with validation, exactly like Solve.
+//
+// Only MethodDC batches; other methods are served by a per-matrix Solve loop
+// (they have no task graph to share). Inputs are not modified. Cancellation
+// aborts the whole batch and returns (nil, ctx.Err()).
+func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	results := make([]*Result, len(tris))
+	if len(tris) == 0 {
+		return results, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(tris))
+
+	if o.Method != MethodDC {
+		// No shared DAG for sequential/MRRR/QR solves; serve the batch as a
+		// loop so the API still composes.
+		anyErr := false
+		for i, t := range tris {
+			res, err := SolveContext(ctx, t, &o)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				errs[i] = err
+				anyErr = true
+				continue
+			}
+			res.Stats.BatchSize = len(tris)
+			results[i] = res
+		}
+		if anyErr {
+			return results, &BatchError{Errs: errs}
+		}
+		return results, nil
+	}
+
+	// Screen and pre-scale each matrix, building the core batch from the
+	// admissible ones. scales[i] is the per-matrix scale-back factor.
+	probs := make([]core.BatchProblem, 0, len(tris))
+	probIdx := make([]int, 0, len(tris))
+	scales := make([]float64, len(tris))
+	for i, t := range tris {
+		n := t.N()
+		if err := t.validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		if err := t.screen(); err != nil {
+			errs[i] = fmt.Errorf("eigen: SolveBatch(n=%d): %w", n, err)
+			continue
+		}
+		res := &Result{
+			N: n, Values: make([]float64, n), Vectors: make([]float64, n*n),
+			Stats: &SolveStats{Method: o.Method, Tier: "task-flow", BatchSize: len(tris)},
+		}
+		results[i] = res
+		if n == 0 {
+			continue
+		}
+		d, e, scale := preScale(t)
+		scales[i] = scale
+		copy(res.Values, d)
+		probs = append(probs, core.BatchProblem{N: n, D: res.Values, E: e, Q: res.Vectors, LDQ: n})
+		probIdx = append(probIdx, i)
+	}
+
+	br, err := core.SolveDCBatchContext(ctx, probs, &core.Options{
+		Workers:        o.Workers,
+		PanelSize:      o.PanelSize,
+		MinPartition:   o.MinPartition,
+		ExtraWorkspace: o.ExtraWorkspace,
+		Progress:       o.Progress,
+	})
+	if err != nil {
+		// Batch-level errors are context cancellation only; per-matrix
+		// failures live in the items.
+		return nil, err
+	}
+
+	var batchTaskNanos int64
+	for _, d := range br.Stats.TaskTimes() {
+		batchTaskNanos += int64(d)
+	}
+
+	anyErr := false
+	for i := range errs {
+		if errs[i] != nil {
+			anyErr = true
+			results[i] = nil
+		}
+	}
+	for p, item := range br.Items {
+		i := probIdx[p]
+		res := results[i]
+		if item.Err == nil {
+			res.Stats.Fallbacks = item.Result.Stats.Fallbacks()
+			res.Stats.BatchTaskNanos = batchTaskNanos
+			if scales[i] != 1 {
+				lapack.Dlascl(res.N, 1, 1, scales[i], res.Values, res.N)
+			}
+			continue
+		}
+		batchErr := fmt.Errorf("tier task-flow (batched): %w", item.Err)
+		if o.Fallback {
+			// Retry this matrix alone on the degraded tiers, validated, with
+			// the batched attempt recorded as the first tier error.
+			o2 := o
+			o2.Method = MethodDCSequential
+			fres, ferr := SolveContext(ctx, tris[i], &o2)
+			if ferr == nil && !fres.Stats.Validated {
+				// The sequential ladder's first tier serves unvalidated (it
+				// is that method's first choice); here it is a degraded
+				// replacement for the batched attempt, so hold it to the
+				// same validation bar Solve applies to its fallback tiers.
+				rres, orth := Residual(tris[i], fres), Orthogonality(fres)
+				fres.Stats.Validated = true
+				fres.Stats.Residual, fres.Stats.Orthogonality = rres, orth
+				if rres > maxResidual || orth > maxOrthogonality {
+					ferr = fmt.Errorf("fallback validation failed: residual=%.3e orthogonality=%.3e", rres, orth)
+				}
+			}
+			if ferr == nil {
+				fres.Stats.Method = o.Method
+				fres.Stats.BatchSize = len(tris)
+				fres.Stats.TierErrors = append([]error{batchErr}, fres.Stats.TierErrors...)
+				results[i] = fres
+				continue
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			errs[i] = fmt.Errorf("eigen: SolveBatch(n=%d): %w (fallback: %v)", tris[i].N(), batchErr, ferr)
+		} else {
+			errs[i] = fmt.Errorf("eigen: SolveBatch(n=%d): %w", tris[i].N(), batchErr)
+		}
+		results[i] = nil
+		anyErr = true
+	}
+	if anyErr {
+		return results, &BatchError{Errs: errs}
+	}
+	return results, nil
+}

@@ -1,0 +1,253 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tridiag/internal/faultinject"
+	"tridiag/internal/pool"
+)
+
+// batchSpectrum asserts one batch member's result against the paper's
+// Figure 9 accuracy bars (both metrics normalized by n inside the helpers).
+func batchSpectrum(t *testing.T, i int, tri Tridiagonal, res *Result) {
+	t.Helper()
+	if res == nil {
+		t.Fatalf("matrix %d: nil result", i)
+	}
+	n := tri.N()
+	if res.N != n || len(res.Values) != n || len(res.Vectors) != n*n {
+		t.Fatalf("matrix %d: result shape n=%d values=%d vectors=%d", i, res.N, len(res.Values), len(res.Vectors))
+	}
+	for j := 1; j < n; j++ {
+		if res.Values[j] < res.Values[j-1] {
+			t.Fatalf("matrix %d: eigenvalues not ascending at %d", i, j)
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if rres := Residual(tri, res); rres > maxResidual {
+		t.Errorf("matrix %d: residual %.3e > %.0e", i, rres, maxResidual)
+	}
+	if orth := Orthogonality(res); orth > maxOrthogonality {
+		t.Errorf("matrix %d: orthogonality %.3e > %.0e", i, orth, maxOrthogonality)
+	}
+}
+
+// TestSolveBatchMatchesSolve pins the batched path against per-matrix Solve:
+// same eigenvalues, valid spectra, and per-batch stats stamped, across mixed
+// sizes including the n=0 and n=1 edges.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	sizes := []int{0, 1, 5, 33, 64, 90, 2}
+	tris := make([]Tridiagonal, len(sizes))
+	for i, n := range sizes {
+		tris[i] = randomTridiag(rng, n)
+	}
+	opts := &Options{Workers: 4, MinPartition: 24}
+	results, err := SolveBatch(context.Background(), tris, opts)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(results) != len(tris) {
+		t.Fatalf("got %d results for %d matrices", len(results), len(tris))
+	}
+	for i, tri := range tris {
+		res := results[i]
+		batchSpectrum(t, i, tri, res)
+		if res.Stats.BatchSize != len(tris) {
+			t.Errorf("matrix %d: BatchSize=%d, want %d", i, res.Stats.BatchSize, len(tris))
+		}
+		solo, err := Solve(tri, opts)
+		if err != nil {
+			t.Fatalf("matrix %d: Solve: %v", i, err)
+		}
+		for j := range solo.Values {
+			if d := math.Abs(solo.Values[j] - res.Values[j]); d > 1e-10*(1+math.Abs(solo.Values[j])) {
+				t.Fatalf("matrix %d: eigenvalue %d differs: batch %.17g solo %.17g", i, j, res.Values[j], solo.Values[j])
+			}
+		}
+	}
+}
+
+// TestSolveBatchEmptyAndNonDC covers the degenerate batch and the loop path
+// taken by methods without a task graph to share.
+func TestSolveBatchEmptyAndNonDC(t *testing.T) {
+	if res, err := SolveBatch(context.Background(), nil, nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	rng := rand.New(rand.NewSource(809))
+	tris := []Tridiagonal{randomTridiag(rng, 20), randomTridiag(rng, 31)}
+	results, err := SolveBatch(context.Background(), tris, &Options{Method: MethodQR})
+	if err != nil {
+		t.Fatalf("QR batch: %v", err)
+	}
+	for i, tri := range tris {
+		batchSpectrum(t, i, tri, results[i])
+	}
+}
+
+// TestSolveBatchInvalidMember feeds one malformed matrix into a batch and
+// requires an indexed BatchError with every other member still served.
+func TestSolveBatchInvalidMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(810))
+	tris := []Tridiagonal{
+		randomTridiag(rng, 40),
+		{D: []float64{1, math.NaN(), 3}, E: []float64{1, 1}},
+		randomTridiag(rng, 28),
+	}
+	results, err := SolveBatch(context.Background(), tris, &Options{Workers: 2, MinPartition: 16})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %v", err)
+	}
+	if be.Failed() != 1 || be.Errs[1] == nil {
+		t.Fatalf("want exactly matrix 1 failed, got %v", be.Errs)
+	}
+	if results[1] != nil {
+		t.Fatalf("failed member should have nil result")
+	}
+	batchSpectrum(t, 0, tris[0], results[0])
+	batchSpectrum(t, 2, tris[2], results[2])
+}
+
+// TestSolveBatchCancelled pins the cancellation contract: an already-dead
+// context returns (nil, ctx.Err()) before any task runs.
+func TestSolveBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(811))
+	res, err := SolveBatch(ctx, []Tridiagonal{randomTridiag(rng, 50)}, nil)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("cancelled batch: res=%v err=%v", res, err)
+	}
+}
+
+// TestSolveBatchFaultIsolation is the batch failure-isolation gate: a
+// deterministic single-shot fault in one matrix of a 16-matrix batch must
+// leave the other 15 completed and validated, the pool accountant back at
+// baseline, and no goroutines behind. Run under -race by the stress target's
+// chaos siblings.
+func TestSolveBatchFaultIsolation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	baseline := pool.InUseBytes()
+	for _, probe := range []faultinject.Probe{
+		{Class: "LAED4", Kind: faultinject.KindError, P: 1, MaxFires: 1},
+		{Class: "STEDC", Kind: faultinject.KindPanic, P: 1, MaxFires: 1},
+		{Class: "UpdateVect", Kind: faultinject.KindError, P: 1, MaxFires: 1},
+	} {
+		t.Run(probe.Class, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(812))
+			tris := make([]Tridiagonal, 16)
+			for i := range tris {
+				tris[i] = randomTridiag(rng, 64)
+			}
+			faultinject.Enable(7, probe)
+			results, err := SolveBatch(context.Background(), tris, chaosOptions(false))
+			faultinject.Disable()
+
+			var be *BatchError
+			if !errors.As(err, &be) {
+				t.Fatalf("want *BatchError, got %v", err)
+			}
+			if got := be.Failed(); got != 1 {
+				t.Fatalf("single-shot fault failed %d matrices, want 1: %v", got, be.Errs)
+			}
+			served := 0
+			for i, tri := range tris {
+				if be.Errs[i] != nil {
+					if results[i] != nil {
+						t.Fatalf("matrix %d: failed but has a result", i)
+					}
+					continue
+				}
+				batchSpectrum(t, i, tri, results[i])
+				served++
+			}
+			if served != 15 {
+				t.Fatalf("served %d matrices, want 15", served)
+			}
+			checkAccountant(t, "batch/"+probe.Class, baseline)
+		})
+	}
+
+	// With Fallback, the faulted matrix is retried alone on the degraded
+	// tiers and the whole batch is served.
+	rng := rand.New(rand.NewSource(813))
+	tris := make([]Tridiagonal, 16)
+	for i := range tris {
+		tris[i] = randomTridiag(rng, 64)
+	}
+	faultinject.Enable(11, faultinject.Probe{Class: "LAED4", Kind: faultinject.KindError, P: 1, MaxFires: 1})
+	results, err := SolveBatch(context.Background(), tris, chaosOptions(true))
+	faultinject.Disable()
+	if err != nil {
+		t.Fatalf("fallback batch: %v", err)
+	}
+	recovered := 0
+	for i, tri := range tris {
+		batchSpectrum(t, i, tri, results[i])
+		if len(results[i].Stats.TierErrors) > 0 {
+			recovered++
+			if !results[i].Stats.Validated {
+				t.Fatalf("matrix %d: fallback result not validated", i)
+			}
+		}
+	}
+	if recovered != 1 {
+		t.Fatalf("fallback recovered %d matrices, want 1", recovered)
+	}
+	checkAccountant(t, "batch/fallback", baseline)
+	checkGoroutines(t, before)
+}
+
+// TestEstimateBatchSolveBytes pins the batch-aware admission estimate: exact
+// for a singleton, never above the sum of per-job estimates (the shared pool
+// reuses packed buffers across batch-mates, so per-job reservation would
+// over-reserve ~Nx and starve admission), and with positive marginals so the
+// coalescer's telescoped reservations stay sane.
+func TestEstimateBatchSolveBytes(t *testing.T) {
+	const workers = 4
+	for _, n := range []int{1, 16, 64, 128, 256} {
+		single := EstimateSolveBytes(n, workers)
+		batch1 := EstimateBatchSolveBytes([]int{n}, workers)
+		if single != batch1 {
+			t.Errorf("n=%d: singleton batch estimate %d != EstimateSolveBytes %d", n, batch1, single)
+		}
+	}
+	ns := []int{32, 256, 64, 64, 128, 32, 96, 256, 16, 48}
+	var sum int64
+	for _, n := range ns {
+		sum += EstimateSolveBytes(n, workers)
+	}
+	batch := EstimateBatchSolveBytes(ns, workers)
+	if batch > sum {
+		t.Fatalf("batch estimate %d exceeds sum of singles %d", batch, sum)
+	}
+	if batch <= sum/4 {
+		t.Fatalf("batch estimate %d implausibly small vs sum %d", batch, sum)
+	}
+	// Monotone in the member set: adding a matrix never shrinks the
+	// estimate, so marginal (telescoped) reservations are non-negative.
+	prefix := []int(nil)
+	prev := EstimateBatchSolveBytes(prefix, workers)
+	for _, n := range ns {
+		prefix = append(prefix, n)
+		cur := EstimateBatchSolveBytes(prefix, workers)
+		if cur < prev {
+			t.Fatalf("estimate shrank from %d to %d when adding n=%d", prev, cur, n)
+		}
+		if cur-prev <= 0 {
+			t.Fatalf("non-positive marginal adding n=%d", n)
+		}
+		prev = cur
+	}
+	if EstimateBatchSolveBytes(nil, workers) != 0 {
+		t.Fatalf("empty batch estimate should be 0")
+	}
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tridiag/eigen"
+	"tridiag/internal/faultinject"
+)
+
+func postBatch(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/solve/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve/batch: %v", err)
+	}
+	return resp
+}
+
+func decodeBatch(t *testing.T, resp *http.Response) *BatchResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decoding batch response: %v", err)
+	}
+	return &br
+}
+
+func randomBatch(rng *rand.Rand, sizes ...int) *BatchRequest {
+	req := &BatchRequest{}
+	for _, n := range sizes {
+		req.Jobs = append(req.Jobs, *randomRequest(rng, n))
+	}
+	return req
+}
+
+// checkBatchSpectra asserts the per-matrix round trip: results in job order,
+// each a valid ascending spectrum for its own input.
+func checkBatchSpectra(t *testing.T, req *BatchRequest, br *BatchResponse) {
+	t.Helper()
+	if len(br.Results) != len(req.Jobs) {
+		t.Fatalf("batch returned %d results for %d jobs", len(br.Results), len(req.Jobs))
+	}
+	for i := range req.Jobs {
+		if br.Results[i].Error != "" {
+			t.Fatalf("job %d: %s", i, br.Results[i].Error)
+		}
+		checkSpectrum(t, &req.Jobs[i], &br.Results[i])
+	}
+}
+
+// TestClusterBatchWorkerHTTPErrors pins the /solve/batch preconditions on the
+// worker tier: wrong verb is 405, malformed/empty/invalid-member bodies are
+// 400, oversized bodies are 413 — all before any member consumes a slot.
+func TestClusterBatchWorkerHTTPErrors(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+
+	hreq, _ := http.NewRequest(http.MethodGet, w.ts.URL+"/solve/batch", nil)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("GET /solve/batch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+
+	for _, tc := range []struct{ name, body string }{
+		{"truncated JSON", `{"jobs": [{"d": [1`},
+		{"not JSON", `a batch please`},
+		{"empty batch", `{"jobs": []}`},
+		{"no jobs field", `{}`},
+		{"unknown member method", `{"jobs": [{"d": [1, 2], "e": [1], "method": "cholesky"}]}`},
+		{"member shape mismatch", `{"jobs": [{"d": [1, 2], "e": [1]}, {"d": [1, 2, 3], "e": [1]}]}`},
+	} {
+		resp := postBatch(t, w.ts.URL, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	big := &BatchRequest{}
+	n := 512
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := 0; i < 40; i++ {
+		big.Jobs = append(big.Jobs, SolveRequest{D: d, E: e})
+	}
+	ts := httptest.NewServer(NewWorkerHandler(eigen.NewServer(workerServerConfig()), HTTPConfig{MaxBodyBytes: 1 << 16, Logf: discardLogf}))
+	defer ts.Close()
+	resp = postBatch(t, ts.URL, mustJSON(t, big))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestClusterBatchWorkerRoundTrip serves a real batch through a coalescing
+// worker: per-matrix results come back in job order, each member keeps its
+// own vectors flag, and every disposition is a served one.
+func TestClusterBatchWorkerRoundTrip(t *testing.T) {
+	cfg := workerServerConfig()
+	cfg.BatchWindow = 2 * time.Millisecond
+	w := newTestWorker(cfg)
+	defer w.close()
+	rng := rand.New(rand.NewSource(60))
+	req := randomBatch(rng, 24, 40, 16, 33, 48, 28)
+	req.Jobs[2].Vectors = true
+	resp := postBatch(t, w.ts.URL, mustJSON(t, req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	br := decodeBatch(t, resp)
+	checkBatchSpectra(t, req, br)
+	for i := range br.Results {
+		wantVec := 0
+		if i == 2 {
+			n := len(req.Jobs[2].D)
+			wantVec = n * n
+		}
+		if len(br.Results[i].Vectors) != wantVec {
+			t.Errorf("job %d: %d vector entries, want %d", i, len(br.Results[i].Vectors), wantVec)
+		}
+	}
+	st := w.srv.Stats()
+	if st.CoalescedJobs == 0 {
+		t.Errorf("no jobs coalesced on a coalescing worker (batch window ignored?)")
+	}
+}
+
+// TestClusterBatchCoordinatorHTTPRoundTrip drives the coordinator's
+// /solve/batch end to end over real HTTP: the batch routes to a worker as
+// one unit and every matrix's result survives the round trip.
+func TestClusterBatchCoordinatorHTTPRoundTrip(t *testing.T) {
+	w1 := newTestWorker(workerServerConfig())
+	defer w1.close()
+	w2 := newTestWorker(workerServerConfig())
+	defer w2.close()
+	c, err := NewCoordinator(testCoordConfig([]string{w1.ts.URL, w2.ts.URL}, nil))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer c.Shutdown(context.Background())
+	ts := httptest.NewServer(NewCoordinatorHandler(c, HTTPConfig{Logf: discardLogf}))
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(61))
+	req := randomBatch(rng, 30, 45, 20, 36)
+	resp := postBatch(t, ts.URL, mustJSON(t, req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	br := decodeBatch(t, resp)
+	checkBatchSpectra(t, req, br)
+	if br.Worker != w1.ts.URL && br.Worker != w2.ts.URL {
+		t.Errorf("batch served by %q, want one of the workers", br.Worker)
+	}
+	for _, tc := range []struct{ name, body string }{
+		{"empty", `{"jobs": []}`},
+		{"invalid member", `{"jobs": [{"d": [1, 2], "e": []}]}`},
+	} {
+		resp := postBatch(t, ts.URL, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if st := c.Stats(); st.Completed != 1 {
+		t.Errorf("coordinator completed %d batches, want 1", st.Completed)
+	}
+}
+
+// TestClusterBatchFailover kills the batch's first two remote attempts with
+// deterministic injected network faults: the batch must fail over and come
+// back complete from a surviving attempt — zero lost matrices, exactly one
+// batch-level disposition.
+func TestClusterBatchFailover(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w1 := newTestWorker(workerServerConfig())
+	defer w1.close()
+	w2 := newTestWorker(workerServerConfig())
+	defer w2.close()
+	cfg := testCoordConfig([]string{w1.ts.URL, w2.ts.URL}, nil)
+	cfg.ProbeInterval = time.Hour // probes must not consume the single-shot faults
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	// One single-shot network fault per worker: whichever two attempts run
+	// first die as transport failures, the third serves the whole batch.
+	faultinject.Enable(17,
+		faultinject.Probe{Class: faultinject.NetClass(w1.ts.URL), Kind: faultinject.KindError, P: 1, MaxFires: 1},
+		faultinject.Probe{Class: faultinject.NetClass(w2.ts.URL), Kind: faultinject.KindError, P: 1, MaxFires: 1},
+	)
+	rng := rand.New(rand.NewSource(62))
+	req := randomBatch(rng, 25, 40, 18, 31, 22)
+	br, err := c.SolveBatch(context.Background(), req)
+	faultinject.Disable()
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	checkBatchSpectra(t, req, br)
+	if br.Failovers < 1 {
+		t.Errorf("batch failovers=%d, want >= 1", br.Failovers)
+	}
+	st := c.Stats()
+	if st.FailedOver != 1 || st.Completed+st.Retried+st.Failed+st.Cancelled != 0 {
+		t.Errorf("dispositions failed-over=%d completed=%d retried=%d failed=%d cancelled=%d, want exactly one failed-over",
+			st.FailedOver, st.Completed, st.Retried, st.Failed, st.Cancelled)
+	}
+	if st.Retries < 2 {
+		t.Errorf("retries=%d, want >= 2 (two injected attempt deaths)", st.Retries)
+	}
+	if _, err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	checkGoroutines(t, before)
+}
+
+// TestClusterBatchDegradedLocal partitions every worker: the batch must still
+// be served, member by member, by the coordinator's local tier.
+func TestClusterBatchDegradedLocal(t *testing.T) {
+	w1 := newTestWorker(workerServerConfig())
+	defer w1.close()
+	w2 := newTestWorker(workerServerConfig())
+	defer w2.close()
+	w1.gate.down.Store(true)
+	w2.gate.down.Store(true)
+	c, err := NewCoordinator(testCoordConfig([]string{w1.ts.URL, w2.ts.URL}, nil))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer c.Shutdown(context.Background())
+
+	rng := rand.New(rand.NewSource(63))
+	req := randomBatch(rng, 20, 35, 27)
+	br, err := c.SolveBatch(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveBatch with all workers down: %v", err)
+	}
+	checkBatchSpectra(t, req, br)
+	if br.Worker != "local" {
+		t.Errorf("batch served by %q, want local", br.Worker)
+	}
+	if st := c.Stats(); st.DegradedLocal != 1 || st.LocalSolves != 1 {
+		t.Errorf("degraded-local=%d local-solves=%d, want 1/1", st.DegradedLocal, st.LocalSolves)
+	}
+}
+

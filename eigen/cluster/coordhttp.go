@@ -8,7 +8,8 @@ import (
 // NewCoordinatorHandler exposes a Coordinator over the same HTTP surface as
 // a worker, so clients cannot tell which tier they are talking to:
 //
-//	POST /solve    route one job through the cluster
+//	POST /solve        route one job through the cluster
+//	POST /solve/batch  route a batch as one unit, per-matrix results back
 //	GET  /stats    the coordinator's cluster Stats (per-worker breaker and
 //	               health state included)
 //	GET  /healthz  liveness
@@ -22,6 +23,17 @@ func NewCoordinatorHandler(c *Coordinator, cfg HTTPConfig) http.Handler {
 			return
 		}
 		resp, err := c.Solve(r.Context(), req)
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		writeJSON(w, StatusOf(err), resp, cfg.Logf)
+	})
+	mux.HandleFunc("/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeBatchRequest(w, r, cfg)
+		if !ok {
+			return
+		}
+		resp, err := c.SolveBatch(r.Context(), req)
 		if err != nil {
 			resp.Error = err.Error()
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"tridiag/eigen"
@@ -37,7 +38,9 @@ func (c HTTPConfig) withDefaults() HTTPConfig {
 // NewWorkerHandler exposes an eigen.Server over HTTP — the worker side of
 // the cluster tier, and the whole API of a standalone eigserve:
 //
-//	POST /solve    run one job ({"d": [...], "e": [...], ...})
+//	POST /solve        run one job ({"d": [...], "e": [...], ...})
+//	POST /solve/batch  run a batch ({"jobs": [{...}, ...]}) as one unit,
+//	                   per-matrix results in job order
 //	GET  /stats    the server's ServerStats counters
 //	GET  /healthz  liveness: 200 while the process can answer at all
 //	GET  /readyz   readiness: 503 once a drain has started or the queue
@@ -49,6 +52,7 @@ func NewWorkerHandler(s *eigen.Server, cfg HTTPConfig) http.Handler {
 	cfg = cfg.withDefaults()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", workerSolveHandler(s, cfg))
+	mux.HandleFunc("/solve/batch", workerBatchHandler(s, cfg))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !requireMethod(w, r, http.MethodGet) {
 			return
@@ -105,6 +109,124 @@ func workerSolveHandler(s *eigen.Server, cfg HTTPConfig) http.HandlerFunc {
 		}
 		writeJSON(w, StatusOf(err), &resp, cfg.Logf)
 	}
+}
+
+func workerBatchHandler(s *eigen.Server, cfg HTTPConfig) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeBatchRequest(w, r, cfg)
+		if !ok {
+			return
+		}
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		results, errs := serveBatch(ctx, s, req.Jobs)
+		writeJSON(w, batchStatus(errs), &BatchResponse{Results: results}, cfg.Logf)
+	}
+}
+
+// serveBatch runs every member of a decoded batch through srv concurrently —
+// the members land in the server's coalescing window together and flush as
+// one shared-runtime solve. Each member keeps its own options, deadline and
+// disposition; the error slice is indexed like jobs.
+func serveBatch(ctx context.Context, srv *eigen.Server, jobs []SolveRequest) ([]SolveResponse, []error) {
+	results := make([]SolveResponse, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := &jobs[i]
+			jctx := ctx
+			if job.TimeoutMS > 0 {
+				var cancel context.CancelFunc
+				jctx, cancel = context.WithTimeout(ctx, time.Duration(job.TimeoutMS)*time.Millisecond)
+				defer cancel()
+			}
+			method, _ := ParseMethod(job.Method) // validated by decodeBatchRequest
+			sr, err := srv.Solve(jctx, job.Tri(), &eigen.Options{Method: method, Workers: job.Workers})
+			resp := SolveResponse{
+				N:           job.Tri().N(),
+				Disposition: sr.Disposition.String(),
+				Attempts:    sr.Attempts,
+				Stalls:      sr.Stalls,
+			}
+			if err != nil {
+				resp.Error = err.Error()
+				errs[i] = err
+			} else {
+				resp.Values = sr.Result.Values
+				if job.Vectors {
+					resp.Vectors = sr.Result.Vectors
+				}
+				if sr.Result.Stats != nil {
+					resp.Tier = sr.Result.Stats.Tier
+				}
+			}
+			results[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// batchStatus maps a batch's member errors to the response status: any
+// served member makes the batch a 200 (per-matrix errors ride inside), a
+// batch where every member failed reports the first member's status so
+// coordinators classify it like a single-job failure.
+func batchStatus(errs []error) int {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			return http.StatusOK
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return StatusOf(first)
+}
+
+// decodeBatchRequest enforces the /solve/batch preconditions shared by
+// workers and coordinators: POST only (405), body under MaxBodyBytes (413),
+// well-formed JSON with at least one job and every member carrying a known
+// method and a consistent shape (400). A malformed member rejects the whole
+// batch — the coalescing tiers only ever see well-formed jobs.
+func decodeBatchRequest(w http.ResponseWriter, r *http.Request, cfg HTTPConfig) (*BatchRequest, bool) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return nil, false
+	}
+	for i := range req.Jobs {
+		if _, err := ParseMethod(req.Jobs[i].Method); err != nil {
+			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
+			return nil, false
+		}
+		if err := req.Jobs[i].Tri().Validate(); err != nil {
+			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
+			return nil, false
+		}
+	}
+	return &req, true
 }
 
 // decodeSolveRequest enforces the /solve preconditions shared by workers and

@@ -157,6 +157,13 @@ type SolveStats struct {
 	Validated     bool
 	Residual      float64
 	Orthogonality float64
+	// BatchSize is the number of matrices that shared the runtime when this
+	// result was produced by SolveBatch (0 for single solves).
+	BatchSize int
+	// BatchTaskNanos is the total task-kernel time the shared batch runtime
+	// executed (the same value on every member of a batch; 0 for single
+	// solves and for members retried outside the batch).
+	BatchTaskNanos int64
 }
 
 // Degraded reports whether the result came from a lower tier or needed
@@ -257,19 +264,7 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 	// Master copies of the input, pre-scaled to the safe range when the
 	// norm is within a square root of overflow or underflow (the existing
 	// Scale path; the D&C core additionally normalizes internally).
-	d := append([]float64(nil), t.D...)
-	e := append([]float64(nil), t.E...)
-	scale := 1.0
-	if orgnrm := lapack.Dlanst('M', n, d, e); orgnrm != 0 {
-		rmin := math.Sqrt(lapack.SafeMin)
-		if orgnrm < rmin || orgnrm > 1/rmin {
-			lapack.Dlascl(n, 1, orgnrm, 1, d, n)
-			if n > 1 {
-				lapack.Dlascl(n-1, 1, orgnrm, 1, e, n-1)
-			}
-			scale = orgnrm
-		}
-	}
+	d, e, scale := preScale(t)
 	ework := make([]float64, len(e))
 
 	var lastErr error
@@ -326,6 +321,28 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 		return res, nil
 	}
 	return nil, wrap(fmt.Errorf("all tiers failed: %w", lastErr))
+}
+
+// preScale copies t's entries into fresh working arrays, scaling matrices
+// with extreme norms (within a square root of overflow or underflow) into the
+// safe range. The returned scale is 1 when no scaling was applied; callers
+// must scale the computed eigenvalues back by it.
+func preScale(t Tridiagonal) (d, e []float64, scale float64) {
+	n := t.N()
+	d = append([]float64(nil), t.D...)
+	e = append([]float64(nil), t.E...)
+	scale = 1.0
+	if orgnrm := lapack.Dlanst('M', n, d, e); orgnrm != 0 {
+		rmin := math.Sqrt(lapack.SafeMin)
+		if orgnrm < rmin || orgnrm > 1/rmin {
+			lapack.Dlascl(n, 1, orgnrm, 1, d, n)
+			if n > 1 {
+				lapack.Dlascl(n-1, 1, orgnrm, 1, e, n-1)
+			}
+			scale = orgnrm
+		}
+	}
+	return d, e, scale
 }
 
 // runTier executes one tier: d/ework are working copies (overwritten), q

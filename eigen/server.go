@@ -62,6 +62,17 @@ type Server struct {
 	retries  atomic.Int64
 	stalls   atomic.Int64
 	admitted atomic.Int64
+
+	b              batcher // request-coalescing window (enabled by BatchWindow > 0)
+	batchesFlushed atomic.Int64
+	coalesced      atomic.Int64
+	batchServed    atomic.Int64
+	direct         atomic.Int64
+	flushTimer     atomic.Int64
+	flushSize      atomic.Int64
+	flushBytes     atomic.Int64
+	batchHist      [batchHistBuckets]atomic.Int64
+	batchTaskNanos atomic.Int64
 }
 
 // ServerConfig tunes a Server; zero values select the documented defaults.
@@ -109,6 +120,32 @@ type ServerConfig struct {
 	// trimming). Busy periods never trigger it: any admission re-arms the
 	// timer.
 	PoolIdleTrimDelay time.Duration
+	// BatchWindow enables request coalescing when positive: eligible small
+	// solves (MethodDC, n ≤ BatchMaxN, default tuning options) are held up
+	// to this long and flushed as ONE SolveBatch on ONE worker slot, giving
+	// the scheduler cross-matrix width that a single small solve cannot.
+	// The window adapts to traffic like the solver's PanelSize does: a
+	// window that keeps flushing near-empty (one waiter) halves, down to
+	// BatchWindow/8, so sparse traffic pays almost no added latency; a
+	// window that keeps filling by size doubles back toward BatchWindow.
+	// 0 disables coalescing (the default — existing deployments are
+	// unchanged). Each held request keeps its own deadline, retry/degrade
+	// policy and disposition.
+	BatchWindow time.Duration
+	// BatchMaxSize flushes the window early when this many requests are
+	// waiting (default 64). The queue bound still applies: coalesced
+	// requests occupy queue slots while they wait, so the effective batch
+	// size is also capped by MaxQueue.
+	BatchMaxSize int
+	// BatchMaxN is the largest matrix order admitted into the coalescing
+	// window (default 256); larger solves have enough width of their own
+	// and are served directly.
+	BatchMaxN int
+	// BatchMaxBytes flushes the window early when the batch-aware
+	// workspace estimate (EstimateBatchSolveBytes) of the waiting requests
+	// reaches this many bytes (default MemoryBudget/4 when a budget is
+	// set, else unbounded).
+	BatchMaxBytes int64
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -137,6 +174,17 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.PoolIdleTrimDelay == 0 {
 		c.PoolIdleTrimDelay = 2 * time.Second
+	}
+	if c.BatchWindow > 0 {
+		if c.BatchMaxSize <= 0 {
+			c.BatchMaxSize = 64
+		}
+		if c.BatchMaxN <= 0 {
+			c.BatchMaxN = 256
+		}
+		if c.BatchMaxBytes == 0 && c.MemoryBudget > 0 {
+			c.BatchMaxBytes = c.MemoryBudget / 4
+		}
 	}
 	return c
 }
@@ -222,6 +270,10 @@ type ServeResult struct {
 	Attempts int
 	// Stalls counts watchdog aborts this job suffered.
 	Stalls int
+	// Err is this job's error when served through Server.SolveBatch (nil
+	// on success); single-job Solve reports its error through the return
+	// value instead.
+	Err error
 }
 
 // ServerStats is a snapshot of the service counters.
@@ -250,6 +302,24 @@ type ServerStats struct {
 	// PoolRetainedBytes is the idle scratch kept warm for the next solve
 	// (bounded by the retention cap and dropped after idle trimming).
 	PoolInUseBytes, PoolRetainedBytes int64
+	// BatchesFlushed counts coalescing-window flushes; FlushByTimer,
+	// FlushBySize and FlushByBytes break them down by trigger.
+	BatchesFlushed                        int64
+	FlushByTimer, FlushBySize, FlushByBytes int64
+	// CoalescedJobs counts jobs that entered a coalescing batch;
+	// BatchServedJobs those served by their batch (the rest fell back to
+	// the solo path); DirectJobs counts jobs served without a batch.
+	CoalescedJobs, BatchServedJobs, DirectJobs int64
+	// BatchSizeHist is a power-of-two histogram of flushed batch sizes:
+	// bucket i counts batches of size in (2^(i-1), 2^i] (bucket 0 = size
+	// 1, last bucket = everything larger).
+	BatchSizeHist []int64
+	// BatchTaskNanos totals the task-kernel time executed inside coalesced
+	// batches (the per-batch task-time totals, summed over batches).
+	BatchTaskNanos int64
+	// BatchWindow is the coalescer's current adaptive flush window
+	// (0 when coalescing is disabled).
+	BatchWindow time.Duration
 }
 
 // JobReport is one job's final disposition in a drain report.
@@ -279,7 +349,7 @@ func NewServer(cfg ServerConfig) *Server {
 		pool.SetRetainLimit(cfg.PoolRetainBytes)
 	}
 	drainCtx, drainCancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		jobs:        make(map[uint64]*serverJob),
 		slots:       make(chan struct{}, cfg.MaxConcurrent),
@@ -291,6 +361,44 @@ func NewServer(cfg ServerConfig) *Server {
 			m:         make(map[string]*breaker),
 		},
 	}
+	s.b.window.Store(int64(cfg.BatchWindow))
+	return s
+}
+
+// batchReq is one job waiting in (or flushed from) the coalescing window.
+// The flusher writes exactly one of res/err and then closes done; the
+// waiting Solve call reads them only after done.
+type batchReq struct {
+	t    Tridiagonal
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+// batcher is the request-coalescing window: eligible jobs accumulate in
+// pending and are flushed as one SolveBatch when the adaptive window timer
+// fires, the size cap is reached, or the batch-aware workspace estimate hits
+// the bytes cap.
+type batcher struct {
+	mu      sync.Mutex
+	pending []*batchReq
+	bytes   int64       // telescoped batch-aware estimate of pending
+	gen     uint64      // invalidates stale timer firings
+	timer   *time.Timer // armed while pending is non-empty, nil otherwise
+	window  atomic.Int64 // current adaptive flush window, nanoseconds
+}
+
+// takeLocked removes and returns the pending window; the caller holds b.mu.
+func (b *batcher) takeLocked() []*batchReq {
+	reqs := b.pending
+	b.pending = nil
+	b.bytes = 0
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return reqs
 }
 
 // EstimateSolveBytes is the admission-control estimate of the pooled
@@ -308,23 +416,66 @@ func EstimateSolveBytes(n, workers int) int64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	nn := int64(n) * int64(n)
-	classBig := func(f int64) int64 {
-		if f > int64(int(^uint(0)>>1)) { // overflow guard for huge n
-			return f * 8
-		}
-		if b := pool.ClassBytes(int(f)); b > 0 {
-			return b
-		}
-		return f * 8 // beyond the largest pool class: plain allocation
+	return 2*estimateMergeBytes(n) + int64(workers+1)*poolClassBytes(int64(8*n)+1)
+}
+
+// poolClassBytes rounds a float64-element count up to its pool size class in
+// bytes, falling back to the plain allocation size beyond the largest class.
+func poolClassBytes(f int64) int64 {
+	if f > int64(int(^uint(0)>>1)) { // overflow guard for huge n
+		return f * 8
 	}
-	// S (k×k ≤ n²) + Q2Top/Q2Bot (≤ n²/2 each) + Q2Defl (≤ n²) + packed
-	// panels (≈ Q2 again).
-	per := classBig(nn) + 2*classBig(nn/2+1) + classBig(nn) + 2*classBig(nn/2+1)
-	per *= 2 // concurrently-live lower levels
-	// z, ẑ and per-panel W products: a few O(n) slices per live merge.
-	per += int64(workers+1) * classBig(int64(8*n)+1)
-	return per
+	if b := pool.ClassBytes(int(f)); b > 0 {
+		return b
+	}
+	return f * 8 // beyond the largest pool class: plain allocation
+}
+
+// estimateMergeBytes is the pooled footprint of one order-n root merge:
+// S (k×k ≤ n²) + Q2Top/Q2Bot (≤ n²/2 each) + Q2Defl (≤ n²) + packed panels
+// (≈ Q2 again). EstimateSolveBytes doubles it for the concurrently-live
+// lower tree levels.
+func estimateMergeBytes(n int) int64 {
+	nn := int64(n) * int64(n)
+	return poolClassBytes(nn) + 2*poolClassBytes(nn/2+1) + poolClassBytes(nn) + 2*poolClassBytes(nn/2+1)
+}
+
+// EstimateBatchSolveBytes is the admission-control estimate for a coalesced
+// batch of task-flow solves of the given orders sharing one runtime. A
+// per-job EstimateSolveBytes sum over-reserves a batch severely: the
+// per-worker small scratch is pooled across the batch (one set per runtime,
+// not per matrix), and with every matrix sharing one worker pool at most
+// ~workers matrices can sit at their peak (doubled, lower-levels-live)
+// footprint at once — the rest hold at most one live root merge each. The
+// estimate is exact for a single matrix (it equals EstimateSolveBytes) and
+// never exceeds the sum of the per-job singles; adding a matrix to a batch
+// never decreases it, so marginal (telescoped) reservations are safe.
+func EstimateBatchSolveBytes(ns []int, workers int) int64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sorted := make([]int, 0, len(ns))
+	for _, n := range ns {
+		if n > 0 {
+			sorted = append(sorted, n)
+		}
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var total int64
+	for i, n := range sorted {
+		m := estimateMergeBytes(n)
+		if i < workers {
+			m *= 2 // concurrently-live lower levels, as in the single estimate
+		}
+		total += m
+	}
+	// One set of per-worker O(n) scratch for the shared runtime, sized by
+	// the largest matrix.
+	total += int64(workers+1) * poolClassBytes(int64(8*sorted[0])+1)
+	return total
 }
 
 // Solve runs one job through the service: admission, queueing, the
@@ -345,7 +496,17 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	est := EstimateSolveBytes(n, workers)
+	eligible := s.batchEligible(n, &o)
+	var est int64
+	if eligible {
+		// A coalesced job shares the batch's workspace: reserve only its
+		// marginal contribution to the batch-aware estimate, not a full
+		// per-job footprint (which would starve admission ~Nx under floods
+		// of small solves).
+		est = s.batchMarginalEstimate(n, workers)
+	} else {
+		est = EstimateSolveBytes(n, workers)
+	}
 
 	// Admission: all-or-nothing under the server lock.
 	s.mu.Lock()
@@ -413,6 +574,25 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 		close(job.done)
 	}()
 
+	// Coalescing: an eligible job joins the batch window and waits for its
+	// flush; only members whose batched attempt fails fall through to the
+	// solo ladder below (keeping their queue slot, with the batch attempt
+	// counted against their retry budget).
+	var lastErr error
+	if eligible {
+		out, oerr := s.awaitBatched(ctx, t, est, sr)
+		switch out {
+		case batchServed:
+			ran = true
+			return sr, nil
+		case batchCancelled:
+			sr.Disposition = DispositionCancelled
+			return sr, oerr
+		case batchFailed:
+			lastErr = oerr
+		}
+	}
+
 	// Queue for a worker slot.
 	var slotErr error
 	select {
@@ -440,9 +620,9 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 		s.afterJob()
 	}()
 	ran = true
+	s.direct.Add(1)
 
 	// Primary-tier attempts with transient retries.
-	var lastErr error
 	for {
 		probe, primary := s.breakers.route()
 		if !primary {
@@ -506,6 +686,47 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	return sr, fmt.Errorf("eigen: server: job n=%d failed on every tier: %w", n, err)
 }
 
+// startWatchdog arms the per-attempt no-progress watchdog: the returned
+// heartbeat is plugged into Options.Progress, and the watchdog cancels the
+// attempt (setting stalled) when no heartbeat lands within the stall window.
+// stop must be called when the attempt returns; a nil heartbeat means the
+// watchdog is disabled.
+func (s *Server) startWatchdog(actx context.Context, cancel context.CancelFunc) (heartbeat, stop func(), stalled *atomic.Bool) {
+	window := s.cfg.StallWindow
+	stalled = new(atomic.Bool)
+	if window <= 0 {
+		return nil, func() {}, stalled
+	}
+	var last atomic.Int64
+	last.Store(time.Now().UnixNano())
+	wdDone := make(chan struct{})
+	go func() {
+		tick := window / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		tk := time.NewTicker(tick)
+		defer tk.Stop()
+		for {
+			select {
+			case <-wdDone:
+				return
+			case <-actx.Done():
+				return
+			case <-tk.C:
+				if time.Duration(time.Now().UnixNano()-last.Load()) > window {
+					stalled.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	return func() { last.Store(time.Now().UnixNano()) },
+		func() { close(wdDone) },
+		stalled
+}
+
 // attempt runs one watchdog-guarded SolveContext. A solve that emits no
 // progress heartbeat within the stall window is cancelled and the error
 // rewritten to *StallError (unless the caller's context was the cause).
@@ -515,38 +736,12 @@ func (s *Server) attempt(ctx context.Context, t Tridiagonal, o *Options) (*Resul
 	stopDrain := context.AfterFunc(s.drainCtx, cancel)
 	defer stopDrain()
 
-	window := s.cfg.StallWindow
-	var stalled atomic.Bool
-	if window > 0 {
-		var last atomic.Int64
-		last.Store(time.Now().UnixNano())
+	heartbeat, stop, stalled := s.startWatchdog(actx, cancel)
+	defer stop()
+	if heartbeat != nil {
 		ao := *o
-		ao.Progress = func() { last.Store(time.Now().UnixNano()) }
+		ao.Progress = heartbeat
 		o = &ao
-		wdDone := make(chan struct{})
-		defer close(wdDone)
-		go func() {
-			tick := window / 4
-			if tick < time.Millisecond {
-				tick = time.Millisecond
-			}
-			tk := time.NewTicker(tick)
-			defer tk.Stop()
-			for {
-				select {
-				case <-wdDone:
-					return
-				case <-actx.Done():
-					return
-				case <-tk.C:
-					if time.Duration(time.Now().UnixNano()-last.Load()) > window {
-						stalled.Store(true)
-						cancel()
-						return
-					}
-				}
-			}
-		}()
 	}
 	res, err := SolveContext(actx, t, o)
 	if stalled.Load() && ctx.Err() == nil && s.drainCtx.Err() == nil {
@@ -556,9 +751,294 @@ func (s *Server) attempt(ctx context.Context, t Tridiagonal, o *Options) (*Resul
 		// attempt exceeded its no-progress window either way: report the
 		// stall so the retry policy — and the abort-to-retry latency bound —
 		// stays deterministic instead of depending on who wins that race.
-		return nil, &StallError{Window: window}
+		return nil, &StallError{Window: s.cfg.StallWindow}
 	}
 	return res, err
+}
+
+// batchOutcome is how a coalesced job left the batch window.
+type batchOutcome int
+
+const (
+	// batchServed: the batched attempt produced this member's result.
+	batchServed batchOutcome = iota
+	// batchCancelled: the member's context, deadline, or the drain fired.
+	batchCancelled
+	// batchFailed: the batched attempt failed for this member; the job
+	// continues on the solo retry/degrade ladder.
+	batchFailed
+)
+
+// batchEligible reports whether a job may be served through the coalescing
+// window: small MethodDC solves with default tuning. A batch runs with one
+// shared adaptive configuration, so jobs pinning their own panel size, leaf
+// cutoff, workspace mode or worker count are served directly.
+func (s *Server) batchEligible(n int, o *Options) bool {
+	return s.cfg.BatchWindow > 0 && o.Method == MethodDC &&
+		n > 0 && n <= s.cfg.BatchMaxN &&
+		o.PanelSize <= 0 && o.MinPartition <= 0 && !o.ExtraWorkspace && o.Workers <= 0
+}
+
+// batchMarginalEstimate is the admission reservation for a job joining the
+// coalescing window: the increase of the batch-aware workspace estimate over
+// the currently-pending window. EstimateBatchSolveBytes is monotone in its
+// member set, so the marginal is always positive, and the telescoped sum of
+// the members' reservations equals the batch estimate instead of N full
+// per-job estimates.
+func (s *Server) batchMarginalEstimate(n, workers int) int64 {
+	s.b.mu.Lock()
+	ns := make([]int, len(s.b.pending), len(s.b.pending)+1)
+	for i, r := range s.b.pending {
+		ns[i] = r.t.N()
+	}
+	s.b.mu.Unlock()
+	base := EstimateBatchSolveBytes(ns, workers)
+	return EstimateBatchSolveBytes(append(ns, n), workers) - base
+}
+
+// awaitBatched enqueues an admitted job into the coalescing window, flushes
+// the window if this job tripped the size or bytes cap, and waits for the
+// member's outcome. The job keeps its queue slot throughout; it is released
+// here for outcomes that end the job (served, cancelled) and kept for
+// batchFailed, whose caller proceeds to the solo slot wait.
+func (s *Server) awaitBatched(ctx context.Context, t Tridiagonal, est int64, sr *ServeResult) (batchOutcome, error) {
+	req := &batchReq{t: t, done: make(chan struct{})}
+	b := &s.b
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	b.bytes += est
+	var flush []*batchReq
+	reason := ""
+	switch {
+	case len(b.pending) >= s.cfg.BatchMaxSize:
+		flush, reason = b.takeLocked(), "size"
+	case s.cfg.BatchMaxBytes > 0 && b.bytes >= s.cfg.BatchMaxBytes:
+		flush, reason = b.takeLocked(), "bytes"
+	case len(b.pending) == 1:
+		b.gen++
+		gen := b.gen
+		w := time.Duration(b.window.Load())
+		b.timer = time.AfterFunc(w, func() { s.timerFlush(gen) })
+	}
+	b.mu.Unlock()
+	s.coalesced.Add(1)
+	if flush != nil {
+		go s.runBatch(flush, reason)
+	}
+
+	select {
+	case <-req.done:
+	case <-ctx.Done():
+		// The member abandons; if its matrix is already mid-flush the
+		// flusher's write lands on a req nobody reads. Its queue slot and
+		// reservation are released now (the finalize deferred in Solve).
+		s.unqueue()
+		return batchCancelled, ctx.Err()
+	case <-s.drainCtx.Done():
+		s.unqueue()
+		return batchCancelled, fmt.Errorf("%w: drained while queued", ErrServerClosed)
+	}
+	sr.Attempts++
+	if req.err == nil {
+		s.unqueue()
+		s.batchServed.Add(1)
+		s.breakers.success("")
+		sr.Result = req.res
+		sr.Disposition = DispositionCompleted
+		return batchServed, nil
+	}
+	if ctx.Err() != nil || s.drainCtx.Err() != nil {
+		s.unqueue()
+		return batchCancelled, cancelCause(ctx, s.drainCtx)
+	}
+	var stall *StallError
+	if errors.As(req.err, &stall) {
+		sr.Stalls++
+	}
+	s.breakers.failure(faultinject.ClassOf(req.err), "")
+	return batchFailed, req.err
+}
+
+// unqueue releases a coalesced job's queue slot.
+func (s *Server) unqueue() {
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+}
+
+// timerFlush fires from the window timer: if no size/bytes flush got there
+// first (the generation still matches), the pending window runs as a batch
+// on this (timer) goroutine.
+func (s *Server) timerFlush(gen uint64) {
+	b := &s.b
+	b.mu.Lock()
+	if gen != b.gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	flush := b.takeLocked()
+	b.mu.Unlock()
+	s.runBatch(flush, "timer")
+}
+
+// runBatch executes one flushed window as a single SolveBatch on ONE worker
+// slot (the members keep their queue slots while it runs) and delivers each
+// member's result or error.
+func (s *Server) runBatch(reqs []*batchReq, reason string) {
+	s.batchesFlushed.Add(1)
+	switch reason {
+	case "timer":
+		s.flushTimer.Add(1)
+	case "size":
+		s.flushSize.Add(1)
+	case "bytes":
+		s.flushBytes.Add(1)
+	}
+	s.batchHist[batchHistBucket(len(reqs))].Add(1)
+	s.adaptWindow(reason, len(reqs))
+
+	deliverAll := func(err error) {
+		for _, r := range reqs {
+			r.err = err
+			close(r.done)
+		}
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.drainCtx.Done():
+		deliverAll(fmt.Errorf("%w: drained while queued", ErrServerClosed))
+		return
+	}
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		<-s.slots
+		s.afterJob()
+	}()
+
+	results, err := s.attemptBatch(reqs)
+	if results == nil {
+		// Batch-level abort: a watchdog stall or the drain — every member
+		// gets the same classified error and decides its own next step
+		// (retry solo, degrade, or report cancellation).
+		var stall *StallError
+		if errors.As(err, &stall) {
+			s.stalls.Add(1)
+		}
+		deliverAll(err)
+		return
+	}
+	var be *BatchError
+	errors.As(err, &be)
+	counted := false
+	for i, r := range reqs {
+		switch {
+		case results[i] != nil:
+			r.res = results[i]
+			if !counted {
+				counted = true
+				if st := results[i].Stats; st != nil {
+					s.batchTaskNanos.Add(st.BatchTaskNanos)
+				}
+			}
+		case be != nil && be.Errs[i] != nil:
+			r.err = be.Errs[i]
+		default:
+			r.err = err
+		}
+		close(r.done)
+	}
+	if counted {
+		s.breakers.success("")
+	}
+}
+
+// attemptBatch runs one watchdog-guarded SolveBatch over a flushed window,
+// mirroring attempt: no task progress within the stall window cancels the
+// whole batch and rewrites the outcome to *StallError. The batch is bounded
+// by the drain, not by any single member's context — each member enforces
+// its own deadline while waiting.
+func (s *Server) attemptBatch(reqs []*batchReq) ([]*Result, error) {
+	actx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stopDrain := context.AfterFunc(s.drainCtx, cancel)
+	defer stopDrain()
+
+	heartbeat, stop, stalled := s.startWatchdog(actx, cancel)
+	defer stop()
+	o := Options{Method: MethodDC, Progress: heartbeat}
+	tris := make([]Tridiagonal, len(reqs))
+	for i, r := range reqs {
+		tris[i] = r.t
+	}
+	results, err := SolveBatch(actx, tris, &o)
+	if results == nil && stalled.Load() && s.drainCtx.Err() == nil {
+		return nil, &StallError{Window: s.cfg.StallWindow}
+	}
+	return results, err
+}
+
+// adaptWindow tunes the flush window the way PanelSize adapts per merge:
+// timer flushes that caught at most one waiter mean traffic is too sparse
+// for the current window — halve it (down to BatchWindow/8) so lone requests
+// stop paying coalescing latency for nothing; size- or bytes-capped flushes
+// mean the window over-fills — double it back toward the configured ceiling
+// so the timer, not the cap, paces the batches.
+func (s *Server) adaptWindow(reason string, size int) {
+	cur := s.b.window.Load()
+	ceil := int64(s.cfg.BatchWindow)
+	switch {
+	case reason == "timer" && size <= 1:
+		if nw := cur / 2; nw >= ceil/8 {
+			s.b.window.Store(nw)
+		}
+	case reason == "size" || reason == "bytes":
+		if nw := cur * 2; nw <= ceil {
+			s.b.window.Store(nw)
+		} else if cur < ceil {
+			s.b.window.Store(ceil)
+		}
+	}
+}
+
+// batchHistBuckets sizes the flushed-batch-size histogram: bucket i counts
+// batches of size in (2^(i-1), 2^i] (bucket 0 = singletons, the last bucket
+// open-ended).
+const batchHistBuckets = 8
+
+func batchHistBucket(size int) int {
+	b := 0
+	for s := 1; s < size && b < batchHistBuckets-1; s <<= 1 {
+		b++
+	}
+	return b
+}
+
+// SolveBatch serves many matrices through the service in one call: each
+// member is admitted, accounted and classified exactly like a Solve job
+// (deadline via ctx, watchdog, retries, degradation, its own disposition),
+// and eligible members coalesce into shared batch flushes — a full window
+// arriving at once flushes immediately on the size cap, as one SolveBatch.
+// The result slice is indexed like ts; every entry is non-nil and carries
+// its member's disposition, with Err set for members that failed.
+func (s *Server) SolveBatch(ctx context.Context, ts []Tridiagonal, opts *Options) []*ServeResult {
+	out := make([]*ServeResult, len(ts))
+	var wg sync.WaitGroup
+	for i := range ts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sr, err := s.Solve(ctx, ts[i], opts)
+			sr.Err = err
+			out[i] = sr
+		}(i)
+	}
+	wg.Wait()
+	return out
 }
 
 // backoff sleeps the exponential-with-jitter retry delay for the given
@@ -680,6 +1160,21 @@ func (s *Server) Stats() ServerStats {
 	st.PoolInUseBytes = pool.InUseBytes()
 	st.PoolRetainedBytes = pool.RetainedBytes()
 	st.BreakerOpens, st.OpenBreakers = s.breakers.snapshot()
+	st.BatchesFlushed = s.batchesFlushed.Load()
+	st.FlushByTimer = s.flushTimer.Load()
+	st.FlushBySize = s.flushSize.Load()
+	st.FlushByBytes = s.flushBytes.Load()
+	st.CoalescedJobs = s.coalesced.Load()
+	st.BatchServedJobs = s.batchServed.Load()
+	st.DirectJobs = s.direct.Load()
+	st.BatchTaskNanos = s.batchTaskNanos.Load()
+	if s.cfg.BatchWindow > 0 {
+		st.BatchWindow = time.Duration(s.b.window.Load())
+		st.BatchSizeHist = make([]int64, batchHistBuckets)
+		for i := range st.BatchSizeHist {
+			st.BatchSizeHist[i] = s.batchHist[i].Load()
+		}
+	}
 	s.mu.Lock()
 	st.Queued, st.Running = s.queued, s.running
 	st.ReservedBytes, st.PeakReservedBytes = s.reserved, s.peakReserved

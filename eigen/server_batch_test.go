@@ -1,0 +1,283 @@
+package eigen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tridiag/internal/faultinject"
+)
+
+// coalescingConfig is the suite's base coalescing setup: a real window, a
+// queue deep enough that members holding their slots through the window
+// never starve admission.
+func coalescingConfig() ServerConfig {
+	cfg := serverConfig()
+	cfg.MaxConcurrent = 2
+	cfg.MaxQueue = 128
+	cfg.BatchWindow = 4 * time.Millisecond
+	return cfg
+}
+
+// TestServerCoalescingWindow floods a coalescing server with eligible small
+// solves: every job is served through a batch, results verify against their
+// own inputs, and the flush/served counters reconcile.
+func TestServerCoalescingWindow(t *testing.T) {
+	s := NewServer(coalescingConfig())
+	rng := rand.New(rand.NewSource(20))
+	const jobs = 24
+	tris := make([]Tridiagonal, jobs)
+	for i := range tris {
+		tris[i] = randomTridiag(rng, 24+rng.Intn(40))
+	}
+	var wg sync.WaitGroup
+	for i := range tris {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sr, err := s.Solve(context.Background(), tris[i], nil)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			if sr.Disposition != DispositionCompleted {
+				t.Errorf("job %d: disposition %v, want completed", i, sr.Disposition)
+				return
+			}
+			if rres := Residual(tris[i], sr.Result); rres > maxResidual {
+				t.Errorf("job %d: residual %.3e (mis-attributed result?)", i, rres)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Completed != jobs || st.Failed != 0 || st.Cancelled != 0 || st.Rejected != 0 {
+		t.Fatalf("dispositions completed=%d failed=%d cancelled=%d rejected=%d, want %d/0/0/0",
+			st.Completed, st.Failed, st.Cancelled, st.Rejected, jobs)
+	}
+	if st.CoalescedJobs != jobs || st.BatchServedJobs != jobs {
+		t.Fatalf("coalesced=%d batch-served=%d, want %d/%d", st.CoalescedJobs, st.BatchServedJobs, jobs, jobs)
+	}
+	if st.BatchesFlushed < 1 {
+		t.Fatalf("no batches flushed")
+	}
+	if st.FlushByTimer+st.FlushBySize+st.FlushByBytes != st.BatchesFlushed {
+		t.Fatalf("flush reasons %d+%d+%d do not sum to %d flushes",
+			st.FlushByTimer, st.FlushBySize, st.FlushByBytes, st.BatchesFlushed)
+	}
+	var hist int64
+	for _, c := range st.BatchSizeHist {
+		hist += c
+	}
+	if hist != st.BatchesFlushed {
+		t.Fatalf("size histogram sums to %d, want %d flushes", hist, st.BatchesFlushed)
+	}
+	if st.BatchWindow <= 0 {
+		t.Fatalf("stats report no batch window on a coalescing server")
+	}
+	if st.BatchTaskNanos <= 0 {
+		t.Fatalf("no batch task time recorded")
+	}
+	if st.Queued != 0 || st.ReservedBytes != 0 {
+		t.Fatalf("leftover queue/reservation after flood: queued=%d reserved=%d", st.Queued, st.ReservedBytes)
+	}
+}
+
+// TestServerCoalescingEligibility pins what bypasses the batcher: jobs above
+// BatchMaxN, with explicit tuning knobs, or on a server without a window all
+// go direct.
+func TestServerCoalescingEligibility(t *testing.T) {
+	cfg := coalescingConfig()
+	cfg.BatchMaxN = 64
+	s := NewServer(cfg)
+	rng := rand.New(rand.NewSource(21))
+	mustSolve(t, s, randomTridiag(rng, 128), nil)                         // above BatchMaxN
+	mustSolve(t, s, randomTridiag(rng, 40), &Options{Workers: 2})         // explicit workers
+	mustSolve(t, s, randomTridiag(rng, 40), &Options{MinPartition: 16})   // explicit partition
+	mustSolve(t, s, randomTridiag(rng, 40), &Options{Method: MethodQR})   // no task graph
+	st := s.Stats()
+	if st.CoalescedJobs != 0 || st.DirectJobs != 4 {
+		t.Fatalf("coalesced=%d direct=%d, want 0/4", st.CoalescedJobs, st.DirectJobs)
+	}
+	s2 := NewServer(serverConfig()) // no window: coalescing off
+	mustSolve(t, s2, randomTridiag(rng, 40), nil)
+	if st2 := s2.Stats(); st2.CoalescedJobs != 0 || st2.BatchWindow != 0 {
+		t.Fatalf("window-less server coalesced=%d window=%v", st2.CoalescedJobs, st2.BatchWindow)
+	}
+}
+
+// TestServerSolveBatchSizeFlush submits one full batch through the batch
+// entry point: it must flush by the size cap as a single batch, with every
+// member's ServeResult completed and attributable.
+func TestServerSolveBatchSizeFlush(t *testing.T) {
+	cfg := coalescingConfig()
+	cfg.BatchWindow = 200 * time.Millisecond // only the size cap can flush in test time
+	cfg.BatchMaxSize = 8
+	s := NewServer(cfg)
+	rng := rand.New(rand.NewSource(22))
+	tris := make([]Tridiagonal, 8)
+	for i := range tris {
+		tris[i] = randomTridiag(rng, 32+4*i)
+	}
+	out := s.SolveBatch(context.Background(), tris, nil)
+	if len(out) != len(tris) {
+		t.Fatalf("got %d results, want %d", len(out), len(tris))
+	}
+	for i, sr := range out {
+		if sr.Err != nil {
+			t.Fatalf("member %d: %v", i, sr.Err)
+		}
+		if sr.Disposition != DispositionCompleted {
+			t.Fatalf("member %d: disposition %v", i, sr.Disposition)
+		}
+		if rres := Residual(tris[i], sr.Result); rres > maxResidual {
+			t.Errorf("member %d: residual %.3e", i, rres)
+		}
+		if sr.Result.Stats.BatchSize != 8 {
+			t.Errorf("member %d: BatchSize=%d, want 8", i, sr.Result.Stats.BatchSize)
+		}
+	}
+	st := s.Stats()
+	if st.FlushBySize != 1 || st.BatchesFlushed != 1 {
+		t.Fatalf("flushes=%d by-size=%d, want 1/1", st.BatchesFlushed, st.FlushBySize)
+	}
+}
+
+// TestServerSolveBatchInvalidMember sends one malformed matrix in a server
+// batch: its ServeResult carries the error, batch-mates are served.
+func TestServerSolveBatchInvalidMember(t *testing.T) {
+	s := NewServer(coalescingConfig())
+	rng := rand.New(rand.NewSource(23))
+	tris := []Tridiagonal{
+		randomTridiag(rng, 30),
+		{D: []float64{1, math.NaN()}, E: []float64{1}},
+		randomTridiag(rng, 45),
+	}
+	out := s.SolveBatch(context.Background(), tris, nil)
+	if out[1].Err == nil || out[1].Disposition == DispositionCompleted {
+		t.Fatalf("invalid member served: err=%v disposition=%v", out[1].Err, out[1].Disposition)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil || out[i].Disposition != DispositionCompleted {
+			t.Fatalf("member %d: err=%v disposition=%v", i, out[i].Err, out[i].Disposition)
+		}
+		if rres := Residual(tris[i], out[i].Result); rres > maxResidual {
+			t.Errorf("member %d: residual %.3e", i, rres)
+		}
+	}
+}
+
+// TestServerCoalescedFaultRetriesSolo injects a deterministic single-shot
+// kernel fault into a coalesced batch: the one member it hits falls back to
+// the solo ladder (its batch attempt consumed from the retry budget) and is
+// still served; batch-mates are unaffected.
+func TestServerCoalescedFaultRetriesSolo(t *testing.T) {
+	cfg := coalescingConfig()
+	cfg.BatchWindow = 200 * time.Millisecond
+	cfg.BatchMaxSize = 8
+	s := NewServer(cfg)
+	rng := rand.New(rand.NewSource(24))
+	tris := make([]Tridiagonal, 8)
+	for i := range tris {
+		tris[i] = randomTridiag(rng, 40)
+	}
+	faultinject.Enable(3, faultinject.Probe{Class: "STEDC", Kind: faultinject.KindError, P: 1, MaxFires: 1})
+	out := s.SolveBatch(context.Background(), tris, nil)
+	faultinject.Disable()
+	retried := 0
+	for i, sr := range out {
+		if sr.Err != nil {
+			t.Fatalf("member %d: %v", i, sr.Err)
+		}
+		if rres := Residual(tris[i], sr.Result); rres > maxResidual {
+			t.Errorf("member %d: residual %.3e", i, rres)
+		}
+		switch sr.Disposition {
+		case DispositionCompleted:
+		case DispositionRetried, DispositionDegraded:
+			retried++
+		default:
+			t.Fatalf("member %d: disposition %v", i, sr.Disposition)
+		}
+	}
+	if retried != 1 {
+		t.Fatalf("%d members took the solo fallback, want 1", retried)
+	}
+	if st := s.Stats(); st.BatchServedJobs != 7 {
+		t.Fatalf("batch-served=%d, want 7", st.BatchServedJobs)
+	}
+}
+
+// TestServerStressSmallSolveFlood is the coalescing stress gate (picked up
+// by the race-enabled stress target): 64 clients flood the server with small
+// eligible solves, and every job must come back served, attributed to its own
+// matrix, with the disposition ledger balancing exactly — zero lost jobs.
+func TestServerStressSmallSolveFlood(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := ServerConfig{
+		MaxConcurrent: 4,
+		MaxQueue:      256,
+		StallWindow:   time.Minute,
+		MaxRetries:    2,
+		RetryBase:     time.Millisecond,
+		BatchWindow:   2 * time.Millisecond,
+	}
+	s := NewServer(cfg)
+	const clients = 64
+	perClient := 4
+	if testing.Short() {
+		perClient = 2
+	}
+	var served, badAttr atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for j := 0; j < perClient; j++ {
+				tri := randomTridiag(rng, 16+rng.Intn(48))
+				sr, err := s.Solve(context.Background(), tri, nil)
+				if err != nil {
+					t.Errorf("client %d job %d: %v", c, j, err)
+					continue
+				}
+				if sr.Disposition != DispositionCompleted && sr.Disposition != DispositionRetried {
+					t.Errorf("client %d job %d: disposition %v", c, j, sr.Disposition)
+					continue
+				}
+				if rres := Residual(tri, sr.Result); rres > maxResidual {
+					badAttr.Add(1)
+					t.Errorf("client %d job %d: residual %.3e — result not for this matrix", c, j, rres)
+					continue
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := int64(clients * perClient)
+	if served.Load() != total {
+		t.Fatalf("served %d of %d jobs (mis-attributed: %d)", served.Load(), total, badAttr.Load())
+	}
+	st := s.Stats()
+	if st.Admitted != total {
+		t.Fatalf("admitted %d, want %d", st.Admitted, total)
+	}
+	if st.Completed+st.Retried != total || st.Failed != 0 || st.Cancelled != 0 || st.Degraded != 0 {
+		t.Fatalf("disposition ledger completed=%d retried=%d degraded=%d cancelled=%d failed=%d, want sum %d with no losses",
+			st.Completed, st.Retried, st.Degraded, st.Cancelled, st.Failed, total)
+	}
+	if st.CoalescedJobs+st.DirectJobs < total {
+		t.Fatalf("coalesced=%d + direct=%d < %d jobs", st.CoalescedJobs, st.DirectJobs, total)
+	}
+	if st.Queued != 0 || st.Running != 0 || st.ReservedBytes != 0 {
+		t.Fatalf("leftover state: queued=%d running=%d reserved=%d", st.Queued, st.Running, st.ReservedBytes)
+	}
+	checkGoroutines(t, before)
+}

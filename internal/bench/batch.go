@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"tridiag/eigen"
+)
+
+// BatchPoint is one small-solve throughput measurement at matrix order n:
+// median solves/sec for a sequential Solve loop, one SolveBatch call, and a
+// coalescing eigen.Server flooded by concurrent clients — all over the same
+// matrices on the same worker count — plus the worst accuracy metrics across
+// every batch member (both normalized by n, the paper's Figure 9 bars).
+type BatchPoint struct {
+	N                  int     `json:"n"`
+	SeqSolvesPerSec    float64 `json:"seq_solves_per_sec"`
+	BatchSolvesPerSec  float64 `json:"batch_solves_per_sec"`
+	ServerSolvesPerSec float64 `json:"server_solves_per_sec"`
+	BatchSpeedup       float64 `json:"batch_speedup"`
+	ServerSpeedup      float64 `json:"server_speedup"`
+	MaxResidual        float64 `json:"max_residual"`
+	MaxOrthogonality   float64 `json:"max_orthogonality"`
+}
+
+// BatchRecord is the machine-readable output of `dcbench batch`.
+type BatchRecord struct {
+	Workers   int          `json:"workers"`
+	BatchSize int          `json:"batch_size"`
+	Reps      int          `json:"reps"`
+	Points    []BatchPoint `json:"points"`
+}
+
+// Batch measures the batched small-solve engine: many independent matrices
+// too small to feed the work-stealing scheduler alone, solved (a) one
+// Solve call at a time, (b) as one SolveBatch DAG on a shared runtime, and
+// (c) through a coalescing server's /solve admission path. The batch and
+// server paths must win on throughput without giving up accuracy — every
+// batch member is validated against the residual/orthogonality bars.
+func Batch(cfg *Config) (*BatchRecord, error) {
+	sizes := []int{32, 64, 128, 256}
+	batch := 64
+	reps := 3
+	if cfg.Quick {
+		sizes = []int{32, 64}
+		batch, reps = 16, 2
+	}
+	if len(cfg.Sizes) > 0 {
+		sizes = cfg.Sizes
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if len(cfg.Workers) > 0 {
+		workers = cfg.Workers[0]
+	}
+
+	rec := &BatchRecord{Workers: workers, BatchSize: batch, Reps: reps}
+	fmt.Fprintf(cfg.out(), "batched small-solve throughput: batch=%d workers=%d reps=%d (medians)\n", batch, workers, reps)
+	fmt.Fprintf(cfg.out(), "      n   seq solves/s   batch solves/s   server solves/s   batch-x  server-x   max resid  max orth\n")
+
+	opts := &eigen.Options{Workers: workers}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(cfg.seed() + int64(n)))
+		tris := make([]eigen.Tridiagonal, batch)
+		for i := range tris {
+			d := make([]float64, n)
+			e := make([]float64, n-1)
+			for j := range d {
+				d[j] = rng.NormFloat64()
+			}
+			for j := range e {
+				e[j] = rng.NormFloat64()
+			}
+			tris[i] = eigen.Tridiagonal{D: d, E: e}
+		}
+
+		var seqT, batchT, srvT []float64
+		p := BatchPoint{N: n}
+		for r := 0; r < reps; r++ {
+			// (a) Sequential loop: one runtime spin-up per matrix.
+			t0 := time.Now()
+			for i := range tris {
+				if _, err := eigen.Solve(tris[i], opts); err != nil {
+					return nil, fmt.Errorf("seq solve n=%d: %w", n, err)
+				}
+			}
+			seqT = append(seqT, time.Since(t0).Seconds())
+
+			// (b) One shared-runtime batch.
+			t0 = time.Now()
+			results, err := eigen.SolveBatch(context.Background(), tris, opts)
+			if err != nil {
+				return nil, fmt.Errorf("batch solve n=%d: %w", n, err)
+			}
+			batchT = append(batchT, time.Since(t0).Seconds())
+			for i, res := range results {
+				p.MaxResidual = math.Max(p.MaxResidual, eigen.Residual(tris[i], res))
+				p.MaxOrthogonality = math.Max(p.MaxOrthogonality, eigen.Orthogonality(res))
+			}
+
+			// (c) Coalescing server under a concurrent client flood.
+			srv := eigen.NewServer(eigen.ServerConfig{
+				MaxConcurrent: workers,
+				MaxQueue:      2 * batch,
+				StallWindow:   time.Minute,
+				BatchWindow:   2 * time.Millisecond,
+				BatchMaxSize:  batch,
+			})
+			t0 = time.Now()
+			var wg sync.WaitGroup
+			errCh := make(chan error, len(tris))
+			for i := range tris {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if _, err := srv.Solve(context.Background(), tris[i], nil); err != nil {
+						errCh <- fmt.Errorf("server solve n=%d: %w", n, err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			srvT = append(srvT, time.Since(t0).Seconds())
+			close(errCh)
+			if err := <-errCh; err != nil {
+				return nil, err
+			}
+			if _, err := srv.Shutdown(context.Background()); err != nil {
+				return nil, fmt.Errorf("server shutdown: %w", err)
+			}
+		}
+
+		per := float64(batch)
+		p.SeqSolvesPerSec = per / medianOf(seqT)
+		p.BatchSolvesPerSec = per / medianOf(batchT)
+		p.ServerSolvesPerSec = per / medianOf(srvT)
+		p.BatchSpeedup = ratio(p.BatchSolvesPerSec, p.SeqSolvesPerSec)
+		p.ServerSpeedup = ratio(p.ServerSolvesPerSec, p.SeqSolvesPerSec)
+		rec.Points = append(rec.Points, p)
+		fmt.Fprintf(cfg.out(), "  %5d  %13.0f  %15.0f  %16.0f  %7.2fx  %7.2fx   %.2e  %.2e\n",
+			n, p.SeqSolvesPerSec, p.BatchSolvesPerSec, p.ServerSolvesPerSec,
+			p.BatchSpeedup, p.ServerSpeedup, p.MaxResidual, p.MaxOrthogonality)
+	}
+	return rec, nil
+}
+
+// MergeJSON merges the record into path under the "batch" key, preserving
+// any other keys already in the file.
+func (r *BatchRecord) MergeJSON(path string) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	doc["batch"] = r
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"tridiag/internal/quark"
+)
+
+// BatchProblem is one matrix of a batched solve, with the same in-place
+// contract as SolveDC: on success D holds the ascending eigenvalues and Q
+// (N×N, column leading dimension LDQ) the orthonormal eigenvectors; E is
+// destroyed; Q's entry contents are ignored.
+type BatchProblem struct {
+	N    int
+	D, E []float64
+	Q    []float64
+	LDQ  int
+}
+
+// BatchItem is the per-matrix outcome of a batched solve. Err is nil when
+// this matrix's subgraph completed; a non-nil Err (a task failure inside this
+// matrix, a shape error, or the batch's context cancellation) means the
+// matrix's D/E/Q contents are unspecified — batch-mates are unaffected.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// BatchResult is the outcome of SolveDCBatch: per-matrix items in input
+// order, plus batch-level aggregates — Stats carries the task-time totals of
+// the whole shared runtime, Graph the combined DAG when CaptureGraph was set.
+type BatchResult struct {
+	Items []BatchItem
+	Stats *Stats
+	Graph *quark.Graph
+}
+
+// SolveDCBatch solves many independent tridiagonal systems as ONE task DAG on
+// ONE shared runtime: every matrix's leaf and merge tasks are submitted into
+// the same worker pool, so leaves from different matrices interleave across
+// workers and the scheduler has width even when each matrix alone is too
+// small to feed it. Workspace is drawn from the shared process pool, so
+// packed-GEMM buffers and secular scratch recycle across batch-mates instead
+// of being re-reserved per matrix.
+//
+// Failure isolation: each matrix's tasks run in their own quark scope over
+// disjoint handles, so one matrix's failure skip-cascade stays inside its own
+// subtree — its BatchItem carries the root-cause error, its batch-mates
+// complete normally. The returned error is batch-level only (context
+// cancellation); per-matrix failures never fail the batch.
+func SolveDCBatch(probs []BatchProblem, opts *Options) (*BatchResult, error) {
+	return SolveDCBatchContext(context.Background(), probs, opts)
+}
+
+// SolveDCBatchContext is SolveDCBatch bounded by a context. On cancellation
+// the in-flight kernels finish and every remaining task is skipped; matrices
+// whose subgraphs had already fully completed keep their valid results, the
+// rest carry ctx's error in their item.
+func SolveDCBatchContext(ctx context.Context, probs []BatchProblem, opts *Options) (*BatchResult, error) {
+	o := opts.withDefaults()
+	// The batch always runs as one task flow: the level-synchronized modes
+	// barrier on the whole runtime (which would couple batch-mates) and the
+	// sequential/fork-join modes have no task graph to share.
+	o.Mode = ModeTaskFlow
+
+	br := &BatchResult{Items: make([]BatchItem, len(probs)), Stats: newStats()}
+	for i := range br.Items {
+		br.Items[i].Result = &Result{Stats: newStats()}
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range br.Items {
+			br.Items[i].Err = err
+		}
+		return br, err
+	}
+	if len(probs) == 0 {
+		return br, nil
+	}
+
+	rtOpts := []quark.Option{quark.WithContext(ctx), quark.WithTaskTimer(br.Stats.addTaskTime)}
+	if o.CaptureGraph {
+		rtOpts = append(rtOpts, quark.WithGraphCapture())
+	}
+	if o.Progress != nil {
+		rtOpts = append(rtOpts, quark.WithProgress(o.Progress))
+	}
+	rt := quark.New(o.Workers, rtOpts...)
+
+	scopes := make([]*quark.Scope, len(probs))
+	merges := make([][]*mergeState, len(probs))
+	for i := range probs {
+		p := &probs[i]
+		if p.N < 0 {
+			br.Items[i].Err = fmt.Errorf("core: negative n")
+			continue
+		}
+		if p.N == 0 {
+			continue
+		}
+		if p.LDQ < p.N {
+			br.Items[i].Err = fmt.Errorf("core: ldq=%d < n=%d", p.LDQ, p.N)
+			continue
+		}
+		// No single-leaf bypass here: even a tiny matrix becomes runtime
+		// tasks (one leaf + sort), because scheduler width across the batch
+		// is the whole point. submitTaskFlow handles n <= MinPartition as a
+		// one-leaf tree.
+		scopes[i] = rt.NewScope()
+		// ModeTaskFlow never hits the level barrier, so no barrier func.
+		if err := submitTaskFlow(scopes[i], nil, p.N, p.D, p.E, p.Q, p.LDQ, &o, br.Items[i].Result.Stats, &merges[i]); err != nil {
+			br.Items[i].Err = err
+		}
+	}
+
+	rt.Wait()
+	ctxErr := ctx.Err()
+	if o.CaptureGraph {
+		br.Graph = rt.Graph()
+	}
+	// Shutdown joins the workers; only after it can abandoned merge
+	// workspaces be swept safely (see SolveDCContext).
+	rt.Shutdown()
+	for i := range probs {
+		var leaked int64
+		for _, ms := range merges[i] {
+			leaked += ms.sweepLeaked()
+		}
+		br.Items[i].Result.Stats.addLeaked(leaked)
+		br.Stats.addLeaked(leaked)
+		sc := scopes[i]
+		if sc == nil || br.Items[i].Err != nil {
+			continue
+		}
+		if err := sc.Err(); err != nil {
+			br.Items[i].Err = err
+		} else if ctxErr != nil && sc.Skipped() > 0 {
+			// Cancelled mid-batch with this matrix's subgraph incomplete.
+			// A matrix whose tasks all ran before the cancellation keeps
+			// its valid result (Skipped()==0: every task was submitted
+			// before Wait, so zero skips means the subgraph completed).
+			br.Items[i].Err = ctxErr
+		}
+	}
+	return br, ctxErr
+}

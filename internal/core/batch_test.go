@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tridiag/internal/faultinject"
+	"tridiag/internal/lapack"
+	"tridiag/internal/pool"
+)
+
+// TestSolveDCBatchMatchesSingle runs a mixed-size batch through the shared
+// runtime and pins every member against a per-matrix SolveDC of the same
+// input: identical eigenvalues and a valid spectrum.
+func TestSolveDCBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	sizes := []int{3, 48, 1, 96, 17, 64, 2, 33}
+	opts := &Options{Workers: 4, MinPartition: 16}
+
+	type ref struct{ d0, e0 []float64 }
+	refs := make([]ref, len(sizes))
+	probs := make([]BatchProblem, len(sizes))
+	for i, n := range sizes {
+		d, e := randTridiag(rng, n)
+		refs[i] = ref{append([]float64(nil), d...), append([]float64(nil), e...)}
+		probs[i] = BatchProblem{N: n, D: d, E: e, Q: make([]float64, n*n), LDQ: n}
+	}
+
+	br, err := SolveDCBatch(probs, opts)
+	if err != nil {
+		t.Fatalf("SolveDCBatch: %v", err)
+	}
+	for i, n := range sizes {
+		if br.Items[i].Err != nil {
+			t.Fatalf("matrix %d (n=%d): %v", i, n, br.Items[i].Err)
+		}
+		d0, e0 := refs[i].d0, refs[i].e0
+		nrm := lapack.Dlanst('M', n, d0, e0)
+		if nrm == 0 {
+			nrm = 1
+		}
+		res, orth := residualAndOrth(n, d0, e0, probs[i].D, probs[i].Q, n)
+		if res/(nrm*float64(n)) > 200*lapack.Eps {
+			t.Errorf("matrix %d: residual %.3e", i, res/(nrm*float64(n)))
+		}
+		if orth/float64(n) > 200*lapack.Eps {
+			t.Errorf("matrix %d: orthogonality %.3e", i, orth/float64(n))
+		}
+		// Same input through the single-matrix front door must agree.
+		ds := append([]float64(nil), d0...)
+		es := append([]float64(nil), e0...)
+		qs := make([]float64, n*n)
+		if _, err := SolveDC(n, ds, es, qs, n, opts); err != nil {
+			t.Fatalf("matrix %d: SolveDC: %v", i, err)
+		}
+		for j := 0; j < n; j++ {
+			if d := math.Abs(ds[j] - probs[i].D[j]); d > 1e-10*(1+math.Abs(ds[j])) {
+				t.Fatalf("matrix %d: eigenvalue %d differs: batch %.17g single %.17g", i, j, probs[i].D[j], ds[j])
+			}
+		}
+	}
+	if len(br.Stats.TaskTimes()) == 0 {
+		t.Fatalf("batch stats carry no task times")
+	}
+}
+
+// TestSolveDCBatchShapeErrors checks per-member shape validation: a bad
+// member gets its own error, batch-mates are solved normally.
+func TestSolveDCBatchShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	d, e := randTridiag(rng, 24)
+	d0 := append([]float64(nil), d...)
+	e0 := append([]float64(nil), e...)
+	probs := []BatchProblem{
+		{N: -1},
+		{N: 24, D: d, E: e, Q: make([]float64, 24*24), LDQ: 24},
+		{N: 8, D: make([]float64, 8), E: make([]float64, 7), Q: make([]float64, 8*4), LDQ: 4}, // ldq < n
+		{N: 0},
+	}
+	br, err := SolveDCBatch(probs, &Options{Workers: 2, MinPartition: 8})
+	if err != nil {
+		t.Fatalf("SolveDCBatch: %v", err)
+	}
+	if br.Items[0].Err == nil || br.Items[2].Err == nil {
+		t.Fatalf("shape errors not reported: %v, %v", br.Items[0].Err, br.Items[2].Err)
+	}
+	if br.Items[1].Err != nil || br.Items[3].Err != nil {
+		t.Fatalf("valid members failed: %v, %v", br.Items[1].Err, br.Items[3].Err)
+	}
+	res, _ := residualAndOrth(24, d0, e0, probs[1].D, probs[1].Q, 24)
+	nrm := lapack.Dlanst('M', 24, d0, e0)
+	if res/(nrm*24) > 200*lapack.Eps {
+		t.Errorf("good member residual %.3e", res/(nrm*24))
+	}
+}
+
+// TestSolveDCBatchFaultIsolation injects a deterministic single-shot kernel
+// fault into an 8-matrix batch: exactly one item fails with the root cause,
+// the others complete, and the pool accountant returns to baseline (the
+// failed matrix's abandoned merge workspaces are swept).
+func TestSolveDCBatchFaultIsolation(t *testing.T) {
+	baseline := pool.InUseBytes()
+	rng := rand.New(rand.NewSource(903))
+	probs := make([]BatchProblem, 8)
+	for i := range probs {
+		const n = 64
+		d, e := randTridiag(rng, n)
+		probs[i] = BatchProblem{N: n, D: d, E: e, Q: make([]float64, n*n), LDQ: n}
+	}
+	faultinject.Enable(5, faultinject.Probe{Class: "ComputeVect", Kind: faultinject.KindError, P: 1, MaxFires: 1})
+	br, err := SolveDCBatch(probs, &Options{Workers: 4, MinPartition: 16})
+	faultinject.Disable()
+	if err != nil {
+		t.Fatalf("SolveDCBatch: %v", err)
+	}
+	failed := 0
+	for i := range probs {
+		if br.Items[i].Err != nil {
+			failed++
+			var inj *faultinject.ErrInjected
+			if !errors.As(br.Items[i].Err, &inj) {
+				t.Fatalf("matrix %d: error %v does not unwrap to the injected fault", i, br.Items[i].Err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("single-shot fault failed %d matrices, want 1", failed)
+	}
+	if got := pool.InUseBytes(); got != baseline {
+		t.Fatalf("pool accountant off baseline after faulted batch: %d, want %d", got, baseline)
+	}
+}
+
+// TestSolveDCBatchCancellation covers both cancellation windows: a dead
+// context up front poisons every item before any task runs, and the
+// mid-flight contract marks only incomplete subgraphs with ctx's error.
+func TestSolveDCBatchCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(904))
+	mk := func() []BatchProblem {
+		probs := make([]BatchProblem, 4)
+		for i := range probs {
+			const n = 40
+			d, e := randTridiag(rng, n)
+			probs[i] = BatchProblem{N: n, D: d, E: e, Q: make([]float64, n*n), LDQ: n}
+		}
+		return probs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	br, err := SolveDCBatchContext(ctx, mk(), &Options{Workers: 2})
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled batch: err=%v", err)
+	}
+	for i := range br.Items {
+		if br.Items[i].Err != context.Canceled {
+			t.Fatalf("item %d: err=%v, want context.Canceled", i, br.Items[i].Err)
+		}
+	}
+}

@@ -185,7 +185,7 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 	rt := quark.New(o.Workers, rtOpts...)
 
 	var merges []*mergeState
-	err := submitTaskFlow(rt, n, d, e, q, ldq, &o, res.Stats, &merges)
+	err := submitTaskFlow(rt, rt.Wait, n, d, e, q, ldq, &o, res.Stats, &merges)
 	werr := rt.Wait()
 	if o.CaptureGraph {
 		res.Graph = rt.Graph()
@@ -212,10 +212,24 @@ type node struct {
 	hV, hD      *quark.Handle
 }
 
+// taskRuntime is the submission surface shared by *quark.Runtime and
+// *quark.Scope. Single solves submit straight to the runtime; batched solves
+// submit each matrix's task flow through its own scope, so a failure cascade
+// attributes (and confines its skip accounting) to one matrix while every
+// matrix shares the same worker pool.
+type taskRuntime interface {
+	Handle(name string) *quark.Handle
+	Submit(class, label string, fn func(), accesses ...quark.Access)
+	SubmitPrio(class, label string, priority int, fn func(), accesses ...quark.Access)
+	Workers() int
+}
+
 // submitTaskFlow submits the whole task graph in sequential program order.
 // Every merge's runtime state is appended to *merges so the caller can sweep
-// abandoned workspaces after the runtime stops.
-func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq int, o *Options, st *Stats, merges *[]*mergeState) error {
+// abandoned workspaces after the runtime stops. barrier is the runtime's Wait,
+// used only by the level-synchronized modes (ModeLevelSync, ModeScaLAPACK);
+// batched solves always run ModeTaskFlow and pass nil.
+func submitTaskFlow(rt taskRuntime, barrier func() error, n int, d, e []float64, q []float64, ldq int, o *Options, st *Stats, merges *[]*mergeState) error {
 	sizes := lapack.PartitionSizes(n, o.MinPartition)
 	starts := make([]int, len(sizes)+1)
 	for i, s := range sizes {
@@ -320,7 +334,7 @@ func submitTaskFlow(rt *quark.Runtime, n int, d, e []float64, q []float64, ldq i
 				acc = append(acc, quark.ReadWrite(nd.hV), quark.ReadWrite(nd.hD))
 			}
 			rt.Submit("Barrier", fmt.Sprintf("level%d", lvl), func() {}, acc...)
-			if err := rt.Wait(); err != nil {
+			if err := barrier(); err != nil {
 				return err
 			}
 		}
@@ -446,7 +460,7 @@ const (
 // task's last-declared non-Gatherv handle, so each task lists its panel
 // handle last (UpdateVect follows ComputeVect's hSec panel, CopyBackDeflated
 // follows PermuteV's hPerm panel, and so on).
-func submitMerge(rt *quark.Runtime, parent, left, right *node, lvl int, d, e []float64, q []float64, ldq int, indxq []int, o *Options, st *Stats) *mergeState {
+func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []float64, q []float64, ldq int, indxq []int, o *Options, st *Stats) *mergeState {
 	prio := lvl * prioStride
 	start := parent.start
 	nm := parent.size

@@ -94,6 +94,11 @@ type Probe struct {
 	P float64
 	// Delay is the stall duration for KindDelay probes.
 	Delay time.Duration
+	// MaxFires, when positive, caps how many times this probe fires; after
+	// the cap it is inert. A P=1/MaxFires=1 probe is a deterministic
+	// single-shot fault: exactly one task of the class fails, the rest run
+	// clean — the shape batch failure-isolation tests need.
+	MaxFires int64
 }
 
 type registry struct {
@@ -101,6 +106,7 @@ type registry struct {
 	rng    *rand.Rand
 	probes []Probe
 	fired  map[string]int64
+	fires  []int64 // per-probe fire counts, parallel to probes (MaxFires)
 }
 
 var (
@@ -115,6 +121,7 @@ func Enable(seed int64, probes ...Probe) {
 	reg.rng = rand.New(rand.NewSource(seed))
 	reg.probes = append([]Probe(nil), probes...)
 	reg.fired = make(map[string]int64)
+	reg.fires = make([]int64, len(probes))
 	reg.mu.Unlock()
 	active.Store(len(probes) > 0)
 }
@@ -161,9 +168,13 @@ func FireCtx(ctx context.Context, class string) error {
 		if p.Class != "*" && p.Class != class {
 			continue
 		}
+		if p.MaxFires > 0 && reg.fires[i] >= p.MaxFires {
+			continue
+		}
 		if reg.rng.Float64() < p.P {
 			hit = p
 			reg.fired[class]++
+			reg.fires[i]++
 			break
 		}
 	}

@@ -1,0 +1,98 @@
+package quark
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScopeFailureIsolation pins the scope contract batched solves depend on:
+// a failure inside one scope cascades only through that scope's dependency
+// chain, its Err/Skipped reflect exactly that subgraph, and sibling scopes
+// over disjoint handles run to completion with clean Err/Skipped.
+func TestScopeFailureIsolation(t *testing.T) {
+	rt := New(4)
+	defer rt.Shutdown()
+
+	const chains = 8
+	const depth = 6
+	var ran [chains]atomic.Int64
+	scopes := make([]*Scope, chains)
+	for c := 0; c < chains; c++ {
+		c := c
+		sc := rt.NewScope()
+		scopes[c] = sc
+		h := sc.Handle(fmt.Sprintf("chain-%d", c))
+		for i := 0; i < depth; i++ {
+			i := i
+			sc.Submit("Link", fmt.Sprintf("c%d/%d", c, i), func() {
+				if c == 3 && i == 2 {
+					panic("injected: chain 3 breaks mid-way")
+				}
+				ran[c].Add(1)
+			}, ReadWrite(h))
+		}
+	}
+	rt.Wait()
+
+	for c := 0; c < chains; c++ {
+		sc := scopes[c]
+		if c == 3 {
+			if sc.Err() == nil {
+				t.Fatalf("chain 3: scope Err is nil after injected panic")
+			}
+			var te *TaskError
+			if !errors.As(sc.Err(), &te) {
+				t.Fatalf("chain 3: scope Err %v is not a *TaskError", sc.Err())
+			}
+			// Tasks 3..5 depend on the failed task 2 and must be skipped.
+			if got := sc.Skipped(); got != depth-3 {
+				t.Fatalf("chain 3: Skipped=%d, want %d", got, depth-3)
+			}
+			if got := ran[c].Load(); got != 2 {
+				t.Fatalf("chain 3: %d tasks ran, want 2", got)
+			}
+			continue
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("chain %d: unexpected scope error %v", c, err)
+		}
+		if got := sc.Skipped(); got != 0 {
+			t.Fatalf("chain %d: Skipped=%d, want 0", c, got)
+		}
+		if got := ran[c].Load(); got != depth {
+			t.Fatalf("chain %d: %d tasks ran, want %d", c, got, depth)
+		}
+	}
+}
+
+// TestScopeRuntimeLevelSubmitsUnscoped checks that plain runtime submissions
+// coexist with scoped ones: a runtime-level failure never shows up in any
+// scope's Err, and scoped failures stay out of other scopes.
+func TestScopeRuntimeLevelSubmitsUnscoped(t *testing.T) {
+	rt := New(2)
+	defer rt.Shutdown()
+	sc := rt.NewScope()
+	hs := sc.Handle("scoped")
+	hr := rt.Handle("bare")
+
+	var scoped atomic.Int64
+	sc.Submit("Work", "scoped", func() { scoped.Add(1) }, ReadWrite(hs))
+	rt.Submit("Work", "bare-fail", func() { panic("runtime-level failure") }, ReadWrite(hr))
+	sc.SubmitPrio("Work", "scoped-2", 5, func() { scoped.Add(1) }, ReadWrite(hs))
+	rt.Wait()
+
+	if err := sc.Err(); err != nil {
+		t.Fatalf("runtime-level failure leaked into scope: %v", err)
+	}
+	if got := sc.Skipped(); got != 0 {
+		t.Fatalf("scope Skipped=%d, want 0", got)
+	}
+	if got := scoped.Load(); got != 2 {
+		t.Fatalf("scoped tasks ran %d times, want 2", got)
+	}
+	if sc.Workers() != rt.Workers() {
+		t.Fatalf("scope Workers %d != runtime Workers %d", sc.Workers(), rt.Workers())
+	}
+}
