@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady bench-batch chaos stress stress-cluster ci clean
+.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady bench-batch bench-values chaos stress stress-cluster ci clean
 
 all: build
 
@@ -54,6 +54,15 @@ bench-steady:
 bench-batch:
 	$(GO) run ./cmd/dcbench batch -quick -json
 
+# Eigenvalue-only fast lane vs the full task-flow solve: wall-time medians
+# and peak pooled workspace per (n, workers), merged into BENCH_taskflow.json
+# under "values_only"; the batch suite rerun through the lane lands under
+# "batch_values_only". The workspace ratio is the headline — carrier rows
+# replace the O(n²) eigenvector state.
+bench-values:
+	$(GO) run ./cmd/dcbench perf -values-only -quick -json
+	$(GO) run ./cmd/dcbench batch -values-only -quick -json
+
 # Fault-injection suite: panic/error/delay probes in every task class across
 # randomized solves, repeated under the race detector; the tests themselves
 # assert zero goroutine leaks and that every fault ends in a verified result
@@ -80,4 +89,4 @@ stress:
 stress-cluster:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestCluster' ./eigen/cluster/
 
-ci: vet build test test-pooldebug race bench-smoke bench-steady bench-batch chaos stress stress-cluster
+ci: vet build test test-pooldebug race bench-smoke bench-steady bench-batch bench-values chaos stress stress-cluster

@@ -416,3 +416,22 @@ func BenchmarkReductionTwoStage300(b *testing.B) {
 		}
 	}
 }
+
+func benchSolveDCValuesOnly(b *testing.B, n, workers int) {
+	d0, e0 := benchTridiag(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := append([]float64(nil), d0...)
+		e := append([]float64(nil), e0...)
+		if _, err := core.SolveDC(n, d, e, nil, 0, &core.Options{Workers: workers, ValuesOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The values-only acceptance benchmarks: the same shapes as the task-flow
+// scheduler benchmarks with Options.ValuesOnly set (no eigenvector tasks, no
+// n×n block anywhere).
+func BenchmarkSolveDCValuesOnly2000W1(b *testing.B) { benchSolveDCValuesOnly(b, 2000, 1) }
+func BenchmarkSolveDCValuesOnly2000W4(b *testing.B) { benchSolveDCValuesOnly(b, 2000, 4) }
+func BenchmarkSolveDCValuesOnly2000W8(b *testing.B) { benchSolveDCValuesOnly(b, 2000, 8) }

@@ -15,9 +15,12 @@
 //	dcbench perf              performance snapshot (task-flow medians + GEMM)
 //	dcbench perf -steady N    + N in-process solves per worker count
 //	                            (steady-state medians and GC stats)
+//	dcbench perf -values-only eigenvalue-only lane vs full solve: wall time
+//	                            and peak pooled workspace per (n, workers)
 //	dcbench secular           secular-phase kernels, scalar vs SIMD
 //	dcbench batch             batched small-solve throughput: sequential
 //	                            Solve loop vs SolveBatch vs coalescing server
+//	                            (-values-only runs it through the fast lane)
 //	dcbench all               everything above in sequence
 //
 // Flags: -sizes 500,1000 -types 2,3,4 -workers 1,2,4,8,16 -seed 7 -quick -bw 4
@@ -58,6 +61,8 @@ func main() {
 	workers := fs.String("workers", "", "comma-separated worker counts for simulation")
 	seed := fs.Int64("seed", 0, "random seed (0: fixed default)")
 	quick := fs.Bool("quick", false, "smaller sizes for a fast smoke run")
+	valuesOnly := fs.Bool("values-only", false,
+		"perf: compare the eigenvalue-only lane against the full solve; batch: run the batch suite through the values-only lane")
 	steady := fs.Int("steady", 0, "perf: run N solves per worker count in one process and report steady-state medians + GC stats")
 	bw := fs.Float64("bw", 0, "bandwidth cap in concurrent streams (0: default 4)")
 	jsonOut := fs.Bool("json", false, "write the perf snapshot to BENCH_taskflow.json")
@@ -77,7 +82,7 @@ func main() {
 		if strings.HasPrefix(args[i], "-") {
 			flagArgs = append(flagArgs, args[i])
 			if !strings.Contains(args[i], "=") && i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") &&
-				args[i] != "-quick" && args[i] != "-json" {
+				args[i] != "-quick" && args[i] != "-json" && args[i] != "-values-only" {
 				flagArgs = append(flagArgs, args[i+1])
 				i++
 			}
@@ -101,7 +106,7 @@ func main() {
 	fail(err)
 	cfg := &bench.Config{
 		Sizes: sz, Types: ty, Workers: wk,
-		Seed: *seed, Quick: *quick, Steady: *steady, BandwidthStreams: *bw,
+		Seed: *seed, Quick: *quick, ValuesOnly: *valuesOnly, Steady: *steady, BandwidthStreams: *bw,
 		Out: os.Stdout,
 	}
 
@@ -129,6 +134,17 @@ func main() {
 		case "fig10":
 			_, err = bench.Fig10(cfg)
 		case "perf":
+			if *valuesOnly {
+				var rec *bench.ValuesOnlyRecord
+				rec, err = bench.ValuesOnly(cfg)
+				if err == nil && *jsonOut {
+					err = rec.MergeJSON("BENCH_taskflow.json")
+					if err == nil {
+						fmt.Println("merged values-only record into BENCH_taskflow.json")
+					}
+				}
+				break
+			}
 			var rec *bench.PerfRecord
 			rec, err = bench.Perf(cfg)
 			if err == nil && *jsonOut {

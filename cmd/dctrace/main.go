@@ -68,6 +68,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	real := flag.Bool("real", false, "show the real measured trace of a concurrent run instead of a simulation")
 	batch := flag.Int("batch", 1, "solve this many matrices as one shared DAG and trace the combined graph")
+	valuesOnly := flag.Bool("values-only", false, "trace the eigenvalue-only lane (no eigenvector task classes, no n×n block)")
 	flag.Parse()
 
 	m, err := testmat.Type(*typ, *n, rand.New(rand.NewSource(*seed)))
@@ -76,6 +77,9 @@ func main() {
 	mode := core.ModeTaskFlow
 	if *model == "levelsync" {
 		mode = core.ModeLevelSync
+	}
+	if *valuesOnly && *model == "levelsync" {
+		fail(fmt.Errorf("the values-only lane runs as a task flow; the levelsync model does not apply"))
 	}
 
 	workers := 1
@@ -97,11 +101,14 @@ func main() {
 				N: *n,
 				D: append([]float64(nil), mi.D...),
 				E: append([]float64(nil), mi.E...),
-				Q: make([]float64, *n**n), LDQ: *n,
+			}
+			if !*valuesOnly {
+				probs[i].Q = make([]float64, *n**n)
+				probs[i].LDQ = *n
 			}
 		}
 		br, err := core.SolveDCBatch(probs, &core.Options{
-			Workers: workers, CaptureGraph: true,
+			Workers: workers, CaptureGraph: true, ValuesOnly: *valuesOnly,
 			PanelSize: max(16, *n/16), MinPartition: max(32, *n/16),
 		})
 		fail(err)
@@ -122,18 +129,27 @@ func main() {
 	} else {
 		d := append([]float64(nil), m.D...)
 		e := append([]float64(nil), m.E...)
-		q := make([]float64, *n**n)
-		res, err := core.SolveDC(*n, d, e, q, *n, &core.Options{
-			Workers: workers, CaptureGraph: true, Mode: mode,
+		var q []float64
+		ldq := 0
+		if !*valuesOnly {
+			q = make([]float64, *n**n)
+			ldq = *n
+		}
+		res, err := core.SolveDC(*n, d, e, q, ldq, &core.Options{
+			Workers: workers, CaptureGraph: true, Mode: mode, ValuesOnly: *valuesOnly,
 			PanelSize: max(16, *n/16), MinPartition: max(32, *n/16),
 		})
 		fail(err)
 		g = res.Graph
 		taskTimes = res.Stats.TaskTimes()
-		hits, misses, bytes, rate := res.Stats.PackReuse()
-		statsLines = fmt.Sprintf("matrix %s n=%d, deflation %.1f%%\n", m.Name, *n, 100*res.Stats.DeflationRatio()) +
-			fmt.Sprintf("UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n", hits, misses, bytes, rate) +
-			fmt.Sprintf("workspace leaked to GC: %d bytes\n", res.Stats.LeakedBytes())
+		statsLines = fmt.Sprintf("matrix %s n=%d, deflation %.1f%%\n", m.Name, *n, 100*res.Stats.DeflationRatio())
+		if *valuesOnly {
+			statsLines += "values-only lane: no eigenvector tasks, no n×n block\n"
+		} else {
+			hits, misses, bytes, rate := res.Stats.PackReuse()
+			statsLines += fmt.Sprintf("UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n", hits, misses, bytes, rate)
+		}
+		statsLines += fmt.Sprintf("workspace leaked to GC: %d bytes\n", res.Stats.LeakedBytes())
 	}
 
 	var tl *trace.Timeline

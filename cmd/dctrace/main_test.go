@@ -1,0 +1,130 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tridiag/internal/core"
+	"tridiag/internal/sched"
+	"tridiag/internal/trace"
+)
+
+// vectorClasses are the task classes that must never appear in a values-only
+// DAG: they exist only to move or accumulate eigenvector columns.
+var vectorClasses = []string{
+	"LASET", "SortEigenvectors", "PermuteV", "CopyBackDeflated",
+	"ComputeVect", "PackV", "UpdateVect",
+}
+
+func randomTridiag(n int, seed int64) (d, e []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	return d, e
+}
+
+// TestValuesOnlyTrace is the dctrace regression for the eigenvalue-only
+// lane: the captured graph must contain no eigenvector task classes, must
+// still carry the eigenvalue pipeline (leaves, deflation, secular solves,
+// the carrier UpdateZ and final SortEigenvalues stages), and must replay
+// through the schedule simulator and timeline renderer exactly like a full
+// graph does.
+func TestValuesOnlyTrace(t *testing.T) {
+	n := 600
+	d, e := randomTridiag(n, 7)
+	res, err := core.SolveDC(n, d, e, nil, 0, &core.Options{
+		Workers: 1, CaptureGraph: true, ValuesOnly: true,
+		PanelSize: max(16, n/16), MinPartition: max(32, n/16),
+	})
+	if err != nil {
+		t.Fatalf("values-only capture solve: %v", err)
+	}
+	if res.Graph == nil {
+		t.Fatal("CaptureGraph produced no graph")
+	}
+
+	counts := res.Graph.ClassCounts()
+	for _, c := range vectorClasses {
+		if counts[c] > 0 {
+			t.Errorf("values-only graph contains %d %s tasks; want none", counts[c], c)
+		}
+	}
+	for _, c := range []string{"STEDC", "ComputeDeflation", "LAED4", "UpdateZ", "SortEigenvalues"} {
+		if counts[c] == 0 {
+			t.Errorf("values-only graph missing task class %s", c)
+		}
+	}
+
+	// The replay pipeline dctrace runs: simulate on P virtual workers, then
+	// render the gantt and breakdown. A graph the simulator rejects or the
+	// renderer draws empty would make the tool useless on VO traces.
+	r, err := sched.Simulate(res.Graph, sched.Config{Workers: 8, StreamsPerSocket: 4, WorkersPerSocket: 8})
+	if err != nil {
+		t.Fatalf("simulating values-only graph: %v", err)
+	}
+	tl := trace.FromSimulation(res.Graph, r, 8)
+	gantt := tl.Gantt(100)
+	if strings.TrimSpace(gantt) == "" {
+		t.Error("empty gantt for values-only graph")
+	}
+	if rep := tl.BreakdownReport(); strings.TrimSpace(rep) == "" {
+		t.Error("empty breakdown report for values-only graph")
+	}
+
+	// The per-class wall-time report must total only eigenvalue-side kernels.
+	report, csvLine := taskTimeReport(res.Stats.TaskTimes())
+	if report == "" || csvLine == "" {
+		t.Fatal("empty task-time report for values-only run")
+	}
+	for _, c := range vectorClasses {
+		if strings.Contains(report, c) || strings.Contains(csvLine, c) {
+			t.Errorf("task-time report mentions eigenvector class %s:\n%s", c, report)
+		}
+	}
+}
+
+// TestValuesOnlyBatchTrace covers the -batch path of dctrace under
+// -values-only: several matrices solved as one shared DAG with no Q blocks
+// at all, and the combined graph still free of eigenvector classes.
+func TestValuesOnlyBatchTrace(t *testing.T) {
+	const n, batch = 150, 4
+	probs := make([]core.BatchProblem, batch)
+	for i := range probs {
+		d, e := randomTridiag(n, int64(10+i))
+		probs[i] = core.BatchProblem{N: n, D: d, E: e}
+	}
+	br, err := core.SolveDCBatch(probs, &core.Options{
+		Workers: 1, CaptureGraph: true, ValuesOnly: true,
+		PanelSize: max(16, n/16), MinPartition: max(32, n/16),
+	})
+	if err != nil {
+		t.Fatalf("values-only batch capture: %v", err)
+	}
+	for i := range br.Items {
+		if br.Items[i].Err != nil {
+			t.Fatalf("batch matrix %d: %v", i, br.Items[i].Err)
+		}
+	}
+	if br.Graph == nil {
+		t.Fatal("CaptureGraph produced no batch graph")
+	}
+	counts := br.Graph.ClassCounts()
+	for _, c := range vectorClasses {
+		if counts[c] > 0 {
+			t.Errorf("values-only batch graph contains %d %s tasks; want none", counts[c], c)
+		}
+	}
+	if counts["STEDC"] == 0 {
+		t.Error("values-only batch graph has no leaf STEDC tasks")
+	}
+	if _, err := sched.Simulate(br.Graph, sched.Config{Workers: 4, StreamsPerSocket: 4, WorkersPerSocket: 8}); err != nil {
+		t.Fatalf("simulating values-only batch graph: %v", err)
+	}
+}

@@ -110,6 +110,12 @@ func main() {
 			st := s.Stats()
 			log.Printf("served: completed=%d retried=%d degraded=%d rejected=%d cancelled=%d failed=%d",
 				st.Completed, st.Retried, st.Degraded, st.Rejected, st.Cancelled, st.Failed)
+			if st.ValuesOnlyAdmitted > 0 {
+				log.Printf("values-only class: admitted=%d completed=%d avg-service=%v (full-solve avg=%v)",
+					st.ValuesOnlyAdmitted, st.ValuesOnlyCompleted,
+					time.Duration(st.ValuesOnlyAvgServiceNanos).Round(time.Microsecond),
+					time.Duration(st.AvgServiceNanos).Round(time.Microsecond))
+			}
 			if st.BatchesFlushed > 0 {
 				log.Printf("batched: flushes=%d (timer=%d size=%d bytes=%d) coalesced=%d batch-served=%d direct=%d",
 					st.BatchesFlushed, st.FlushByTimer, st.FlushBySize, st.FlushByBytes,

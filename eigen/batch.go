@@ -115,8 +115,11 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 			continue
 		}
 		res := &Result{
-			N: n, Values: make([]float64, n), Vectors: make([]float64, n*n),
+			N: n, Values: make([]float64, n),
 			Stats: &SolveStats{Method: o.Method, Tier: "task-flow", BatchSize: len(tris)},
+		}
+		if !o.ValuesOnly {
+			res.Vectors = make([]float64, n*n)
 		}
 		results[i] = res
 		if n == 0 {
@@ -125,7 +128,11 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 		d, e, scale := preScale(t)
 		scales[i] = scale
 		copy(res.Values, d)
-		probs = append(probs, core.BatchProblem{N: n, D: res.Values, E: e, Q: res.Vectors, LDQ: n})
+		p := core.BatchProblem{N: n, D: res.Values, E: e}
+		if !o.ValuesOnly {
+			p.Q, p.LDQ = res.Vectors, n
+		}
+		probs = append(probs, p)
 		probIdx = append(probIdx, i)
 	}
 
@@ -134,6 +141,7 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 		PanelSize:      o.PanelSize,
 		MinPartition:   o.MinPartition,
 		ExtraWorkspace: o.ExtraWorkspace,
+		ValuesOnly:     o.ValuesOnly,
 		Progress:       o.Progress,
 	})
 	if err != nil {
@@ -177,11 +185,19 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 				// is that method's first choice); here it is a degraded
 				// replacement for the batched attempt, so hold it to the
 				// same validation bar Solve applies to its fallback tiers.
-				rres, orth := Residual(tris[i], fres), Orthogonality(fres)
+				// Values-only results have no vectors, so the bar is the
+				// Sturm-count spectrum check instead.
 				fres.Stats.Validated = true
-				fres.Stats.Residual, fres.Stats.Orthogonality = rres, orth
-				if rres > maxResidual || orth > maxOrthogonality {
-					ferr = fmt.Errorf("fallback validation failed: residual=%.3e orthogonality=%.3e", rres, orth)
+				if o.ValuesOnly {
+					if verr := validateSpectrum(tris[i], fres.Values); verr != nil {
+						ferr = fmt.Errorf("fallback validation failed: %w", verr)
+					}
+				} else {
+					rres, orth := Residual(tris[i], fres), Orthogonality(fres)
+					fres.Stats.Residual, fres.Stats.Orthogonality = rres, orth
+					if rres > maxResidual || orth > maxOrthogonality {
+						ferr = fmt.Errorf("fallback validation failed: residual=%.3e orthogonality=%.3e", rres, orth)
+					}
 				}
 			}
 			if ferr == nil {

@@ -24,6 +24,22 @@ type SolveRequest struct {
 	// (column-major, column j = eigenvector j). Off by default: for large n
 	// the payload dwarfs the eigenvalues.
 	Vectors bool `json:"vectors,omitempty"`
+	// ValuesOnly requests the eigenvalue-only fast lane: no eigenvector
+	// tasks run, the solve's workspace is O(n·depth) instead of O(n²), and
+	// admission charges the much smaller EstimateValuesOnlySolveBytes
+	// footprint — so a loaded instance admits far more values_only jobs than
+	// full solves under the same memory budget. Mutually exclusive with
+	// Vectors (rejected with 400).
+	ValuesOnly bool `json:"values_only,omitempty"`
+}
+
+// ValidateClass rejects contradictory request classes — values_only together
+// with vectors — as a client error before the job consumes a solve slot.
+func (r *SolveRequest) ValidateClass() error {
+	if r.ValuesOnly && r.Vectors {
+		return fmt.Errorf("values_only and vectors are mutually exclusive")
+	}
+	return nil
 }
 
 // Tri views the request's problem as an eigen.Tridiagonal (aliasing the

@@ -331,6 +331,10 @@ func (c *Coordinator) Solve(ctx context.Context, req *SolveRequest) (*SolveRespo
 		c.counts[DispositionRejected].Add(1)
 		return resp, err
 	}
+	if err := req.ValidateClass(); err != nil {
+		c.counts[DispositionRejected].Add(1)
+		return resp, fmt.Errorf("%w: %v", eigen.ErrBadInput, err)
+	}
 
 	// Admission.
 	c.mu.Lock()
@@ -444,7 +448,7 @@ func (c *Coordinator) Solve(ctx context.Context, req *SolveRequest) (*SolveRespo
 	c.localSolves.Add(1)
 	job.worker = "local"
 	method, _ := ParseMethod(req.Method)
-	ssr, err := c.local.Solve(actx, req.Tri(), &eigen.Options{Method: method, Workers: req.Workers})
+	ssr, err := c.local.Solve(actx, req.Tri(), &eigen.Options{Method: method, Workers: req.Workers, ValuesOnly: req.ValuesOnly})
 	if err == nil {
 		disp = DispositionDegradedLocal
 		out := &SolveResponse{
@@ -502,6 +506,14 @@ func (c *Coordinator) SolveBatch(ctx context.Context, req *BatchRequest) (*Batch
 		if err := req.Jobs[i].Tri().Validate(); err != nil {
 			c.counts[DispositionRejected].Add(1)
 			return resp, fmt.Errorf("job %d: %w", i, err)
+		}
+		if err := req.Jobs[i].ValidateClass(); err != nil {
+			c.counts[DispositionRejected].Add(1)
+			return resp, fmt.Errorf("%w: job %d: %v", eigen.ErrBadInput, i, err)
+		}
+		if req.Jobs[i].ValuesOnly != req.Jobs[0].ValuesOnly {
+			c.counts[DispositionRejected].Add(1)
+			return resp, fmt.Errorf("%w: job %d: batch mixes values_only and full solves", eigen.ErrBadInput, i)
 		}
 		if n := len(req.Jobs[i].D); n > maxN {
 			maxN = n

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"tridiag/eigen"
+)
+
+// TestWorkerHTTPValuesOnlyRoundTrip: a values_only solve round-trips through
+// the worker API with the spectrum and without any eigenvector payload, and
+// the contradictory values_only+vectors class is a 400 before it costs a
+// solve slot.
+func TestWorkerHTTPValuesOnlyRoundTrip(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+
+	req := randomRequest(rand.New(rand.NewSource(21)), 200)
+	req.ValuesOnly = true
+	resp := postSolve(t, w.ts.URL, mustJSON(t, req))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("values_only solve: status %d, want 200", resp.StatusCode)
+	}
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	checkSpectrum(t, req, &sr)
+	if len(sr.Vectors) != 0 {
+		t.Errorf("values_only response carries %d vector floats", len(sr.Vectors))
+	}
+	if sr.Disposition != "completed" || sr.Tier != "task-flow" {
+		t.Errorf("disposition=%q tier=%q, want completed/task-flow", sr.Disposition, sr.Tier)
+	}
+	if st := w.srv.Stats(); st.ValuesOnlyAdmitted != 1 || st.ValuesOnlyCompleted != 1 {
+		t.Errorf("per-class counters: admitted=%d completed=%d, want 1/1",
+			st.ValuesOnlyAdmitted, st.ValuesOnlyCompleted)
+	}
+
+	// values_only + vectors is a contradiction: 400, classified like any
+	// other malformed job.
+	bad := randomRequest(rand.New(rand.NewSource(22)), 24)
+	bad.ValuesOnly = true
+	bad.Vectors = true
+	resp2 := postSolve(t, w.ts.URL, mustJSON(t, bad))
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("values_only+vectors: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestWorkerHTTPValuesOnlyBatch: a homogeneous values_only batch serves every
+// member without vectors; a batch mixing request classes is rejected whole
+// with 400 (one flush, one class).
+func TestWorkerHTTPValuesOnlyBatch(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	rng := rand.New(rand.NewSource(31))
+
+	jobs := make([]SolveRequest, 5)
+	for i := range jobs {
+		r := randomRequest(rng, 40+20*i)
+		r.ValuesOnly = true
+		jobs[i] = *r
+	}
+	resp := postBatch(t, w.ts.URL, mustJSON(t, &BatchRequest{Jobs: jobs}))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("values_only batch: status %d, want 200", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(br.Results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(br.Results), len(jobs))
+	}
+	for i := range br.Results {
+		checkSpectrum(t, &jobs[i], &br.Results[i])
+		if len(br.Results[i].Vectors) != 0 {
+			t.Errorf("member %d: values_only batch member carries vectors", i)
+		}
+		if br.Results[i].Disposition != "completed" {
+			t.Errorf("member %d: disposition %q", i, br.Results[i].Disposition)
+		}
+	}
+
+	// One full-solve member in a values_only window: the whole batch is a
+	// client error — a flush has exactly one request class.
+	mixed := append(append([]SolveRequest(nil), jobs...), *randomRequest(rng, 30))
+	resp2 := postBatch(t, w.ts.URL, mustJSON(t, &BatchRequest{Jobs: mixed}))
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed-class batch: status %d, want 400", resp2.StatusCode)
+	}
+
+	// A conflicted member (values_only+vectors) also rejects the batch.
+	conflicted := append([]SolveRequest(nil), jobs...)
+	conflicted[2].Vectors = true
+	resp3 := postBatch(t, w.ts.URL, mustJSON(t, &BatchRequest{Jobs: conflicted}))
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicted batch member: status %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestCoordinatorValuesOnly: the coordinator forwards the request class to
+// workers, rejects contradictory classes as ErrBadInput before routing, and
+// its degraded-local tier honors values_only when every worker is gone.
+func TestCoordinatorValuesOnly(t *testing.T) {
+	w := newTestWorker(workerServerConfig())
+	defer w.close()
+	c := newCoord(t, testCoordConfig([]string{w.ts.URL}, nil))
+	defer c.Shutdown(context.Background())
+	rng := rand.New(rand.NewSource(41))
+
+	req := randomRequest(rng, 180)
+	req.ValuesOnly = true
+	resp := mustClusterSolve(t, c, req)
+	if len(resp.Vectors) != 0 {
+		t.Errorf("values_only cluster response carries vectors")
+	}
+
+	bad := randomRequest(rng, 20)
+	bad.ValuesOnly = true
+	bad.Vectors = true
+	if _, err := c.Solve(context.Background(), bad); !errors.Is(err, eigen.ErrBadInput) {
+		t.Fatalf("values_only+vectors through coordinator: err=%v, want ErrBadInput", err)
+	}
+
+	// Mixed-class batches die at the coordinator, before any worker attempt.
+	mixedJobs := []SolveRequest{*req, *randomRequest(rng, 30)}
+	if _, err := c.SolveBatch(context.Background(), &BatchRequest{Jobs: mixedJobs}); !errors.Is(err, eigen.ErrBadInput) {
+		t.Fatalf("mixed-class batch through coordinator: err=%v, want ErrBadInput", err)
+	}
+
+	// Partition the only worker away: the degraded-local tier must still
+	// serve the values_only class, vectors-free.
+	w.gate.down.Store(true)
+	req2 := randomRequest(rng, 160)
+	req2.ValuesOnly = true
+	resp2, err := c.Solve(context.Background(), req2)
+	if err != nil {
+		t.Fatalf("degraded-local values_only solve: %v", err)
+	}
+	checkSpectrum(t, req2, resp2)
+	if len(resp2.Vectors) != 0 {
+		t.Errorf("degraded-local values_only response carries vectors")
+	}
+	if resp2.Worker != "local" {
+		t.Errorf("worker %q, want local (the only worker is partitioned)", resp2.Worker)
+	}
+}

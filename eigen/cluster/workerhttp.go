@@ -89,7 +89,7 @@ func workerSolveHandler(s *eigen.Server, cfg HTTPConfig) http.HandlerFunc {
 			defer cancel()
 		}
 		method, _ := ParseMethod(req.Method) // validated by decodeSolveRequest
-		sr, err := s.Solve(ctx, req.Tri(), &eigen.Options{Method: method, Workers: req.Workers})
+		sr, err := s.Solve(ctx, req.Tri(), &eigen.Options{Method: method, Workers: req.Workers, ValuesOnly: req.ValuesOnly})
 		resp := SolveResponse{
 			N:           req.Tri().N(),
 			Disposition: sr.Disposition.String(),
@@ -148,7 +148,7 @@ func serveBatch(ctx context.Context, srv *eigen.Server, jobs []SolveRequest) ([]
 				defer cancel()
 			}
 			method, _ := ParseMethod(job.Method) // validated by decodeBatchRequest
-			sr, err := srv.Solve(jctx, job.Tri(), &eigen.Options{Method: method, Workers: job.Workers})
+			sr, err := srv.Solve(jctx, job.Tri(), &eigen.Options{Method: method, Workers: job.Workers, ValuesOnly: job.ValuesOnly})
 			resp := SolveResponse{
 				N:           job.Tri().N(),
 				Disposition: sr.Disposition.String(),
@@ -225,6 +225,17 @@ func decodeBatchRequest(w http.ResponseWriter, r *http.Request, cfg HTTPConfig) 
 			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
 			return nil, false
 		}
+		if err := req.Jobs[i].ValidateClass(); err != nil {
+			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
+			return nil, false
+		}
+		if req.Jobs[i].ValuesOnly != req.Jobs[0].ValuesOnly {
+			// A batch flushes as ONE SolveBatch with one request class; mixed
+			// windows would force the coalescer to split what the client
+			// asked to run as a unit.
+			http.Error(w, fmt.Sprintf("job %d: batch mixes values_only and full solves", i), http.StatusBadRequest)
+			return nil, false
+		}
 	}
 	return &req, true
 }
@@ -255,6 +266,10 @@ func decodeSolveRequest(w http.ResponseWriter, r *http.Request, cfg HTTPConfig) 
 		return nil, false
 	}
 	if err := req.Tri().Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if err := req.ValidateClass(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return nil, false
 	}

@@ -116,6 +116,17 @@ type Options struct {
 	MinPartition int
 	// ExtraWorkspace enables the paper's extra-workspace task overlap.
 	ExtraWorkspace bool
+	// ValuesOnly computes eigenvalues without eigenvectors through the
+	// values-only fast lane: the task-flow D&C propagates each merge's
+	// rank-one z-vector from O(n) per-node carrier rows instead of the n×n
+	// eigenvector matrix, so no eigenvector tasks run and the workspace is
+	// O(n·depth) instead of O(n²). Result.Vectors is nil. MethodDC uses the
+	// task-flow lane with Dsterf as the fallback tier; every other method
+	// serves values-only requests with Dsterf directly (the root-free QR
+	// iteration is itself the classical values-only algorithm). Degraded
+	// tiers are validated by Sturm-count spectrum checks instead of the
+	// Residual/Orthogonality metrics (which need vectors).
+	ValuesOnly bool
 	// Fallback enables tier-by-tier degradation: if the selected solver
 	// fails (or its result does not pass the Residual/Orthogonality
 	// validation), the solve is retried on the next, more conservative
@@ -202,9 +213,27 @@ const (
 )
 
 // tiersFor returns the execution tiers tried for a method, most capable
-// first. Without Fallback only the first tier runs.
-func tiersFor(m Method, fallback bool) []string {
+// first. Without Fallback only the first tier runs. Values-only solves have
+// their own ladder: the task-flow values-only lane for MethodDC with Dsterf
+// as the degraded tier, and Dsterf alone for every other method (root-free
+// QR iteration is the classical eigenvalue-only algorithm, so there is no
+// cheaper tier to fall to).
+func tiersFor(m Method, fallback, valuesOnly bool) []string {
 	var tiers []string
+	if valuesOnly {
+		switch m {
+		case MethodDC:
+			tiers = []string{"task-flow", "dsterf"}
+		case MethodDCSequential, MethodMRRR, MethodQR:
+			tiers = []string{"dsterf"}
+		default:
+			return nil
+		}
+		if !fallback {
+			return tiers[:1]
+		}
+		return tiers
+	}
 	switch m {
 	case MethodDC:
 		tiers = []string{"task-flow", "dstedc", "qr"}
@@ -249,13 +278,18 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tiers := tiersFor(o.Method, o.Fallback)
+	tiers := tiersFor(o.Method, o.Fallback, o.ValuesOnly)
 	if tiers == nil {
 		return nil, fmt.Errorf("eigen: unknown method %v", o.Method)
 	}
 	res := &Result{
-		N: n, Values: make([]float64, n), Vectors: make([]float64, n*n),
+		N: n, Values: make([]float64, n),
 		Stats: &SolveStats{Method: o.Method, Tier: tiers[0]},
+	}
+	if !o.ValuesOnly {
+		// The values-only lane never touches an n×n block; the allocation
+		// alone would defeat its O(n·depth) workspace bound.
+		res.Vectors = make([]float64, n*n)
 	}
 	if n == 0 {
 		return res, nil
@@ -281,7 +315,7 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 		// the outputs, and the leaf solvers require a zeroed q.
 		copy(res.Values, d)
 		copy(ework, e)
-		if ti > 0 {
+		if ti > 0 && res.Vectors != nil {
 			for i := range res.Vectors {
 				res.Vectors[i] = 0
 			}
@@ -301,15 +335,26 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 		if ti > 0 {
 			// A degraded tier served the result: verify it before trusting
 			// it (the clean first-choice path skips this, so resilience
-			// does not tax the hot path).
-			rres := Residual(Tridiagonal{D: d, E: e}, res)
-			orth := Orthogonality(res)
+			// does not tax the hot path). With vectors the check is the
+			// Residual/Orthogonality pair; values-only results are checked
+			// against sampled Sturm counts of the original matrix instead
+			// (Residual and Orthogonality stay 0 — they need vectors).
 			res.Stats.Validated = true
-			res.Stats.Residual, res.Stats.Orthogonality = rres, orth
-			if rres > maxResidual || orth > maxOrthogonality {
-				lastErr = fmt.Errorf("validation failed: residual=%.3e orthogonality=%.3e", rres, orth)
-				res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, lastErr))
-				continue
+			if o.ValuesOnly {
+				if verr := validateSpectrum(Tridiagonal{D: d, E: e}, res.Values); verr != nil {
+					lastErr = fmt.Errorf("validation failed: %w", verr)
+					res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, lastErr))
+					continue
+				}
+			} else {
+				rres := Residual(Tridiagonal{D: d, E: e}, res)
+				orth := Orthogonality(res)
+				res.Stats.Residual, res.Stats.Orthogonality = rres, orth
+				if rres > maxResidual || orth > maxOrthogonality {
+					lastErr = fmt.Errorf("validation failed: residual=%.3e orthogonality=%.3e", rres, orth)
+					res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, lastErr))
+					continue
+				}
 			}
 		}
 		res.Stats.Tier = tier
@@ -352,11 +397,16 @@ func preScale(t Tridiagonal) (d, e []float64, scale float64) {
 func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, eorig []float64) (int64, error) {
 	switch tier {
 	case "task-flow":
-		cres, err := core.SolveDCContext(ctx, n, d, ework, q, n, &core.Options{
+		ldq := n
+		if o.ValuesOnly {
+			ldq = 0 // q is nil: the lane carries O(n) rows, not the matrix
+		}
+		cres, err := core.SolveDCContext(ctx, n, d, ework, q, ldq, &core.Options{
 			Workers:        o.Workers,
 			PanelSize:      o.PanelSize,
 			MinPartition:   o.MinPartition,
 			ExtraWorkspace: o.ExtraWorkspace,
+			ValuesOnly:     o.ValuesOnly,
 			Progress:       o.Progress,
 		})
 		var nfb int64
@@ -386,29 +436,23 @@ func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, e
 			nfb = 1
 		}
 		return nfb, err
+	case "dsterf":
+		return 0, lapack.Dsterf(n, d, ework)
 	}
 	return 0, fmt.Errorf("unknown tier %q", tier)
 }
 
-// Values computes the eigenvalues only (ascending), using the root-free QR
-// iteration — the cheapest route when no eigenvectors are needed.
+// Values computes the eigenvalues only (ascending) through the values-only
+// fast lane: the task-flow D&C with O(n·depth) workspace and no eigenvector
+// tasks, falling back to the root-free QR iteration (Dsterf) if the lane
+// fails. Equivalent to SolveContext with Options{ValuesOnly: true,
+// Fallback: true} and returns just the spectrum.
 func Values(t Tridiagonal) ([]float64, error) {
-	if err := t.validate(); err != nil {
+	res, err := Solve(t, &Options{ValuesOnly: true, Fallback: true})
+	if err != nil {
 		return nil, err
 	}
-	n := t.N()
-	wrap := func(err error) error {
-		return fmt.Errorf("eigen: Values(n=%d): %w", n, err)
-	}
-	if err := t.screen(); err != nil {
-		return nil, wrap(err)
-	}
-	d := append([]float64(nil), t.D...)
-	e := append([]float64(nil), t.E...)
-	if err := lapack.Dsterf(n, d, e); err != nil {
-		return nil, wrap(err)
-	}
-	return d, nil
+	return res.Values, nil
 }
 
 // SymEigen computes the full eigendecomposition of a dense symmetric matrix

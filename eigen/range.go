@@ -32,8 +32,10 @@ func SolveRange(t Tridiagonal, il, iu int, opts *Options) (*Result, error) {
 }
 
 // ValuesRange computes eigenvalues il..iu (0-based, inclusive, ascending)
-// only, by Sturm-count bisection — the cheapest route when a few eigenvalues
-// of a large matrix are needed without vectors.
+// only. Narrow ranges use Sturm-count bisection; wide ranges (a quarter of
+// the spectrum or more) route through the values-only D&C fast lane, which
+// computes the whole spectrum in parallel with O(n·depth) workspace —
+// neither path ever allocates an n×n eigenvector block.
 func ValuesRange(t Tridiagonal, il, iu int) ([]float64, error) {
 	if err := t.validate(); err != nil {
 		return nil, err
@@ -41,6 +43,16 @@ func ValuesRange(t Tridiagonal, il, iu int) ([]float64, error) {
 	n := t.N()
 	if il < 0 || iu >= n || il > iu {
 		return nil, fmt.Errorf("eigen: bad index range [%d, %d] for n=%d", il, iu, n)
+	}
+	if m := iu - il + 1; 4*m >= n {
+		// The bisection below resolves every eigenvalue of every unreduced
+		// block before selecting, so once a sizable fraction of the spectrum
+		// is requested the multicore values-only lane is strictly faster.
+		res, err := Solve(t, &Options{ValuesOnly: true, Fallback: true})
+		if err != nil {
+			return nil, err
+		}
+		return append([]float64(nil), res.Values[il:iu+1]...), nil
 	}
 	return mrrr.ValuesRange(n, t.D, t.E, il, iu)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -47,7 +48,8 @@ type Server struct {
 	running      int   // holding a worker slot
 	reserved     int64 // admitted-but-unfinished workspace reservations
 	peakReserved int64
-	avgNanos     float64 // EWMA of completed-job service time
+	avgNanos     float64 // EWMA of completed full-solve service time
+	avgNanosVO   float64 // EWMA of completed values-only service time
 	jobs         map[uint64]*serverJob
 	idleTimer    *time.Timer // pending idle pool trim, nil when disarmed
 	idleGen      uint64      // invalidates stale idle-trim timer firings
@@ -63,7 +65,11 @@ type Server struct {
 	stalls   atomic.Int64
 	admitted atomic.Int64
 
-	b              batcher // request-coalescing window (enabled by BatchWindow > 0)
+	b   batcher // full-solve request-coalescing window (enabled by BatchWindow > 0)
+	bVO batcher // values-only coalescing window: the two classes never mix in a batch
+
+	voAdmitted     atomic.Int64 // values_only jobs past admission
+	voCompleted    atomic.Int64 // values_only jobs served (completed/retried/degraded)
 	batchesFlushed atomic.Int64
 	coalesced      atomic.Int64
 	batchServed    atomic.Int64
@@ -317,6 +323,17 @@ type ServerStats struct {
 	// BatchTaskNanos totals the task-kernel time executed inside coalesced
 	// batches (the per-batch task-time totals, summed over batches).
 	BatchTaskNanos int64
+	// ValuesOnlyAdmitted and ValuesOnlyCompleted are the values_only request
+	// class's share of Admitted and of the served dispositions
+	// (completed + retried + degraded). The class has its own admission
+	// estimate (EstimateValuesOnlySolveBytes), coalescing window and
+	// service-time EWMA, so these counters are what capacity planning needs
+	// to see the two classes separately.
+	ValuesOnlyAdmitted, ValuesOnlyCompleted int64
+	// AvgServiceNanos and ValuesOnlyAvgServiceNanos are the per-class
+	// service-time EWMAs feeding the deadline-aware admission check
+	// (0 until a job of that class completes).
+	AvgServiceNanos, ValuesOnlyAvgServiceNanos int64
 	// BatchWindow is the coalescer's current adaptive flush window
 	// (0 when coalescing is disabled).
 	BatchWindow time.Duration
@@ -362,7 +379,18 @@ func NewServer(cfg ServerConfig) *Server {
 		},
 	}
 	s.b.window.Store(int64(cfg.BatchWindow))
+	s.bVO.window.Store(int64(cfg.BatchWindow))
 	return s
+}
+
+// batcherFor returns the coalescing window of a request class. Values-only
+// and full solves never share a batch: one SolveBatch runs with one Options,
+// and the two classes differ in workspace shape, runtime and result payload.
+func (s *Server) batcherFor(valuesOnly bool) *batcher {
+	if valuesOnly {
+		return &s.bVO
+	}
+	return &s.b
 }
 
 // batchReq is one job waiting in (or flushed from) the coalescing window.
@@ -478,6 +506,85 @@ func EstimateBatchSolveBytes(ns []int, workers int) int64 {
 	return total
 }
 
+// voLeafCutoff is the default D&C leaf size (core.Options.MinPartition's
+// default): values-only leaves solve on a pooled m×m scratch with m bounded
+// by it, the only super-linear term of the lane's footprint.
+const voLeafCutoff = 48
+
+// estimateValuesOnlyJobBytes is the per-job part of the values-only
+// admission estimate, without the shared per-worker scratch: the 2×n carrier
+// rows plus O(n) merge slices (g2, weights, secular roots, gathered carrier
+// rows, sort scratch) on each of the ~log₂(n/leaf) concurrently-live tree
+// levels.
+func estimateValuesOnlyJobBytes(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	depth := bits.Len(uint((n + voLeafCutoff - 1) / voLeafCutoff))
+	return poolClassBytes(int64(2*n)) + int64(depth+1)*poolClassBytes(int64(8*n)+1)
+}
+
+// EstimateValuesOnlySolveBytes is the admission-control estimate for one
+// values-only task-flow solve of order n: O(n·depth) merge state plus
+// per-worker leaf and secular scratch, instead of the full solve's O(n²)
+// eigenvector workspace. It is monotone in n and never exceeds
+// EstimateSolveBytes, so a values_only job always reserves no more than the
+// same job with vectors — the property that lets one memory budget admit far
+// more values-only concurrency.
+func EstimateValuesOnlySolveBytes(n, workers int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	leaf := int64(voLeafCutoff * voLeafCutoff)
+	if nn := int64(n) * int64(n); nn < leaf {
+		leaf = nn
+	}
+	est := estimateValuesOnlyJobBytes(n) +
+		int64(workers+1)*(poolClassBytes(leaf)+poolClassBytes(int64(4*n)+1))
+	if full := EstimateSolveBytes(n, workers); est > full {
+		return full
+	}
+	return est
+}
+
+// EstimateBatchValuesOnlySolveBytes is the batch-aware analogue for a
+// coalesced values-only window: per-job carrier and merge slices summed over
+// the members, one set of shared per-worker scratch sized by the largest
+// member. Exact for a single member (it equals EstimateValuesOnlySolveBytes)
+// and monotone in the member set, so marginal (telescoped) reservations are
+// safe.
+func EstimateBatchValuesOnlySolveBytes(ns []int, workers int) int64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var total int64
+	maxN := 0
+	for _, n := range ns {
+		if n <= 0 {
+			continue
+		}
+		total += estimateValuesOnlyJobBytes(n)
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		return 0
+	}
+	leaf := int64(voLeafCutoff * voLeafCutoff)
+	if nn := int64(maxN) * int64(maxN); nn < leaf {
+		leaf = nn
+	}
+	total += int64(workers+1) * (poolClassBytes(leaf) + poolClassBytes(int64(4*maxN)+1))
+	if full := EstimateBatchSolveBytes(ns, workers); total > full {
+		return full
+	}
+	return total
+}
+
 // Solve runs one job through the service: admission, queueing, the
 // watchdog-guarded attempt/retry loop, and disposition accounting. It blocks
 // until the job is served, rejected, or cancelled. The returned ServeResult
@@ -498,13 +605,19 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	}
 	eligible := s.batchEligible(n, &o)
 	var est int64
-	if eligible {
+	switch {
+	case eligible:
 		// A coalesced job shares the batch's workspace: reserve only its
 		// marginal contribution to the batch-aware estimate, not a full
 		// per-job footprint (which would starve admission ~Nx under floods
 		// of small solves).
-		est = s.batchMarginalEstimate(n, workers)
-	} else {
+		est = s.batchMarginalEstimate(n, workers, o.ValuesOnly)
+	case o.ValuesOnly:
+		// The values-only lane never materializes the n×n eigenvector
+		// block: charge its O(n·depth) footprint so one memory budget
+		// admits far more values-only concurrency.
+		est = EstimateValuesOnlySolveBytes(n, workers)
+	default:
 		est = EstimateSolveBytes(n, workers)
 	}
 
@@ -529,7 +642,7 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 			ErrOverloaded, n, est, have)
 	}
 	if dl, ok := ctx.Deadline(); ok {
-		if wait := s.expectedLatencyLocked(); wait > 0 && time.Until(dl) < wait {
+		if wait := s.expectedLatencyLocked(o.ValuesOnly); wait > 0 && time.Until(dl) < wait {
 			s.mu.Unlock()
 			s.counts[DispositionRejected].Add(1)
 			return sr, fmt.Errorf("%w: deadline %v away, expected service latency %v",
@@ -552,6 +665,9 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	s.jobs[job.id] = job
 	s.mu.Unlock()
 	s.admitted.Add(1)
+	if o.ValuesOnly {
+		s.voAdmitted.Add(1)
+	}
 
 	start := time.Now()
 	ran := false
@@ -560,16 +676,26 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 		s.reserved -= est
 		delete(s.jobs, job.id)
 		if ran {
-			// EWMA of service time feeds the deadline-aware admission check.
+			// Per-class EWMA of service time feeds the deadline-aware
+			// admission check (values-only jobs are far faster; mixing the
+			// classes would reject short-deadline values_only requests on
+			// full-solve history).
 			d := float64(time.Since(start))
-			if s.avgNanos == 0 {
-				s.avgNanos = d
+			avg := &s.avgNanos
+			if o.ValuesOnly {
+				avg = &s.avgNanosVO
+			}
+			if *avg == 0 {
+				*avg = d
 			} else {
-				s.avgNanos = 0.8*s.avgNanos + 0.2*d
+				*avg = 0.8**avg + 0.2*d
 			}
 		}
 		s.mu.Unlock()
 		s.counts[sr.Disposition].Add(1)
+		if o.ValuesOnly && sr.Disposition <= DispositionDegraded {
+			s.voCompleted.Add(1)
+		}
 		job.disposition = sr.Disposition
 		close(job.done)
 	}()
@@ -580,7 +706,7 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	// counted against their retry budget).
 	var lastErr error
 	if eligible {
-		out, oerr := s.awaitBatched(ctx, t, est, sr)
+		out, oerr := s.awaitBatched(ctx, t, est, sr, o.ValuesOnly)
 		switch out {
 		case batchServed:
 			ran = true
@@ -772,28 +898,34 @@ const (
 // batchEligible reports whether a job may be served through the coalescing
 // window: small MethodDC solves with default tuning. A batch runs with one
 // shared adaptive configuration, so jobs pinning their own panel size, leaf
-// cutoff, workspace mode or worker count are served directly.
+// cutoff, workspace mode or worker count are served directly. Values-only
+// jobs are eligible too — they coalesce in their own window (batcherFor), so
+// a flushed batch is always single-class.
 func (s *Server) batchEligible(n int, o *Options) bool {
 	return s.cfg.BatchWindow > 0 && o.Method == MethodDC &&
 		n > 0 && n <= s.cfg.BatchMaxN &&
 		o.PanelSize <= 0 && o.MinPartition <= 0 && !o.ExtraWorkspace && o.Workers <= 0
 }
 
-// batchMarginalEstimate is the admission reservation for a job joining the
-// coalescing window: the increase of the batch-aware workspace estimate over
-// the currently-pending window. EstimateBatchSolveBytes is monotone in its
-// member set, so the marginal is always positive, and the telescoped sum of
-// the members' reservations equals the batch estimate instead of N full
-// per-job estimates.
-func (s *Server) batchMarginalEstimate(n, workers int) int64 {
-	s.b.mu.Lock()
-	ns := make([]int, len(s.b.pending), len(s.b.pending)+1)
-	for i, r := range s.b.pending {
+// batchMarginalEstimate is the admission reservation for a job joining its
+// class's coalescing window: the increase of the class's batch-aware
+// workspace estimate over the currently-pending window. Both batch estimates
+// are monotone in their member set, so the marginal is always positive, and
+// the telescoped sum of the members' reservations equals the batch estimate
+// instead of N full per-job estimates.
+func (s *Server) batchMarginalEstimate(n, workers int, valuesOnly bool) int64 {
+	b := s.batcherFor(valuesOnly)
+	b.mu.Lock()
+	ns := make([]int, len(b.pending), len(b.pending)+1)
+	for i, r := range b.pending {
 		ns[i] = r.t.N()
 	}
-	s.b.mu.Unlock()
-	base := EstimateBatchSolveBytes(ns, workers)
-	return EstimateBatchSolveBytes(append(ns, n), workers) - base
+	b.mu.Unlock()
+	estimate := EstimateBatchSolveBytes
+	if valuesOnly {
+		estimate = EstimateBatchValuesOnlySolveBytes
+	}
+	return estimate(append(ns, n), workers) - estimate(ns, workers)
 }
 
 // awaitBatched enqueues an admitted job into the coalescing window, flushes
@@ -801,9 +933,9 @@ func (s *Server) batchMarginalEstimate(n, workers int) int64 {
 // member's outcome. The job keeps its queue slot throughout; it is released
 // here for outcomes that end the job (served, cancelled) and kept for
 // batchFailed, whose caller proceeds to the solo slot wait.
-func (s *Server) awaitBatched(ctx context.Context, t Tridiagonal, est int64, sr *ServeResult) (batchOutcome, error) {
+func (s *Server) awaitBatched(ctx context.Context, t Tridiagonal, est int64, sr *ServeResult, valuesOnly bool) (batchOutcome, error) {
 	req := &batchReq{t: t, done: make(chan struct{})}
-	b := &s.b
+	b := s.batcherFor(valuesOnly)
 	b.mu.Lock()
 	b.pending = append(b.pending, req)
 	b.bytes += est
@@ -818,12 +950,12 @@ func (s *Server) awaitBatched(ctx context.Context, t Tridiagonal, est int64, sr 
 		b.gen++
 		gen := b.gen
 		w := time.Duration(b.window.Load())
-		b.timer = time.AfterFunc(w, func() { s.timerFlush(gen) })
+		b.timer = time.AfterFunc(w, func() { s.timerFlush(gen, valuesOnly) })
 	}
 	b.mu.Unlock()
 	s.coalesced.Add(1)
 	if flush != nil {
-		go s.runBatch(flush, reason)
+		go s.runBatch(flush, reason, valuesOnly)
 	}
 
 	select {
@@ -869,8 +1001,8 @@ func (s *Server) unqueue() {
 // timerFlush fires from the window timer: if no size/bytes flush got there
 // first (the generation still matches), the pending window runs as a batch
 // on this (timer) goroutine.
-func (s *Server) timerFlush(gen uint64) {
-	b := &s.b
+func (s *Server) timerFlush(gen uint64, valuesOnly bool) {
+	b := s.batcherFor(valuesOnly)
 	b.mu.Lock()
 	if gen != b.gen || len(b.pending) == 0 {
 		b.mu.Unlock()
@@ -878,13 +1010,13 @@ func (s *Server) timerFlush(gen uint64) {
 	}
 	flush := b.takeLocked()
 	b.mu.Unlock()
-	s.runBatch(flush, "timer")
+	s.runBatch(flush, "timer", valuesOnly)
 }
 
 // runBatch executes one flushed window as a single SolveBatch on ONE worker
 // slot (the members keep their queue slots while it runs) and delivers each
 // member's result or error.
-func (s *Server) runBatch(reqs []*batchReq, reason string) {
+func (s *Server) runBatch(reqs []*batchReq, reason string, valuesOnly bool) {
 	s.batchesFlushed.Add(1)
 	switch reason {
 	case "timer":
@@ -895,7 +1027,7 @@ func (s *Server) runBatch(reqs []*batchReq, reason string) {
 		s.flushBytes.Add(1)
 	}
 	s.batchHist[batchHistBucket(len(reqs))].Add(1)
-	s.adaptWindow(reason, len(reqs))
+	s.adaptWindow(reason, len(reqs), valuesOnly)
 
 	deliverAll := func(err error) {
 		for _, r := range reqs {
@@ -920,7 +1052,7 @@ func (s *Server) runBatch(reqs []*batchReq, reason string) {
 		s.afterJob()
 	}()
 
-	results, err := s.attemptBatch(reqs)
+	results, err := s.attemptBatch(reqs, valuesOnly)
 	if results == nil {
 		// Batch-level abort: a watchdog stall or the drain — every member
 		// gets the same classified error and decides its own next step
@@ -962,7 +1094,7 @@ func (s *Server) runBatch(reqs []*batchReq, reason string) {
 // whole batch and rewrites the outcome to *StallError. The batch is bounded
 // by the drain, not by any single member's context — each member enforces
 // its own deadline while waiting.
-func (s *Server) attemptBatch(reqs []*batchReq) ([]*Result, error) {
+func (s *Server) attemptBatch(reqs []*batchReq, valuesOnly bool) ([]*Result, error) {
 	actx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	stopDrain := context.AfterFunc(s.drainCtx, cancel)
@@ -970,7 +1102,7 @@ func (s *Server) attemptBatch(reqs []*batchReq) ([]*Result, error) {
 
 	heartbeat, stop, stalled := s.startWatchdog(actx, cancel)
 	defer stop()
-	o := Options{Method: MethodDC, Progress: heartbeat}
+	o := Options{Method: MethodDC, ValuesOnly: valuesOnly, Progress: heartbeat}
 	tris := make([]Tridiagonal, len(reqs))
 	for i, r := range reqs {
 		tris[i] = r.t
@@ -988,19 +1120,20 @@ func (s *Server) attemptBatch(reqs []*batchReq) ([]*Result, error) {
 // stop paying coalescing latency for nothing; size- or bytes-capped flushes
 // mean the window over-fills — double it back toward the configured ceiling
 // so the timer, not the cap, paces the batches.
-func (s *Server) adaptWindow(reason string, size int) {
-	cur := s.b.window.Load()
+func (s *Server) adaptWindow(reason string, size int, valuesOnly bool) {
+	b := s.batcherFor(valuesOnly)
+	cur := b.window.Load()
 	ceil := int64(s.cfg.BatchWindow)
 	switch {
 	case reason == "timer" && size <= 1:
 		if nw := cur / 2; nw >= ceil/8 {
-			s.b.window.Store(nw)
+			b.window.Store(nw)
 		}
 	case reason == "size" || reason == "bytes":
 		if nw := cur * 2; nw <= ceil {
-			s.b.window.Store(nw)
+			b.window.Store(nw)
 		} else if cur < ceil {
-			s.b.window.Store(ceil)
+			b.window.Store(ceil)
 		}
 	}
 }
@@ -1058,14 +1191,20 @@ func (s *Server) backoff(ctx context.Context, attempt int) bool {
 	}
 }
 
-// expectedLatencyLocked estimates a new job's time-to-completion from the
-// service-time EWMA and the current occupancy; 0 when there is no history.
-func (s *Server) expectedLatencyLocked() time.Duration {
-	if s.avgNanos == 0 {
+// expectedLatencyLocked estimates a new job's time-to-completion from its
+// class's service-time EWMA and the current occupancy; 0 when there is no
+// history. A values-only job with no class history falls back to the full
+// EWMA — conservative, since the lane is strictly cheaper.
+func (s *Server) expectedLatencyLocked(valuesOnly bool) time.Duration {
+	avg := s.avgNanos
+	if valuesOnly && s.avgNanosVO != 0 {
+		avg = s.avgNanosVO
+	}
+	if avg == 0 {
 		return 0
 	}
 	waves := 1 + (s.queued+s.running)/s.cfg.MaxConcurrent
-	return time.Duration(s.avgNanos * float64(waves))
+	return time.Duration(avg * float64(waves))
 }
 
 // fallbackMethod maps a job's method to its degradation route: the most
@@ -1168,6 +1307,8 @@ func (s *Server) Stats() ServerStats {
 	st.BatchServedJobs = s.batchServed.Load()
 	st.DirectJobs = s.direct.Load()
 	st.BatchTaskNanos = s.batchTaskNanos.Load()
+	st.ValuesOnlyAdmitted = s.voAdmitted.Load()
+	st.ValuesOnlyCompleted = s.voCompleted.Load()
 	if s.cfg.BatchWindow > 0 {
 		st.BatchWindow = time.Duration(s.b.window.Load())
 		st.BatchSizeHist = make([]int64, batchHistBuckets)
@@ -1178,6 +1319,8 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	st.Queued, st.Running = s.queued, s.running
 	st.ReservedBytes, st.PeakReservedBytes = s.reserved, s.peakReserved
+	st.AvgServiceNanos = int64(s.avgNanos)
+	st.ValuesOnlyAvgServiceNanos = int64(s.avgNanosVO)
 	s.mu.Unlock()
 	return st
 }

@@ -1,0 +1,106 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+
+	"tridiag/internal/lapack"
+)
+
+// This file holds the values-only validation path. A degraded tier serving a
+// full eigendecomposition is checked with the Residual/Orthogonality pair;
+// a values-only result has no vectors to form a residual with, so the
+// spectrum is verified directly against the matrix via Sturm sequence
+// counts: for the i-th computed eigenvalue λᵢ (ascending), the LDLᵀ inertia
+// count at λᵢ+tol must include at least i+1 eigenvalues and the count at
+// λᵢ−tol at most i. The check is independent of every eigenvalue algorithm
+// in the library (it only evaluates the shifted factorization), so a broken
+// solver cannot validate itself.
+
+// sturmCountBelow returns the number of eigenvalues of the symmetric
+// tridiagonal matrix (d, e) that are strictly below x, by counting negative
+// pivots of the LDLᵀ recurrence t_i = (d_i − x) − e_{i−1}²/t_{i−1}. pivmin
+// is the smallest admissible |pivot|; a tiny pivot is replaced by −pivmin
+// (the LAPACK dlaneg safeguard) so the recurrence never divides by zero.
+func sturmCountBelow(d, e []float64, x, pivmin float64) int {
+	count := 0
+	t := d[0] - x
+	if math.Abs(t) < pivmin {
+		t = -pivmin
+	}
+	if t < 0 {
+		count++
+	}
+	for i := 1; i < len(d); i++ {
+		t = (d[i] - x) - e[i-1]*e[i-1]/t
+		if math.Abs(t) < pivmin {
+			t = -pivmin
+		}
+		if t < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// spectrumSamples is how many eigenvalue indices validateSpectrum probes.
+// Each probe is two O(n) Sturm counts, so the whole check is O(n·samples) —
+// negligible next to any solve — while still bracketing the spectrum's ends
+// and a spread of interior eigenvalues.
+const spectrumSamples = 32
+
+// validateSpectrum checks a computed ascending spectrum w against the matrix
+// t by Sturm counts at sampled indices (always including the first and last
+// eigenvalue). The tolerance is the values-only analogue of the maxResidual
+// bar: maxResidual · n · ‖T‖.
+func validateSpectrum(t Tridiagonal, w []float64) error {
+	n := t.N()
+	if n == 0 {
+		return nil
+	}
+	if len(w) != n {
+		return fmt.Errorf("spectrum has %d values, want %d", len(w), n)
+	}
+	for i := 1; i < n; i++ {
+		if w[i] < w[i-1] {
+			return fmt.Errorf("eigenvalues not ascending at index %d", i)
+		}
+	}
+	nrm := lapack.Dlanst('M', n, t.D, t.E)
+	if nrm == 0 {
+		// The zero matrix: every eigenvalue must be exactly zero.
+		for i, v := range w {
+			if v != 0 {
+				return fmt.Errorf("eigenvalue %d of the zero matrix is %g", i, v)
+			}
+		}
+		return nil
+	}
+	tol := maxResidual * float64(n) * nrm
+	var maxE2 float64
+	for _, v := range t.E {
+		maxE2 = math.Max(maxE2, v*v)
+	}
+	pivmin := math.Max(lapack.SafeMin, lapack.SafeMin*maxE2)
+
+	samples := spectrumSamples
+	if samples > n {
+		samples = n
+	}
+	for s := 0; s < samples; s++ {
+		// Even spread over [0, n-1], endpoints always included.
+		i := 0
+		if samples > 1 {
+			i = s * (n - 1) / (samples - 1)
+		}
+		// At least i+1 eigenvalues at or below λᵢ+tol…
+		if got := sturmCountBelow(t.D, t.E, w[i]+tol, pivmin); got < i+1 {
+			return fmt.Errorf("eigenvalue %d = %.6g: only %d eigenvalues below λ+tol, want ≥ %d", i, w[i], got, i+1)
+		}
+		// …and at most i strictly below λᵢ−tol.
+		if got := sturmCountBelow(t.D, t.E, w[i]-tol, pivmin); got > i {
+			return fmt.Errorf("eigenvalue %d = %.6g: %d eigenvalues below λ−tol, want ≤ %d", i, w[i], got, i)
+		}
+	}
+	return nil
+}

@@ -30,12 +30,15 @@ type BatchPoint struct {
 	MaxOrthogonality   float64 `json:"max_orthogonality"`
 }
 
-// BatchRecord is the machine-readable output of `dcbench batch`.
+// BatchRecord is the machine-readable output of `dcbench batch`. With
+// ValuesOnly set, every path ran the eigenvalue-only lane and the accuracy
+// columns are zero (no eigenvectors exist to form residuals against).
 type BatchRecord struct {
-	Workers   int          `json:"workers"`
-	BatchSize int          `json:"batch_size"`
-	Reps      int          `json:"reps"`
-	Points    []BatchPoint `json:"points"`
+	Workers    int          `json:"workers"`
+	BatchSize  int          `json:"batch_size"`
+	Reps       int          `json:"reps"`
+	ValuesOnly bool         `json:"values_only,omitempty"`
+	Points     []BatchPoint `json:"points"`
 }
 
 // Batch measures the batched small-solve engine: many independent matrices
@@ -60,11 +63,15 @@ func Batch(cfg *Config) (*BatchRecord, error) {
 		workers = cfg.Workers[0]
 	}
 
-	rec := &BatchRecord{Workers: workers, BatchSize: batch, Reps: reps}
-	fmt.Fprintf(cfg.out(), "batched small-solve throughput: batch=%d workers=%d reps=%d (medians)\n", batch, workers, reps)
+	rec := &BatchRecord{Workers: workers, BatchSize: batch, Reps: reps, ValuesOnly: cfg.ValuesOnly}
+	lane := ""
+	if cfg.ValuesOnly {
+		lane = ", values-only lane"
+	}
+	fmt.Fprintf(cfg.out(), "batched small-solve throughput: batch=%d workers=%d reps=%d (medians)%s\n", batch, workers, reps, lane)
 	fmt.Fprintf(cfg.out(), "      n   seq solves/s   batch solves/s   server solves/s   batch-x  server-x   max resid  max orth\n")
 
-	opts := &eigen.Options{Workers: workers}
+	opts := &eigen.Options{Workers: workers, ValuesOnly: cfg.ValuesOnly}
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(cfg.seed() + int64(n)))
 		tris := make([]eigen.Tridiagonal, batch)
@@ -99,9 +106,11 @@ func Batch(cfg *Config) (*BatchRecord, error) {
 				return nil, fmt.Errorf("batch solve n=%d: %w", n, err)
 			}
 			batchT = append(batchT, time.Since(t0).Seconds())
-			for i, res := range results {
-				p.MaxResidual = math.Max(p.MaxResidual, eigen.Residual(tris[i], res))
-				p.MaxOrthogonality = math.Max(p.MaxOrthogonality, eigen.Orthogonality(res))
+			if !cfg.ValuesOnly {
+				for i, res := range results {
+					p.MaxResidual = math.Max(p.MaxResidual, eigen.Residual(tris[i], res))
+					p.MaxOrthogonality = math.Max(p.MaxOrthogonality, eigen.Orthogonality(res))
+				}
 			}
 
 			// (c) Coalescing server under a concurrent client flood.
@@ -119,7 +128,7 @@ func Batch(cfg *Config) (*BatchRecord, error) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					if _, err := srv.Solve(context.Background(), tris[i], nil); err != nil {
+					if _, err := srv.Solve(context.Background(), tris[i], &eigen.Options{ValuesOnly: cfg.ValuesOnly}); err != nil {
 						errCh <- fmt.Errorf("server solve n=%d: %w", n, err)
 					}
 				}(i)
@@ -149,8 +158,9 @@ func Batch(cfg *Config) (*BatchRecord, error) {
 	return rec, nil
 }
 
-// MergeJSON merges the record into path under the "batch" key, preserving
-// any other keys already in the file.
+// MergeJSON merges the record into path — under the "batch" key normally,
+// "batch_values_only" when the run measured the eigenvalue-only lane —
+// preserving any other keys already in the file.
 func (r *BatchRecord) MergeJSON(path string) error {
 	doc := map[string]any{}
 	if data, err := os.ReadFile(path); err == nil {
@@ -158,7 +168,11 @@ func (r *BatchRecord) MergeJSON(path string) error {
 			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
 		}
 	}
-	doc["batch"] = r
+	key := "batch"
+	if r.ValuesOnly {
+		key = "batch_values_only"
+	}
+	doc[key] = r
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"tridiag/internal/core"
+	"tridiag/internal/pool"
+)
+
+// ValuesOnlyPoint compares one (n, workers) cell of the eigenvalue-only fast
+// lane against the full task-flow solve: wall-time medians, their ratio, and
+// the peak pooled workspace each lane touched (sampled from pool.InUseBytes
+// at every executed task via the Progress heartbeat). The workspace ratio is
+// the headline number — the values-only lane replaces the O(n²) eigenvector
+// state with O(n·depth) carrier rows.
+type ValuesOnlyPoint struct {
+	N              int     `json:"n"`
+	Workers        int     `json:"workers"`
+	FullMedianMS   float64 `json:"full_median_ms"`
+	VOMedianMS     float64 `json:"values_only_median_ms"`
+	Speedup        float64 `json:"speedup"`
+	FullPeakPoolMB float64 `json:"full_peak_pool_mb"`
+	VOPeakPoolMB   float64 `json:"values_only_peak_pool_mb"`
+	WorkspaceRatio float64 `json:"workspace_ratio"`
+}
+
+// ValuesOnlyRecord is the machine-readable output of
+// `dcbench perf -values-only`.
+type ValuesOnlyRecord struct {
+	Reps   int               `json:"reps"`
+	Points []ValuesOnlyPoint `json:"points"`
+}
+
+// poolPeak tracks the high-water mark of pool.InUseBytes across a solve; the
+// Progress callback samples after every executed task, so the peak reflects
+// the pooled footprint the scheduler actually held, not just the admission
+// estimate.
+type poolPeak struct{ max atomic.Int64 }
+
+func (p *poolPeak) sample() {
+	v := pool.InUseBytes()
+	for {
+		cur := p.max.Load()
+		if v <= cur || p.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// timedSolve runs one task-flow solve and returns (wall ms, peak pooled MB).
+// valuesOnly selects the fast lane; q/ldq are ignored in that case.
+func timedSolve(n int, d0, e0, q []float64, w int, valuesOnly bool) (float64, float64, error) {
+	d := append([]float64(nil), d0...)
+	e := append([]float64(nil), e0...)
+	var peak poolPeak
+	opts := &core.Options{Workers: w, Progress: peak.sample}
+	ldq := n
+	if valuesOnly {
+		opts.ValuesOnly = true
+		q, ldq = nil, 0
+	}
+	t0 := time.Now()
+	_, err := core.SolveDC(n, d, e, q, ldq, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+	return ms, float64(peak.max.Load()) / (1 << 20), nil
+}
+
+// ValuesOnly measures the eigenvalue-only fast lane: for each matrix order
+// and worker count it solves the same random tridiagonal with the full
+// task-flow (eigenvectors accumulated into an n×n block) and with
+// Options.ValuesOnly (carrier rows only, no eigenvector tasks), reporting
+// median wall time and peak pooled workspace for both.
+func ValuesOnly(cfg *Config) (*ValuesOnlyRecord, error) {
+	sizes := cfg.sizes([]int{512, 2000, 4000})
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 4, 8}
+	}
+	reps := 3
+	if cfg.Quick {
+		reps = 1
+	}
+
+	rec := &ValuesOnlyRecord{Reps: reps}
+	fmt.Fprintf(cfg.out(), "values-only lane vs full task-flow solve, median of %d:\n", reps)
+	fmt.Fprintf(cfg.out(), "      n   W    full ms      vo ms   speedup   full pool MB   vo pool MB   ws ratio\n")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(cfg.seed() + int64(n)))
+		d0 := make([]float64, n)
+		e0 := make([]float64, n-1)
+		for i := range d0 {
+			d0[i] = rng.NormFloat64()
+		}
+		for i := range e0 {
+			e0[i] = rng.NormFloat64()
+		}
+		q := make([]float64, n*n)
+		for _, w := range workers {
+			var fullT, voT []float64
+			var fullPeak, voPeak float64
+			for r := 0; r < reps; r++ {
+				ms, mb, err := timedSolve(n, d0, e0, q, w, false)
+				if err != nil {
+					return nil, fmt.Errorf("values-only bench: full n=%d w=%d: %w", n, w, err)
+				}
+				fullT = append(fullT, ms)
+				fullPeak = max(fullPeak, mb)
+				ms, mb, err = timedSolve(n, d0, e0, nil, w, true)
+				if err != nil {
+					return nil, fmt.Errorf("values-only bench: vo n=%d w=%d: %w", n, w, err)
+				}
+				voT = append(voT, ms)
+				voPeak = max(voPeak, mb)
+			}
+			sort.Float64s(fullT)
+			sort.Float64s(voT)
+			pt := ValuesOnlyPoint{
+				N:              n,
+				Workers:        w,
+				FullMedianMS:   fullT[len(fullT)/2],
+				VOMedianMS:     voT[len(voT)/2],
+				FullPeakPoolMB: fullPeak,
+				VOPeakPoolMB:   voPeak,
+			}
+			pt.Speedup = ratio(pt.FullMedianMS, pt.VOMedianMS)
+			pt.WorkspaceRatio = ratio(pt.VOPeakPoolMB, pt.FullPeakPoolMB)
+			rec.Points = append(rec.Points, pt)
+			fmt.Fprintf(cfg.out(), "  %5d  %2d  %9.1f  %9.1f  %7.2fx  %13.1f  %11.2f  %9.3f\n",
+				n, w, pt.FullMedianMS, pt.VOMedianMS, pt.Speedup,
+				pt.FullPeakPoolMB, pt.VOPeakPoolMB, pt.WorkspaceRatio)
+		}
+	}
+	return rec, nil
+}
+
+// MergeJSON merges the record into path under the "values_only" key,
+// preserving any other keys already in the file.
+func (r *ValuesOnlyRecord) MergeJSON(path string) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	doc["values_only"] = r
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -4,13 +4,15 @@ import (
 	"context"
 	"fmt"
 
+	"tridiag/internal/pool"
 	"tridiag/internal/quark"
 )
 
 // BatchProblem is one matrix of a batched solve, with the same in-place
 // contract as SolveDC: on success D holds the ascending eigenvalues and Q
 // (N×N, column leading dimension LDQ) the orthonormal eigenvectors; E is
-// destroyed; Q's entry contents are ignored.
+// destroyed; Q's entry contents are ignored. Under Options.ValuesOnly the
+// eigenvector fields are never touched: Q may be nil and LDQ is ignored.
 type BatchProblem struct {
 	N    int
 	D, E []float64
@@ -89,6 +91,7 @@ func SolveDCBatchContext(ctx context.Context, probs []BatchProblem, opts *Option
 
 	scopes := make([]*quark.Scope, len(probs))
 	merges := make([][]*mergeState, len(probs))
+	fls := make([][]float64, len(probs))
 	for i := range probs {
 		p := &probs[i]
 		if p.N < 0 {
@@ -98,7 +101,7 @@ func SolveDCBatchContext(ctx context.Context, probs []BatchProblem, opts *Option
 		if p.N == 0 {
 			continue
 		}
-		if p.LDQ < p.N {
+		if !o.ValuesOnly && p.LDQ < p.N {
 			br.Items[i].Err = fmt.Errorf("core: ldq=%d < n=%d", p.LDQ, p.N)
 			continue
 		}
@@ -108,7 +111,14 @@ func SolveDCBatchContext(ctx context.Context, probs []BatchProblem, opts *Option
 		// one-leaf tree.
 		scopes[i] = rt.NewScope()
 		// ModeTaskFlow never hits the level barrier, so no barrier func.
-		if err := submitTaskFlow(scopes[i], nil, p.N, p.D, p.E, p.Q, p.LDQ, &o, br.Items[i].Result.Stats, &merges[i]); err != nil {
+		var err error
+		if o.ValuesOnly {
+			fls[i] = pool.Get(2 * p.N)
+			err = submitTaskFlowVO(scopes[i], p.N, p.D, p.E, fls[i], &o, br.Items[i].Result.Stats, &merges[i])
+		} else {
+			err = submitTaskFlow(scopes[i], nil, p.N, p.D, p.E, p.Q, p.LDQ, &o, br.Items[i].Result.Stats, &merges[i])
+		}
+		if err != nil {
 			br.Items[i].Err = err
 		}
 	}
@@ -122,6 +132,7 @@ func SolveDCBatchContext(ctx context.Context, probs []BatchProblem, opts *Option
 	// workspaces be swept safely (see SolveDCContext).
 	rt.Shutdown()
 	for i := range probs {
+		pool.Put(fls[i])
 		var leaked int64
 		for _, ms := range merges[i] {
 			leaked += ms.sweepLeaked()

@@ -97,6 +97,14 @@ type Options struct {
 	// use it to detect stalled solves. It runs on worker goroutines, so it
 	// must be concurrency-safe and cheap.
 	Progress func()
+	// ValuesOnly computes eigenvalues only: q is never touched (it may be
+	// nil, and ldq is ignored) and the task flow submits none of the
+	// eigenvector task classes — each tree node carries just the first and
+	// last rows of its notional eigenvector block, dropping workspace from
+	// O(n²) to O(n·depth) (DESIGN.md §17). Supported for ModeTaskFlow;
+	// ModeSequential and ModeForkJoin degrade to the root-free Dsterf
+	// reference, and the level-synchronized baselines are rejected.
+	ValuesOnly bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -149,8 +157,20 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 	if n == 0 {
 		return res, nil
 	}
-	if ldq < n {
+	if !o.ValuesOnly && ldq < n {
 		return nil, fmt.Errorf("core: ldq=%d < n=%d", ldq, n)
+	}
+	if o.ValuesOnly {
+		switch o.Mode {
+		case ModeSequential, ModeForkJoin:
+			// The values-only LAPACK reference: root-free QR iteration.
+			return res, lapack.Dsterf(n, d, e)
+		case ModeLevelSync, ModeScaLAPACK:
+			return nil, fmt.Errorf("core: ValuesOnly supports the %s and sequential modes only (got %s)", ModeTaskFlow, o.Mode)
+		}
+		if n <= o.MinPartition {
+			return res, lapack.Dsterf(n, d, e)
+		}
 	}
 
 	switch o.Mode {
@@ -185,7 +205,16 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 	rt := quark.New(o.Workers, rtOpts...)
 
 	var merges []*mergeState
-	err := submitTaskFlow(rt, rt.Wait, n, d, e, q, ldq, &o, res.Stats, &merges)
+	var fl []float64
+	var err error
+	if o.ValuesOnly {
+		// The 2×n eigenvector-row carrier, the lane's only O(n) shared
+		// buffer; released once the runtime has stopped.
+		fl = pool.Get(2 * n)
+		err = submitTaskFlowVO(rt, n, d, e, fl, &o, res.Stats, &merges)
+	} else {
+		err = submitTaskFlow(rt, rt.Wait, n, d, e, q, ldq, &o, res.Stats, &merges)
+	}
 	werr := rt.Wait()
 	if o.CaptureGraph {
 		res.Graph = rt.Graph()
@@ -200,6 +229,7 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 		leaked += ms.sweepLeaked()
 	}
 	res.Stats.addLeaked(leaked)
+	pool.Put(fl)
 	if err != nil {
 		return res, err
 	}
@@ -397,9 +427,18 @@ type mergeState struct {
 	// (every secular task depends on the deflation join through hS or the
 	// parent handles, so the write is ordered before all reads).
 	nbSec int
+	// Values-only merge state (nil on the full path, and at the root of a
+	// values-only solve, whose carrier has no consumer): the per-secular-j
+	// Dlaed4 root representation (porg, ptau) for the O(k) eigenvector
+	// reconstruction, and the children's rotated outer carrier rows in
+	// grouped order (vgtop: row 0 over the C12 top-block columns, vgbot:
+	// row nm-1 over the C23 bottom-block columns).
+	porg, ptau   []float64
+	vgtop, vgbot []float64
 	// pending counts the merge's not-yet-finished workspace consumers
-	// (UpdateVect and CopyBackDeflated panels plus PackV); when the last
-	// one finishes, the pooled workspace and packed operands are recycled.
+	// (UpdateVect and CopyBackDeflated panels plus PackV on the full path,
+	// the UpdateZ panels on the values-only path); when the last one
+	// finishes, the pooled workspace and packed operands are recycled.
 	pending atomic.Int32
 }
 
@@ -410,9 +449,19 @@ type mergeState struct {
 // accounts those abandoned buffers after the runtime stops.
 func (ms *mergeState) done() {
 	if ms.pending.Add(-1) == 0 {
-		ms.ws.Release()
+		if ms.ws != nil {
+			ms.ws.Release()
+		}
 		pool.Put(ms.what)
 		ms.what = nil
+		pool.Put(ms.porg)
+		ms.porg = nil
+		pool.Put(ms.ptau)
+		ms.ptau = nil
+		pool.Put(ms.vgtop)
+		ms.vgtop = nil
+		pool.Put(ms.vgbot)
+		ms.vgbot = nil
 	}
 }
 
@@ -423,10 +472,15 @@ func (ms *mergeState) done() {
 // checked-out workspace forever. Must only be called after the runtime has
 // shut down, when no task can still touch ms.
 func (ms *mergeState) sweepLeaked() int64 {
-	if ms.ws == nil || ms.pending.Load() <= 0 {
+	if ms.pending.Load() <= 0 {
 		return 0
 	}
-	b := ms.ws.PooledBytes() + pool.AccountedBytes(ms.what)
+	var b int64
+	if ms.ws != nil {
+		b = ms.ws.PooledBytes()
+	}
+	b += pool.AccountedBytes(ms.what) + pool.AccountedBytes(ms.porg) + pool.AccountedBytes(ms.ptau) +
+		pool.AccountedBytes(ms.vgtop) + pool.AccountedBytes(ms.vgbot)
 	for _, wl := range ms.wlocs {
 		b += pool.AccountedBytes(wl)
 	}

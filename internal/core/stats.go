@@ -16,7 +16,7 @@ var taskClasses = []string{
 	"LASET", "Scale", "STEDC", "Barrier", "SortEigenvectors",
 	"ComputeDeflation", "Redistribute", "PermuteV", "LAED4", "ComputeLocalW",
 	"ReduceW", "CopyBackDeflated", "ComputeVect", "PackV", "UpdateVect",
-	"Dlamrg",
+	"Dlamrg", "UpdateZ", "SortEigenvalues",
 }
 
 // Stats aggregates per-kernel operation counts, wall times and per-merge

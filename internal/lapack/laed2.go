@@ -53,6 +53,19 @@ func (df *Deflation) C23() int { return df.Ctot[colDense] + df.Ctot[colBottom] }
 // Givens rotations between deflatable close pairs are applied to q in place;
 // z and d are used as scratch and destroyed.
 func Dlaed2Deflate(n, n1 int, d []float64, q []float64, ldq int, indxq []int, rho float64, z []float64) (*Deflation, error) {
+	return Dlaed2DeflateRot(n, n1, d, indxq, rho, z, func(pj, nj int, c, s float64) {
+		blas.Drot(n, q[pj*ldq:], 1, q[nj*ldq:], 1, c, s)
+	})
+}
+
+// Dlaed2DeflateRot is Dlaed2Deflate with the eigenvector side effect
+// abstracted: instead of rotating columns of an n×n q, each deflating pair
+// (pj, nj) is reported to rot with its Givens coefficients. The full solver
+// passes an n-length column rotation; the values-only lane rotates a 2-row
+// first/last-row carrier instead, and the root merge (whose carrier is never
+// consumed) passes nil to skip the work entirely. The scan itself — and the
+// resulting d/z trajectory — is identical either way.
+func Dlaed2DeflateRot(n, n1 int, d []float64, indxq []int, rho float64, z []float64, rot func(pj, nj int, c, s float64)) (*Deflation, error) {
 	if n1 < 1 || n1 >= n {
 		return nil, fmt.Errorf("lapack: Dlaed2Deflate: invalid cut %d of %d", n1, n)
 	}
@@ -153,7 +166,9 @@ func Dlaed2Deflate(n, n1 int, d []float64, q []float64, ldq int, indxq []int, rh
 				coltyp[nj] = colDense
 			}
 			coltyp[pj] = colDeflated
-			blas.Drot(n, q[pj*ldq:], 1, q[nj*ldq:], 1, c, s)
+			if rot != nil {
+				rot(pj, nj, c, s)
+			}
 			t := d[pj]*c*c + d[nj]*s*s
 			d[nj] = d[pj]*s*s + d[nj]*c*c
 			d[pj] = t

@@ -19,17 +19,32 @@ import (
 // pole). For k == 1, delta[0] = 1; for k == 2 delta holds the normalized
 // eigenvector components instead (see Dlaed5), matching LAPACK semantics.
 func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err error) {
+	lam, _, _, err = Dlaed4OrgTau(k, i, d, z, delta, rho)
+	return lam, err
+}
+
+// Dlaed4OrgTau is Dlaed4 exposing the root's representation lam = org + tau,
+// where org is the origin pole and tau the (cancellation-free) offset from
+// it. delta is recomputed as delta[j] = (d[j]-org) - tau at every return, so
+// a later pass holding only (org, tau) can rebuild the column bit-identically
+// in O(k) scratch — the values-only lane's eigenvector-free u-formation
+// depends on this. For k ≤ 2 the (org, tau) pair is not meaningful for delta
+// reconstruction (k == 2 stores eigenvector components per Dlaed5); callers
+// re-solve those orders directly.
+func Dlaed4OrgTau(k, i int, d, z, delta []float64, rho float64) (lam, org, tau float64, err error) {
 	const maxit = 75
 	switch {
 	case k <= 0:
-		return 0, fmt.Errorf("lapack: Dlaed4: k=%d", k)
+		return 0, 0, 0, fmt.Errorf("lapack: Dlaed4: k=%d", k)
 	case i < 0 || i >= k:
-		return 0, fmt.Errorf("lapack: Dlaed4: index %d out of range [0,%d)", i, k)
+		return 0, 0, 0, fmt.Errorf("lapack: Dlaed4: index %d out of range [0,%d)", i, k)
 	case k == 1:
 		delta[0] = 1
-		return d[0] + rho*z[0]*z[0], nil
+		t := rho * z[0] * z[0]
+		return d[0] + t, d[0], t, nil
 	case k == 2:
-		return Dlaed5(i, d, z, delta, rho)
+		lam, err = Dlaed5(i, d, z, delta, rho)
+		return lam, 0, 0, err
 	}
 
 	eps := Eps
@@ -81,6 +96,16 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 			delta[j] = (d[j] - d[n-1]) - tau
 		}
 
+		// Final delta is recomputed from (org, tau) rather than left in its
+		// incrementally-updated form, so the same expression replayed later
+		// reproduces it exactly (see Dlaed4OrgTau).
+		ret := func(ferr error) (float64, float64, float64, error) {
+			for j := 0; j < n; j++ {
+				delta[j] = (d[j] - d[n-1]) - tau
+			}
+			return d[n-1] + tau, d[n-1], tau, ferr
+		}
+
 		evaluate := func() (w, dpsi, dphi, erretm float64) {
 			// ψ over the leading n-1 terms in one vectorized pass. The
 			// reference adds the running prefix of ψ to erretm after every
@@ -102,7 +127,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 
 		w, dpsi, dphi, erretm := evaluate()
 		if math.Abs(w) <= eps*erretm {
-			return d[n-1] + tau, nil
+			return ret(nil)
 		}
 		if w <= 0 {
 			dltlb = math.Max(dltlb, tau)
@@ -144,7 +169,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 
 			w, dpsi, dphi, erretm = evaluate()
 			if math.Abs(w) <= eps*erretm {
-				return d[n-1] + tau, nil
+				return ret(nil)
 			}
 			if w <= 0 {
 				dltlb = math.Max(dltlb, tau)
@@ -152,7 +177,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 				dltub = math.Min(dltub, tau)
 			}
 		}
-		return d[n-1] + tau, fmt.Errorf("lapack: Dlaed4: no convergence for last eigenvalue (i=%d, k=%d) after %d iterations: |w|=%.3e > tol=%.3e", i, k, maxit, math.Abs(w), eps*erretm)
+		return ret(fmt.Errorf("lapack: Dlaed4: no convergence for last eigenvalue (i=%d, k=%d) after %d iterations: |w|=%.3e > tol=%.3e", i, k, maxit, math.Abs(w), eps*erretm))
 	}
 
 	// Interior eigenvalue: root in (d[i], d[i+1]).
@@ -169,7 +194,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 	w := c + z[i]*z[i]/delta[i] + z[ip1]*z[ip1]/delta[ip1]
 
 	var orgati bool
-	var tau, dltlb, dltub float64
+	var dltlb, dltub float64
 	if w > 0 {
 		// Root is in the left half: origin at d[i].
 		orgati = true
@@ -194,7 +219,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 		dltlb, dltub = -midpt, 0
 	}
 
-	org := d[i]
+	org = d[i]
 	ii := i
 	if !orgati {
 		org = d[ip1]
@@ -202,6 +227,13 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 	}
 	for j := 0; j < k; j++ {
 		delta[j] = (d[j] - org) - tau
+	}
+
+	ret := func(ferr error) (float64, float64, float64, error) {
+		for j := 0; j < k; j++ {
+			delta[j] = (d[j] - org) - tau
+		}
+		return org + tau, org, tau, ferr
 	}
 
 	evaluate := func() (w, dw, dpsi, dphi, erretm float64) {
@@ -240,7 +272,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 
 	w, dw, dpsi, dphi, erretm := evaluate()
 	if math.Abs(w) <= eps*erretm {
-		return org + tau, nil
+		return ret(nil)
 	}
 	if w <= 0 {
 		dltlb = math.Max(dltlb, tau)
@@ -293,7 +325,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 
 		w, dw, dpsi, dphi, erretm = evaluate()
 		if math.Abs(w) <= eps*erretm {
-			return org + tau, nil
+			return ret(nil)
 		}
 		if w <= 0 {
 			dltlb = math.Max(dltlb, tau)
@@ -301,7 +333,7 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 			dltub = math.Min(dltub, tau)
 		}
 	}
-	return org + tau, fmt.Errorf("lapack: Dlaed4: no convergence for eigenvalue %d of %d after %d iterations: |w|=%.3e > tol=%.3e", i, k, maxit, math.Abs(w), eps*erretm)
+	return ret(fmt.Errorf("lapack: Dlaed4: no convergence for eigenvalue %d of %d after %d iterations: |w|=%.3e > tol=%.3e", i, k, maxit, math.Abs(w), eps*erretm))
 }
 
 // Dlaed4Bisect solves the same secular-equation problem as Dlaed4 by pure
@@ -312,16 +344,26 @@ func Dlaed4(k, i int, d, z, delta []float64, rho float64) (lam float64, err erro
 // non-convergence, so a hard eigenvalue can degrade speed but never
 // correctness. Semantics of lam and delta match Dlaed4.
 func Dlaed4Bisect(k, i int, d, z, delta []float64, rho float64) (float64, error) {
+	lam, _, _, err := Dlaed4BisectOrgTau(k, i, d, z, delta, rho)
+	return lam, err
+}
+
+// Dlaed4BisectOrgTau is Dlaed4Bisect exposing the lam = org + tau
+// representation, with the same delta-reconstruction contract as
+// Dlaed4OrgTau.
+func Dlaed4BisectOrgTau(k, i int, d, z, delta []float64, rho float64) (lam, org, tau float64, err error) {
 	switch {
 	case k <= 0:
-		return 0, fmt.Errorf("lapack: Dlaed4Bisect: k=%d", k)
+		return 0, 0, 0, fmt.Errorf("lapack: Dlaed4Bisect: k=%d", k)
 	case i < 0 || i >= k:
-		return 0, fmt.Errorf("lapack: Dlaed4Bisect: index %d out of range [0,%d)", i, k)
+		return 0, 0, 0, fmt.Errorf("lapack: Dlaed4Bisect: index %d out of range [0,%d)", i, k)
 	case k == 1:
 		delta[0] = 1
-		return d[0] + rho*z[0]*z[0], nil
+		t := rho * z[0] * z[0]
+		return d[0] + t, d[0], t, nil
 	case k == 2:
-		return Dlaed5(i, d, z, delta, rho)
+		lam, err = Dlaed5(i, d, z, delta, rho)
+		return lam, 0, 0, err
 	}
 	rhoinv := 1 / rho
 	// w(tau) = 1/rho + Σ_j z_j² / ((d_j - org) - tau): strictly increasing
@@ -330,7 +372,7 @@ func Dlaed4Bisect(k, i int, d, z, delta []float64, rho float64) (float64, error)
 	eval := func(org, tau float64) float64 {
 		return rhoinv + simd.ShiftedSumRatios(d[:k], z[:k], org, tau)
 	}
-	var org, lo, hi float64
+	var lo, hi float64
 	if i == k-1 {
 		// Root in (d[k-1], d[k-1]+rho·‖z‖²]; ‖z‖=1 after deflation, but
 		// widen the bracket if rounding leaves w(hi) non-positive.
@@ -354,7 +396,7 @@ func Dlaed4Bisect(k, i int, d, z, delta []float64, rho float64) (float64, error)
 	// Bisect until the bracket collapses to adjacent floats. w(lo)<0<w(hi)
 	// throughout, and the midpoint stays strictly inside the pole interval,
 	// so the final tau never lands on a pole (delta stays nonzero).
-	tau := lo + (hi-lo)/2
+	tau = lo + (hi-lo)/2
 	for iter := 0; iter < 200; iter++ {
 		mid := lo + (hi-lo)/2
 		if mid == lo || mid == hi {
@@ -370,7 +412,7 @@ func Dlaed4Bisect(k, i int, d, z, delta []float64, rho float64) (float64, error)
 	for j := 0; j < k; j++ {
 		delta[j] = (d[j] - org) - tau
 	}
-	return org + tau, nil
+	return org + tau, org, tau, nil
 }
 
 // Dlaed5 computes the i-th eigenvalue of a 2×2 rank-one modification
