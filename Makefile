@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady bench-batch bench-values chaos stress stress-cluster ci clean
+.PHONY: all build vet test test-pooldebug race bench-smoke bench-gemm bench-secular bench-steady bench-batch bench-values bench-audit chaos chaos-sdc stress stress-cluster ci clean
 
 all: build
 
@@ -63,6 +63,13 @@ bench-values:
 	$(GO) run ./cmd/dcbench perf -values-only -quick -json
 	$(GO) run ./cmd/dcbench batch -values-only -quick -json
 
+# Silent-error defense overhead: the shipping default (ABFT + result audit)
+# vs the audit-disabled and fully bare builds on the n=2000 task-flow point,
+# medians of paired per-rep ratios, merged into BENCH_taskflow.json under
+# "audit". The acceptance bar is audit overhead ≤ 5% at every worker count.
+bench-audit:
+	$(GO) run ./cmd/dcbench audit -json
+
 # Fault-injection suite: panic/error/delay probes in every task class across
 # randomized solves, repeated under the race detector; the tests themselves
 # assert zero goroutine leaks and that every fault ends in a verified result
@@ -71,6 +78,19 @@ chaos:
 	$(GO) test -race -count=3 -run 'Chaos' ./eigen/
 	$(GO) test -race -count=3 ./internal/faultinject/
 	$(GO) test -race -count=3 -run 'Cancelled|Cancellation|Deadline|TaskFailure' ./internal/quark/
+
+# Silent-data-corruption gate: randomized bit flips injected into packed GEMM
+# operands, merge outputs, and served results across every lane (direct solve,
+# values-only, batch, server) under the race detector. Asserts every injected
+# corruption is either detected-and-healed or surfaces as a classified error —
+# zero silent wrong-answer escapes — plus the ABFT checksum/invariant unit
+# tests and the pathological no-false-positive audit suite.
+chaos-sdc:
+	$(GO) test -race -count=1 -timeout 10m -run 'TestChaosSDCGate|TestAuditPathologicalNoFalsePositives|TestAuditResultDetectsCorruption' ./eigen/
+	$(GO) test -race -count=1 -run 'TestPackAChecked|TestVerifyCatches' ./internal/blas/
+	$(GO) test -race -count=1 -run 'TestCheckInterlacing|TestCheckTrace|TestDlaed4Interlacing' ./internal/lapack/
+	$(GO) test -race -count=1 -run 'TestTridiagResidual|TestDotPairAbs|TestSum' ./internal/simd/
+	$(GO) test -race -count=1 -run 'TestSpectrumChecksum|TestCoordinatorChecksumMismatchFailsOver' ./eigen/cluster/
 
 # Serving-layer acceptance gate: 64 concurrent mixed-size solves against a
 # memory-budgeted eigen.Server under wildcard chaos probes and the race
@@ -89,4 +109,4 @@ stress:
 stress-cluster:
 	$(GO) test -race -count=1 -timeout 5m -run 'TestCluster' ./eigen/cluster/
 
-ci: vet build test test-pooldebug race bench-smoke bench-steady bench-batch bench-values chaos stress stress-cluster
+ci: vet build test test-pooldebug race bench-smoke bench-steady bench-batch bench-values chaos chaos-sdc stress stress-cluster

@@ -21,6 +21,8 @@
 //	dcbench batch             batched small-solve throughput: sequential
 //	                            Solve loop vs SolveBatch vs coalescing server
 //	                            (-values-only runs it through the fast lane)
+//	dcbench audit             silent-error defense overhead: ABFT + result
+//	                            audit on (the default) vs both layers off
 //	dcbench all               everything above in sequence
 //
 // Flags: -sizes 500,1000 -types 2,3,4 -workers 1,2,4,8,16 -seed 7 -quick -bw 4
@@ -67,7 +69,7 @@ func main() {
 	bw := fs.Float64("bw", 0, "bandwidth cap in concurrent streams (0: default 4)")
 	jsonOut := fs.Bool("json", false, "write the perf snapshot to BENCH_taskflow.json")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|secular|batch|ablate|theory|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [flags] <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|perf|secular|batch|audit|ablate|theory|all>\n")
 		fs.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -169,6 +171,15 @@ func main() {
 				err = rec.MergeJSON("BENCH_taskflow.json")
 				if err == nil {
 					fmt.Println("merged batch record into BENCH_taskflow.json")
+				}
+			}
+		case "audit":
+			var rec *bench.AuditRecord
+			rec, err = bench.Audit(cfg)
+			if err == nil && *jsonOut {
+				err = rec.MergeJSON("BENCH_taskflow.json")
+				if err == nil {
+					fmt.Println("merged audit record into BENCH_taskflow.json")
 				}
 			}
 		case "ablate":

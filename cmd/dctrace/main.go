@@ -57,6 +57,26 @@ func taskTimeReport(times map[string]time.Duration) (report, csvLine string) {
 	return b.String(), csv.String()
 }
 
+// abftReport formats the solve's silent-corruption defense ledger: the
+// check/detection totals and a per-merge table of the trace-preservation
+// defect each Dlamrg join measured (DESIGN.md §18). A clean run shows
+// defects around the rounding floor; a corrupted-and-healed run shows
+// nonzero detection counters with the defects still at the floor.
+func abftReport(st *core.Stats) string {
+	ab := st.ABFT()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABFT: checksums=%d invariants=%d detected=%d healed-by-retry=%d\n",
+		ab.Checksums, ab.Invariants, ab.ChecksumFailures+ab.InvariantFailures, ab.Retries)
+	if len(st.Merges) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-6s %6s %6s %6s %13s\n", "level", "n", "k", "nb", "trace-defect")
+	for _, m := range st.Merges {
+		fmt.Fprintf(&b, "%-6d %6d %6d %6d %13.3e\n", m.Level, m.N, m.K, m.NB, m.TraceDefect)
+	}
+	return b.String()
+}
+
 func main() {
 	typ := flag.Int("type", 4, "Table III matrix type")
 	n := flag.Int("n", 1000, "matrix size")
@@ -125,7 +145,8 @@ func main() {
 		}
 		statsLines = fmt.Sprintf("matrix %s n=%d × batch %d, one shared DAG\n", m.Name, *n, *batch) +
 			fmt.Sprintf("per-batch task time total: %s\n", total.Round(time.Microsecond)) +
-			fmt.Sprintf("workspace leaked to GC: %d bytes\n", br.Stats.LeakedBytes())
+			fmt.Sprintf("workspace leaked to GC: %d bytes\n", br.Stats.LeakedBytes()) +
+			abftReport(br.Stats)
 	} else {
 		d := append([]float64(nil), m.D...)
 		e := append([]float64(nil), m.E...)
@@ -150,6 +171,7 @@ func main() {
 			statsLines += fmt.Sprintf("UpdateVect pack: hits=%d misses=%d packed_bytes=%d reuse_rate=%.3f\n", hits, misses, bytes, rate)
 		}
 		statsLines += fmt.Sprintf("workspace leaked to GC: %d bytes\n", res.Stats.LeakedBytes())
+		statsLines += abftReport(res.Stats)
 	}
 
 	var tl *trace.Timeline

@@ -121,6 +121,10 @@ func main() {
 					st.BatchesFlushed, st.FlushByTimer, st.FlushBySize, st.FlushByBytes,
 					st.CoalescedJobs, st.BatchServedJobs, st.DirectJobs)
 			}
+			if st.CorruptionsDetected > 0 || st.LeakedBytes > 0 {
+				log.Printf("silent-error defense: corruptions detected=%d healed=%d workspace-leaked=%d bytes",
+					st.CorruptionsDetected, st.CorruptionsHealed, st.LeakedBytes)
+			}
 		}
 	case "coordinator":
 		c, err := cluster.NewCoordinator(cluster.Config{
@@ -156,6 +160,10 @@ func main() {
 			st := c.Stats()
 			log.Printf("routed: completed=%d retried=%d failed-over=%d degraded-local=%d rejected=%d cancelled=%d failed=%d",
 				st.Completed, st.Retried, st.FailedOver, st.DegradedLocal, st.Rejected, st.Cancelled, st.Failed)
+			if st.ChecksumMismatches > 0 || st.Local.CorruptionsDetected > 0 {
+				log.Printf("silent-error defense: wire checksum mismatches=%d local detected=%d healed=%d",
+					st.ChecksumMismatches, st.Local.CorruptionsDetected, st.Local.CorruptionsHealed)
+			}
 		}
 	default:
 		log.Fatalf("unknown -role %q (want worker or coordinator)", *role)

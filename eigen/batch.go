@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"tridiag/internal/core"
+	"tridiag/internal/faultinject"
 	"tridiag/internal/lapack"
 )
 
@@ -142,6 +143,7 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 		MinPartition:   o.MinPartition,
 		ExtraWorkspace: o.ExtraWorkspace,
 		ValuesOnly:     o.ValuesOnly,
+		DisableABFT:    o.DisableABFT,
 		Progress:       o.Progress,
 	})
 	if err != nil {
@@ -165,15 +167,45 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 	for p, item := range br.Items {
 		i := probIdx[p]
 		res := results[i]
-		if item.Err == nil {
+		memberErr := item.Err
+		// The member's corruption ledger: in-DAG ABFT detections (checksum
+		// mismatches, violated merge invariants) from the per-item core stats,
+		// plus one for a corruption-classified member error the in-DAG
+		// counters did not see (an audit miss, below).
+		ab := item.Result.Stats.ABFT()
+		detected := ab.ChecksumFailures + ab.InvariantFailures
+		if memberErr == nil {
 			res.Stats.Fallbacks = item.Result.Stats.Fallbacks()
 			res.Stats.BatchTaskNanos = batchTaskNanos
 			if scales[i] != 1 {
 				lapack.Dlascl(res.N, 1, 1, scales[i], res.Values, res.N)
 			}
-			continue
+			if !o.Audit.Disable {
+				// The always-on audit, per member, against the original
+				// (unscaled) matrix — every audit metric is scale-invariant,
+				// so it runs after the scale-back. A member that fails its
+				// audit is treated exactly like a failed batched attempt:
+				// solo degraded retry under Fallback, else an error.
+				worst, aerr := auditResult(tris[i], res, &o)
+				if aerr != nil {
+					detected++
+					memberErr = aerr
+				} else {
+					res.Stats.Audited = true
+					res.Stats.AuditResidual = worst
+				}
+			}
+			if memberErr == nil {
+				// Served clean: every in-DAG detection was healed by a task
+				// retry (an unhealed one would have failed the member).
+				res.Stats.CorruptionsDetected += detected
+				res.Stats.CorruptionsHealed += detected
+				continue
+			}
+		} else if detected == 0 && faultinject.Corruption(memberErr) {
+			detected++
 		}
-		batchErr := fmt.Errorf("tier task-flow (batched): %w", item.Err)
+		batchErr := fmt.Errorf("tier task-flow (batched): %w", memberErr)
 		if o.Fallback {
 			// Retry this matrix alone on the degraded tiers, validated, with
 			// the batched attempt recorded as the first tier error.
@@ -204,6 +236,10 @@ func SolveBatch(ctx context.Context, tris []Tridiagonal, opts *Options) ([]*Resu
 				fres.Stats.Method = o.Method
 				fres.Stats.BatchSize = len(tris)
 				fres.Stats.TierErrors = append([]error{batchErr}, fres.Stats.TierErrors...)
+				// The degraded retry healed whatever the batched attempt
+				// detected; carry that ledger onto the serving result.
+				fres.Stats.CorruptionsDetected += detected
+				fres.Stats.CorruptionsHealed += detected
 				results[i] = fres
 				continue
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 
 	"tridiag/eigen"
@@ -66,6 +67,34 @@ type SolveResponse struct {
 	// different worker served the job; set by coordinators only.
 	Failovers int    `json:"failovers,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// Checksum is the serving worker's SpectrumChecksum over Values: an
+	// end-to-end integrity seal on the wire payload. Coordinators recompute
+	// it after decoding and treat a mismatch like a truncated response — a
+	// transient corruption worth a failover — so a bit flip in transit, in
+	// a proxy buffer, or in the worker's encoder never ships to the client.
+	// Zero means the worker predates the seal (nothing to verify).
+	Checksum uint64 `json:"checksum,omitempty"`
+}
+
+// SpectrumChecksum seals a result's eigenvalue payload: FNV-64a over the
+// IEEE-754 bit patterns of the values in order. Bit-exact by construction —
+// the coordinator verifies the bytes that crossed the wire, not a numerical
+// property — and cheap enough (one multiply-xor per value) to run on every
+// response.
+func SpectrumChecksum(values []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range values {
+		b := math.Float64bits(v)
+		for i := 0; i < 64; i += 8 {
+			h ^= (b >> i) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // BatchRequest is the wire form of a coalesced solve batch, shared by the

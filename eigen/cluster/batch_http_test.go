@@ -257,4 +257,3 @@ func TestClusterBatchDegradedLocal(t *testing.T) {
 		t.Errorf("degraded-local=%d local-solves=%d, want 1/1", st.DegradedLocal, st.LocalSolves)
 	}
 }
-

@@ -265,12 +265,13 @@ type Coordinator struct {
 	stopProbe   chan struct{}
 	probeWG     sync.WaitGroup
 
-	counts        [dispositionCount]atomic.Int64
-	admitted      atomic.Int64
-	retries       atomic.Int64
-	localSolves   atomic.Int64
-	breakerOpens  atomic.Int64
-	breakerCloses atomic.Int64
+	counts           [dispositionCount]atomic.Int64
+	admitted         atomic.Int64
+	retries          atomic.Int64
+	localSolves      atomic.Int64
+	breakerOpens     atomic.Int64
+	breakerCloses    atomic.Int64
+	checksumMismatch atomic.Int64
 }
 
 // NewCoordinator validates the worker list, starts the health probers and
@@ -389,6 +390,7 @@ func (c *Coordinator) Solve(ctx context.Context, req *SolveRequest) (*SolveRespo
 		return fail(DispositionRejected, fmt.Errorf("%w: %v", eigen.ErrBadInput, err))
 	}
 	key := affinityKey(req.D, req.E)
+	rng := rand.New(rand.NewSource(int64(job.id)))
 
 	tried := make(map[string]bool)
 	var first string
@@ -438,7 +440,7 @@ func (c *Coordinator) Solve(ctx context.Context, req *SolveRequest) (*SolveRespo
 			c.breakerOpens.Add(1)
 		}
 		c.retries.Add(1)
-		if !c.backoff(actx, attempts) {
+		if !c.backoff(actx, rng, attempts) {
 			return fail(DispositionCancelled, c.cancelCause(ctx))
 		}
 	}
@@ -571,6 +573,7 @@ func (c *Coordinator) SolveBatch(ctx context.Context, req *BatchRequest) (*Batch
 
 	// Batches always route least-loaded: they are an aggregate, so the
 	// content-affinity cache win of small single solves does not apply.
+	rng := rand.New(rand.NewSource(int64(job.id)))
 	tried := make(map[string]bool)
 	var first string
 	attempts := 0
@@ -615,7 +618,7 @@ func (c *Coordinator) SolveBatch(ctx context.Context, req *BatchRequest) (*Batch
 			c.breakerOpens.Add(1)
 		}
 		c.retries.Add(1)
-		if !c.backoff(actx, attempts) {
+		if !c.backoff(actx, rng, attempts) {
 			return fail(DispositionCancelled, c.cancelCause(ctx))
 		}
 	}
@@ -705,6 +708,14 @@ func (c *Coordinator) sendBatch(ctx context.Context, w *worker, body []byte) (*B
 		}
 		w.failures.Add(1)
 		return nil, &RemoteError{Worker: w.name, Err: fmt.Errorf("truncated response: %w", err)}
+	}
+	// Every served member's spectrum seal is verified; one corrupted member
+	// fails the whole batch over (the batch is the routing unit, and the
+	// re-sent batch recomputes every member on the surviving worker).
+	for i := range br.Results {
+		if err := c.verifyChecksum(w, &br.Results[i]); err != nil {
+			return nil, err
+		}
 	}
 	return &br, nil
 }
@@ -798,14 +809,41 @@ func (c *Coordinator) send(ctx context.Context, w *worker, body []byte) (*SolveR
 		w.failures.Add(1)
 		return nil, &RemoteError{Worker: w.name, Err: fmt.Errorf("truncated response: %w", err)}
 	}
+	if err := c.verifyChecksum(w, &sr); err != nil {
+		return nil, err
+	}
 	return &sr, nil
 }
 
-// backoff sleeps the exponential-with-jitter failover delay; false means the
-// job's context (or the drain) fired first.
-func (c *Coordinator) backoff(ctx context.Context, attempt int) bool {
+// verifyChecksum recomputes the worker's spectrum seal over the decoded
+// payload. A mismatch means the eigenvalues were corrupted somewhere between
+// the worker's solve and this decode — wire, proxy, or encoder — and is
+// classified as transient corruption so the ladder fails over to another
+// worker instead of shipping the damaged spectrum. Responses without a seal
+// (Checksum 0: error responses, workers predating the field) pass.
+func (c *Coordinator) verifyChecksum(w *worker, sr *SolveResponse) error {
+	if sr.Error != "" || sr.Checksum == 0 {
+		return nil
+	}
+	if got := SpectrumChecksum(sr.Values); got != sr.Checksum {
+		c.checksumMismatch.Add(1)
+		w.failures.Add(1)
+		return &RemoteError{Worker: w.name, Err: &eigen.CorruptionError{
+			Check: "response-checksum",
+			Detail: fmt.Sprintf("worker %s: spectrum checksum %#x does not match response seal %#x (%d values)",
+				w.name, got, sr.Checksum, len(sr.Values)),
+		}}
+	}
+	return nil
+}
+
+// backoff sleeps the exponential-with-jitter failover delay, drawing the
+// jitter from the job's own seeded stream (no process-global RNG contention,
+// reproducible per job); false means the job's context (or the drain) fired
+// first.
+func (c *Coordinator) backoff(ctx context.Context, rng *rand.Rand, attempt int) bool {
 	d := c.cfg.RetryBase << uint(min(attempt-1, 4)) // cap at 16×base
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 	tm := time.NewTimer(d)
 	defer tm.Stop()
 	select {
@@ -936,26 +974,38 @@ type Stats struct {
 	LocalSolves int64
 	// BreakerOpens / BreakerCloses count circuit transitions.
 	BreakerOpens, BreakerCloses int64
+	// ChecksumMismatches counts remote responses whose spectrum seal failed
+	// verification — corruption caught between a worker's solve and this
+	// coordinator's decode, each one failed over instead of shipped.
+	ChecksumMismatches int64
 	// Inflight is the number of admitted, unfinished jobs.
 	Inflight int
 	Workers  []WorkerStatus
+	// Local is the degraded-local tier's full eigen.ServerStats snapshot —
+	// most importantly its LeakedBytes ledger, pool gauges
+	// (PoolInUseBytes/PoolRetainedBytes) and corruption counters, which a
+	// fleet operator could not otherwise see through the coordinator's
+	// /stats endpoint.
+	Local eigen.ServerStats
 }
 
 // Stats returns a snapshot of the coordinator counters.
 func (c *Coordinator) Stats() Stats {
 	st := Stats{
-		Admitted:      c.admitted.Load(),
-		Completed:     c.counts[DispositionCompleted].Load(),
-		Retried:       c.counts[DispositionRetried].Load(),
-		FailedOver:    c.counts[DispositionFailedOver].Load(),
-		DegradedLocal: c.counts[DispositionDegradedLocal].Load(),
-		Rejected:      c.counts[DispositionRejected].Load(),
-		Cancelled:     c.counts[DispositionCancelled].Load(),
-		Failed:        c.counts[DispositionFailed].Load(),
-		Retries:       c.retries.Load(),
-		LocalSolves:   c.localSolves.Load(),
-		BreakerOpens:  c.breakerOpens.Load(),
-		BreakerCloses: c.breakerCloses.Load(),
+		Admitted:           c.admitted.Load(),
+		Completed:          c.counts[DispositionCompleted].Load(),
+		Retried:            c.counts[DispositionRetried].Load(),
+		FailedOver:         c.counts[DispositionFailedOver].Load(),
+		DegradedLocal:      c.counts[DispositionDegradedLocal].Load(),
+		Rejected:           c.counts[DispositionRejected].Load(),
+		Cancelled:          c.counts[DispositionCancelled].Load(),
+		Failed:             c.counts[DispositionFailed].Load(),
+		Retries:            c.retries.Load(),
+		LocalSolves:        c.localSolves.Load(),
+		BreakerOpens:       c.breakerOpens.Load(),
+		BreakerCloses:      c.breakerCloses.Load(),
+		ChecksumMismatches: c.checksumMismatch.Load(),
+		Local:              c.local.Stats(),
 	}
 	c.mu.Lock()
 	st.Inflight = c.inflight

@@ -100,6 +100,7 @@ func workerSolveHandler(s *eigen.Server, cfg HTTPConfig) http.HandlerFunc {
 			resp.Error = err.Error()
 		} else {
 			resp.Values = sr.Result.Values
+			resp.Checksum = SpectrumChecksum(resp.Values)
 			if req.Vectors {
 				resp.Vectors = sr.Result.Vectors
 			}
@@ -160,6 +161,7 @@ func serveBatch(ctx context.Context, srv *eigen.Server, jobs []SolveRequest) ([]
 				errs[i] = err
 			} else {
 				resp.Values = sr.Result.Values
+				resp.Checksum = SpectrumChecksum(resp.Values)
 				if job.Vectors {
 					resp.Vectors = sr.Result.Vectors
 				}

@@ -24,6 +24,7 @@ import (
 
 	"tridiag/internal/blas"
 	"tridiag/internal/core"
+	"tridiag/internal/faultinject"
 	"tridiag/internal/lapack"
 	"tridiag/internal/mrrr"
 )
@@ -135,6 +136,21 @@ type Options struct {
 	// never taxes the clean path: validation runs only for results
 	// produced by a degraded tier.
 	Fallback bool
+	// Audit tunes the always-on result audit: every solve that is about to
+	// be returned — from any tier, including the clean first-choice path —
+	// is verified against the input matrix (sampled Sturm-count inertia
+	// check on the spectrum, plus a residual/unit-norm sweep over the
+	// eigenvector columns for vector solves). An audit failure is classified
+	// as transient corruption (CorruptionError) and the solve moves to the
+	// next tier instead of shipping a wrong answer. The zero value enables
+	// the audit with defaults; see AuditOptions.
+	Audit AuditOptions
+	// DisableABFT turns off the in-flight ABFT defenses of the task-flow
+	// tiers (packed-GEMM checksum verification, per-merge trace and
+	// interlacing invariants, task-granular recompute of failed checks).
+	// They are on by default; the audit above is the independent last line
+	// and stays on separately.
+	DisableABFT bool
 	// Progress, when non-nil, is called after every executed task of a
 	// task-flow solve and at every tier transition: the heartbeat external
 	// watchdogs (eigen.Server) use to tell a stalled solve from a running
@@ -168,6 +184,24 @@ type SolveStats struct {
 	Validated     bool
 	Residual      float64
 	Orthogonality float64
+	// Audited reports whether the always-on result audit ran and passed for
+	// the served result (false when Options.Audit.Disable is set);
+	// AuditResidual is the worst normalized column residual the audit
+	// measured (0 for values-only solves — the spectrum check has no
+	// residual).
+	Audited       bool
+	AuditResidual float64
+	// CorruptionsDetected counts silent-corruption detections during this
+	// solve: ABFT checksum mismatches, violated merge invariants and failed
+	// result audits. CorruptionsHealed is how many of them were healed —
+	// by an in-place task recompute or by a later tier serving an audited
+	// result. On a successful solve the two are equal: every detection was
+	// contained.
+	CorruptionsDetected, CorruptionsHealed int64
+	// LeakedBytes is the pooled workspace the solve's failed or cancelled
+	// merges abandoned to the GC (the pool accountant's per-solve ledger);
+	// zero on every clean solve.
+	LeakedBytes int64
 	// BatchSize is the number of matrices that shared the runtime when this
 	// result was produced by SolveBatch (0 for single solves).
 	BatchSize int
@@ -302,6 +336,7 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 	ework := make([]float64, len(e))
 
 	var lastErr error
+	var unhealed int64 // corruption detections from failed tiers, healed when a later tier serves
 	for ti, tier := range tiers {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -320,13 +355,24 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 				res.Vectors[i] = 0
 			}
 		}
-		fallbacks, err := runTier(ctx, tier, n, &o, res.Values, ework, res.Vectors, e)
-		res.Stats.Fallbacks += fallbacks
+		ts, err := runTier(ctx, tier, n, &o, res.Values, ework, res.Vectors, e)
+		res.Stats.Fallbacks += ts.fallbacks
+		res.Stats.LeakedBytes += ts.leaked
+		res.Stats.CorruptionsDetected += ts.detected
+		res.Stats.CorruptionsHealed += ts.healed
+		unhealed += ts.detected - ts.healed
 		if err != nil {
 			if ctx.Err() != nil {
 				// Cancelled, not broken: report the cancellation, never a
 				// degraded retry.
 				return nil, ctx.Err()
+			}
+			if faultinject.Corruption(err) && ts.detected == 0 {
+				// A corruption-classified failure the tier's own counters did
+				// not capture (e.g. a sequential tier): count the detection
+				// here so the ledger stays complete.
+				res.Stats.CorruptionsDetected++
+				unhealed++
 			}
 			lastErr = err
 			res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, err))
@@ -357,6 +403,25 @@ func SolveContext(ctx context.Context, t Tridiagonal, opts *Options) (*Result, e
 				}
 			}
 		}
+		if !o.Audit.Disable {
+			// The always-on audit: every serving tier — the clean first
+			// choice included — is verified against the input before the
+			// result ships. It runs in scaled units like the validation
+			// above; every audit metric is scale-invariant.
+			worst, aerr := auditResult(Tridiagonal{D: d, E: e}, res, &o)
+			if aerr != nil {
+				res.Stats.CorruptionsDetected++
+				unhealed++
+				lastErr = aerr
+				res.Stats.TierErrors = append(res.Stats.TierErrors, fmt.Errorf("tier %s: %w", tier, aerr))
+				continue
+			}
+			res.Stats.Audited = true
+			res.Stats.AuditResidual = worst
+		}
+		// The result is served: every corruption detected along the way was
+		// contained by a recompute or a tier fallback.
+		res.Stats.CorruptionsHealed += unhealed
 		res.Stats.Tier = tier
 		if scale != 1 {
 			// Validation (if any) ran in scaled units; both metrics are
@@ -390,11 +455,38 @@ func preScale(t Tridiagonal) (d, e []float64, scale float64) {
 	return d, e, scale
 }
 
+// tierStats is what one tier attempt reports up into SolveStats beyond its
+// error: in-tier numerical rescues, the pool accountant's leak ledger, and
+// the ABFT corruption detections/heals of the task-flow modes.
+type tierStats struct {
+	fallbacks int64
+	leaked    int64
+	detected  int64
+	healed    int64
+}
+
+// coreTierStats harvests a core solve's ledger: ABFT checksum and invariant
+// failures are detections; the runtime's in-place task retries count as heals
+// only when the tier served (a retry that failed again aborted the tier).
+func coreTierStats(cres *core.Result, err error) tierStats {
+	var ts tierStats
+	if cres == nil || cres.Stats == nil {
+		return ts
+	}
+	ts.fallbacks = cres.Stats.Fallbacks()
+	ts.leaked = cres.Stats.LeakedBytes()
+	ab := cres.Stats.ABFT()
+	ts.detected = ab.ChecksumFailures + ab.InvariantFailures
+	if err == nil {
+		ts.healed = ab.Retries
+	}
+	return ts
+}
+
 // runTier executes one tier: d/ework are working copies (overwritten), q
 // receives the eigenvectors, eorig is the untouched off-diagonal for solvers
-// that read rather than consume their input. Returns the number of in-tier
-// numerical rescues.
-func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, eorig []float64) (int64, error) {
+// that read rather than consume their input.
+func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, eorig []float64) (tierStats, error) {
 	switch tier {
 	case "task-flow":
 		ldq := n
@@ -407,39 +499,32 @@ func runTier(ctx context.Context, tier string, n int, o *Options, d, ework, q, e
 			MinPartition:   o.MinPartition,
 			ExtraWorkspace: o.ExtraWorkspace,
 			ValuesOnly:     o.ValuesOnly,
+			DisableABFT:    o.DisableABFT,
 			Progress:       o.Progress,
 		})
-		var nfb int64
-		if cres != nil && cres.Stats != nil {
-			nfb = cres.Stats.Fallbacks()
-		}
-		return nfb, err
+		return coreTierStats(cres, err), err
 	case "dstedc":
 		cres, err := core.SolveDCContext(ctx, n, d, ework, q, n, &core.Options{
 			Mode:         core.ModeSequential,
 			MinPartition: o.MinPartition,
 		})
-		var nfb int64
-		if cres != nil && cres.Stats != nil {
-			nfb = cres.Stats.Fallbacks()
-		}
-		return nfb, err
+		return coreTierStats(cres, err), err
 	case "mrrr":
 		w := make([]float64, n)
 		err := mrrr.Solve(n, d, eorig, w, q, n, &mrrr.Options{Workers: o.Workers})
 		copy(d, w)
-		return 0, err
+		return tierStats{}, err
 	case "qr":
 		fellBack, err := lapack.DsteqrRobust(n, d, ework, q, n)
-		var nfb int64
+		var ts tierStats
 		if fellBack {
-			nfb = 1
+			ts.fallbacks = 1
 		}
-		return nfb, err
+		return ts, err
 	case "dsterf":
-		return 0, lapack.Dsterf(n, d, ework)
+		return tierStats{}, lapack.Dsterf(n, d, ework)
 	}
-	return 0, fmt.Errorf("unknown tier %q", tier)
+	return tierStats{}, fmt.Errorf("unknown tier %q", tier)
 }
 
 // Values computes the eigenvalues only (ascending) through the values-only

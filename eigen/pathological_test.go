@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -104,6 +105,71 @@ func TestPathologicalMatrices(t *testing.T) {
 					break
 				}
 			}
+		}
+	}
+}
+
+// TestAuditPathologicalNoFalsePositives holds the always-on result audit to
+// its contract on the classic hard cases: across every method, worker count
+// and both request classes, the audit must pass every clean solve — a false
+// positive would send healthy solves through pointless (and slower) degraded
+// recomputes in production. Wilkinson and glued-Wilkinson stress the
+// sampled-inertia check with pathologically tight eigenvalue clusters, the
+// 1e±300 scalings stress it at the edge of the exponent range (the audit
+// runs against the pre-scaled problem, so its Sturm pivots must not
+// over/underflow), and the tight-cluster case puts every sampled count on
+// the edge of a cluster boundary.
+func TestAuditPathologicalNoFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	base := randomTridiag(rng, 60)
+	clustered := randomTridiag(rng, 64)
+	for i := range clustered.D {
+		clustered.D[i] = 1
+	}
+	for i := range clustered.E {
+		clustered.E[i] = 1e-13 * float64(i%5+1)
+	}
+	cases := []struct {
+		name string
+		tri  Tridiagonal
+	}{
+		{"wilkinson-w61", wilkinson(61)},
+		{"glued-wilkinson", gluedWilkinson(4, 21, 1e-6)},
+		{"glued-tight", gluedWilkinson(3, 21, 1e-12)},
+		{"near-overflow", scaled(base, 1e300)},
+		{"near-underflow", scaled(base, 1e-300)},
+		{"clustered-spectrum", clustered},
+		{"zero-offdiagonals", Tridiagonal{D: base.D, E: make([]float64, len(base.E))}},
+	}
+	methods := []Method{MethodDC, MethodDCSequential, MethodMRRR, MethodQR}
+	check := func(label string, res *Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Errorf("%s: clean solve failed: %v", label, err)
+			return
+		}
+		if !res.Stats.Audited {
+			t.Errorf("%s: served result was never audited", label)
+		}
+		if res.Stats.CorruptionsDetected != 0 {
+			t.Errorf("%s: audit false positive: %d corruptions detected on a clean solve", label, res.Stats.CorruptionsDetected)
+		}
+		for _, terr := range res.Stats.TierErrors {
+			if IsCorruption(terr) {
+				t.Errorf("%s: audit false positive forced a tier retry: %v", label, terr)
+			}
+		}
+	}
+	for _, tc := range cases {
+		for _, m := range methods {
+			for _, w := range []int{1, 4, 8} {
+				res, err := Solve(tc.tri, &Options{Method: m, Workers: w})
+				check(fmt.Sprintf("%s/%v/w%d", tc.name, m, w), res, err)
+			}
+		}
+		for _, w := range []int{1, 4, 8} {
+			res, err := Solve(tc.tri, &Options{Workers: w, ValuesOnly: true})
+			check(fmt.Sprintf("%s/values-only/w%d", tc.name, w), res, err)
 		}
 	}
 }

@@ -1,0 +1,220 @@
+package eigen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tridiag/internal/faultinject"
+	"tridiag/internal/pool"
+)
+
+// sdcFullClasses are the task kernel classes of the full (vectors) task-flow
+// lane that carry a KindCorrupt hook on their output buffer; the SDC gate
+// injects a silent bit flip into every one of them.
+var sdcFullClasses = []string{
+	"Scale", "STEDC", "SortEigenvectors", "ComputeDeflation", "PermuteV",
+	"LAED4", "ComputeLocalW", "ReduceW", "CopyBackDeflated", "ComputeVect",
+	"UpdateVect", "Dlamrg", "PackV",
+}
+
+// sdcVOClasses are the corrupt-hooked classes of the eigenvalue-only lane.
+var sdcVOClasses = []string{
+	"Scale", "STEDC", "SortEigenvalues", "ComputeDeflation", "LAED4",
+	"ReduceW", "UpdateZ", "Dlamrg",
+}
+
+// sdcProbe arms a deterministic single-shot silent corruption of one task of
+// the given class: the task SUCCEEDS and hands plausible-looking wrong data
+// downstream — only the ABFT checks and the result audit stand between the
+// flip and a wrong answer served to the caller.
+func sdcProbe(seed int64, class string) {
+	faultinject.Enable(seed, faultinject.Probe{
+		Class: class, Kind: faultinject.KindCorrupt, P: 1, MaxFires: 1,
+	})
+}
+
+// sdcLedgerCheck asserts the served result's corruption accounting: a result
+// that was served must have healed everything it detected — detection
+// without healing would mean a known-corrupt answer shipped. Detection
+// itself is asserted per class across a lane's whole run, not per solve: a
+// flip can land in provably-dead data (a K<=2 merge never reads its ẑ
+// buffer; pooled scratch is dirty by contract) or perturb the spectrum below
+// the audit tolerance — both are harmless by the test-side oracle, and the
+// defense contract is detect-or-harmless, not detect-always.
+func sdcLedgerCheck(t *testing.T, label string, st *SolveStats) {
+	t.Helper()
+	if st.CorruptionsHealed != st.CorruptionsDetected {
+		t.Errorf("%s: served result detected %d corruptions but healed %d", label, st.CorruptionsDetected, st.CorruptionsHealed)
+	}
+}
+
+// TestChaosSDCGate is the silent-data-corruption gate: a single-shot bit
+// flip is injected into every corrupt-hooked kernel class, across the full,
+// values-only and batched lanes, over randomized matrices. Every solve must
+// serve a verified-correct result (checked test-side, independently of the
+// in-tree defenses), every fired flip must appear in the corruption ledger as
+// detected-and-healed, the pool accountant must return to baseline, and no
+// goroutines may leak. Zero silent wrong-answer escapes, by construction of
+// the assertions: a flip the defenses missed fails the test-side check.
+func TestChaosSDCGate(t *testing.T) {
+	before := runtime.NumGoroutine()
+	baseline := pool.InUseBytes()
+	defer faultinject.Disable()
+
+	const (
+		fullPerClass  = 20 // full-lane solves per class
+		batchRuns     = 5  // batched runs per class ...
+		batchMembers  = 8  // ... of this many member solves each (40/class)
+		voPerClass    = 60 // values-only solves per class
+		valueTolScale = 1e-8
+	)
+
+	// Full lane: every served result is re-verified test-side with the
+	// residual and orthogonality of the ORIGINAL matrix — a check no in-tree
+	// defense can influence.
+	rng := rand.New(rand.NewSource(42))
+	for ci, class := range sdcFullClasses {
+		var fired, solvesFired, detected int64
+		for it := 0; it < fullPerClass; it++ {
+			seed := int64(1000*ci + it)
+			sdcProbe(seed, class)
+			tri := randomTridiag(rng, 64+rng.Intn(64))
+			res, err := SolveContext(context.Background(), tri, chaosOptions(true))
+			f := faultinject.Fired()[class]
+			faultinject.Disable()
+			checkAccountant(t, "full/"+class, baseline)
+			if err != nil {
+				t.Fatalf("full/%s it=%d: corruption was not healed: %v", class, it, err)
+			}
+			if r := Residual(tri, res); r > 1e-12 {
+				t.Errorf("full/%s it=%d: WRONG ANSWER ESCAPED: residual %.3e (tier %s)", class, it, r, res.Stats.Tier)
+			}
+			if o := Orthogonality(res); o > 1e-12 {
+				t.Errorf("full/%s it=%d: WRONG ANSWER ESCAPED: orthogonality %.3e (tier %s)", class, it, o, res.Stats.Tier)
+			}
+			sdcLedgerCheck(t, "full/"+class, res.Stats)
+			fired += f
+			detected += res.Stats.CorruptionsDetected
+			if f > 0 {
+				solvesFired++
+			}
+		}
+		if fired == 0 {
+			t.Errorf("full/%s: probe never fired in %d solves; the gate tested nothing for this class", class, fullPerClass)
+		}
+		if detected == 0 {
+			t.Errorf("full/%s: %d flips injected, zero ever detected — the class has no working defense", class, fired)
+		}
+		t.Logf("full/%s: %d solves, %d with an injected flip, %d detections", class, fullPerClass, solvesFired, detected)
+	}
+
+	// Values-only lane: no vectors to verify, so the test-side oracle is a
+	// clean (probe-free) solve of the same matrix; the spectra must agree to
+	// rounding.
+	rng = rand.New(rand.NewSource(43))
+	voOpts := func() *Options {
+		o := chaosOptions(true)
+		o.ValuesOnly = true
+		return o
+	}
+	for ci, class := range sdcVOClasses {
+		var fired, detected int64
+		for it := 0; it < voPerClass; it++ {
+			seed := int64(2000*ci + it)
+			tri := randomTridiag(rng, 64+rng.Intn(64))
+			ref, err := SolveContext(context.Background(), tri, voOpts())
+			if err != nil {
+				t.Fatalf("vo/%s it=%d: clean reference solve failed: %v", class, it, err)
+			}
+			sdcProbe(seed, class)
+			res, err := SolveContext(context.Background(), tri, voOpts())
+			f := faultinject.Fired()[class]
+			faultinject.Disable()
+			checkAccountant(t, "vo/"+class, baseline)
+			if err != nil {
+				t.Fatalf("vo/%s it=%d: corruption was not healed: %v", class, it, err)
+			}
+			tol := valueTolScale * spectrumScale(ref.Values)
+			for j := range ref.Values {
+				if d := math.Abs(res.Values[j] - ref.Values[j]); d > tol {
+					t.Errorf("vo/%s it=%d: WRONG ANSWER ESCAPED: eigenvalue %d off by %.3e (tier %s)", class, it, j, d, res.Stats.Tier)
+					break
+				}
+			}
+			sdcLedgerCheck(t, "vo/"+class, res.Stats)
+			fired += f
+			detected += res.Stats.CorruptionsDetected
+		}
+		if fired == 0 {
+			t.Errorf("vo/%s: probe never fired in %d solves; the gate tested nothing for this class", class, voPerClass)
+		}
+		if detected == 0 {
+			t.Errorf("vo/%s: %d flips injected, zero ever detected — the class has no working defense", class, fired)
+		}
+	}
+
+	// Batched lane: one member of each shared-DAG batch takes the flip; its
+	// batch-mates must be untouched and the hit member must still serve a
+	// correct result through the batched audit + solo-degraded-retry path.
+	rng = rand.New(rand.NewSource(44))
+	for ci, class := range sdcFullClasses {
+		var fired, classDetected int64
+		for it := 0; it < batchRuns; it++ {
+			seed := int64(3000*ci + it)
+			tris := make([]Tridiagonal, batchMembers)
+			for i := range tris {
+				tris[i] = randomTridiag(rng, 48+rng.Intn(48))
+			}
+			sdcProbe(seed, class)
+			results, err := SolveBatch(context.Background(), tris, chaosOptions(true))
+			f := faultinject.Fired()[class]
+			faultinject.Disable()
+			checkAccountant(t, "batch/"+class, baseline)
+			if err != nil {
+				t.Fatalf("batch/%s it=%d: corruption was not healed: %v", class, it, err)
+			}
+			var detected int64
+			for i, res := range results {
+				if res == nil {
+					t.Fatalf("batch/%s it=%d: member %d has no result", class, it, i)
+				}
+				if r := Residual(tris[i], res); r > 1e-12 {
+					t.Errorf("batch/%s it=%d member=%d: WRONG ANSWER ESCAPED: residual %.3e (tier %s)", class, it, i, r, res.Stats.Tier)
+				}
+				if o := Orthogonality(res); o > 1e-12 {
+					t.Errorf("batch/%s it=%d member=%d: WRONG ANSWER ESCAPED: orthogonality %.3e (tier %s)", class, it, i, o, res.Stats.Tier)
+				}
+				if res.Stats.CorruptionsHealed != res.Stats.CorruptionsDetected {
+					t.Errorf("batch/%s it=%d member=%d: detected %d but healed %d", class, it, i, res.Stats.CorruptionsDetected, res.Stats.CorruptionsHealed)
+				}
+				detected += res.Stats.CorruptionsDetected
+			}
+			classDetected += detected
+			fired += f
+		}
+		if fired == 0 {
+			t.Errorf("batch/%s: probe never fired in %d batches; the gate tested nothing for this class", class, batchRuns)
+		}
+		if classDetected == 0 {
+			t.Errorf("batch/%s: %d flips injected, zero ever detected — the class has no working defense", class, fired)
+		}
+	}
+
+	checkGoroutines(t, before)
+}
+
+// spectrumScale is the magnitude scale eigenvalue comparisons are relative
+// to: the largest absolute eigenvalue, floored at 1 to keep tolerances
+// meaningful for near-zero spectra.
+func spectrumScale(values []float64) float64 {
+	s := 1.0
+	for _, v := range values {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}

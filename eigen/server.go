@@ -65,6 +65,10 @@ type Server struct {
 	stalls   atomic.Int64
 	admitted atomic.Int64
 
+	leakedBytes  atomic.Int64 // pooled bytes served jobs leaked to the GC
+	corrDetected atomic.Int64 // silent-corruption detections across served jobs
+	corrHealed   atomic.Int64 // detections healed by recompute, retry or fallback
+
 	b   batcher // full-solve request-coalescing window (enabled by BatchWindow > 0)
 	bVO batcher // values-only coalescing window: the two classes never mix in a batch
 
@@ -310,7 +314,7 @@ type ServerStats struct {
 	PoolInUseBytes, PoolRetainedBytes int64
 	// BatchesFlushed counts coalescing-window flushes; FlushByTimer,
 	// FlushBySize and FlushByBytes break them down by trigger.
-	BatchesFlushed                        int64
+	BatchesFlushed                          int64
 	FlushByTimer, FlushBySize, FlushByBytes int64
 	// CoalescedJobs counts jobs that entered a coalescing batch;
 	// BatchServedJobs those served by their batch (the rest fell back to
@@ -330,6 +334,20 @@ type ServerStats struct {
 	// service-time EWMA, so these counters are what capacity planning needs
 	// to see the two classes separately.
 	ValuesOnlyAdmitted, ValuesOnlyCompleted int64
+	// LeakedBytes totals the pooled workspace served jobs leaked to the GC
+	// through failed or cancelled merges (the per-solve
+	// SolveStats.LeakedBytes ledgers, summed). Steady growth means retries
+	// or corruption heals are abandoning workspace — expected under fault
+	// injection, a red flag in production.
+	LeakedBytes int64
+	// CorruptionsDetected counts silent-corruption detections across all
+	// jobs: ABFT checksum mismatches, violated merge invariants, failed
+	// result audits, and corruption-classified attempt failures.
+	// CorruptionsHealed is how many of them were contained — the job was
+	// still served a verified result (task recompute, same-tier retry, or
+	// tier fallback). Detected > Healed means corrupted jobs failed outright;
+	// detections NEVER ship: a result that failed its audit is not returned.
+	CorruptionsDetected, CorruptionsHealed int64
 	// AvgServiceNanos and ValuesOnlyAvgServiceNanos are the per-class
 	// service-time EWMAs feeding the deadline-aware admission check
 	// (0 until a job of that class completes).
@@ -410,9 +428,9 @@ type batchReq struct {
 type batcher struct {
 	mu      sync.Mutex
 	pending []*batchReq
-	bytes   int64       // telescoped batch-aware estimate of pending
-	gen     uint64      // invalidates stale timer firings
-	timer   *time.Timer // armed while pending is non-empty, nil otherwise
+	bytes   int64        // telescoped batch-aware estimate of pending
+	gen     uint64       // invalidates stale timer firings
+	timer   *time.Timer  // armed while pending is non-empty, nil otherwise
 	window  atomic.Int64 // current adaptive flush window, nanoseconds
 }
 
@@ -700,6 +718,15 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 		close(job.done)
 	}()
 
+	// Every stochastic delay of this job draws from its own seeded stream:
+	// concurrent jobs sharing the process-global RNG would contend on its
+	// lock under load, and their backoff schedules would be irreproducible —
+	// with the job ID as seed, a replayed job jitters identically.
+	rng := rand.New(rand.NewSource(int64(job.id)))
+	// jobCorrupt counts this job's corruption-classified attempt failures;
+	// they are healed if a later attempt (or the fallback tier) serves.
+	var jobCorrupt int64
+
 	// Coalescing: an eligible job joins the batch window and waits for its
 	// flush; only members whose batched attempt fails fall through to the
 	// solo ladder below (keeping their queue slot, with the batch attempt
@@ -716,6 +743,10 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 			return sr, oerr
 		case batchFailed:
 			lastErr = oerr
+			if faultinject.Corruption(oerr) {
+				s.corrDetected.Add(1)
+				jobCorrupt++
+			}
 		}
 	}
 
@@ -760,6 +791,8 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 		res, err := s.attempt(ctx, t, &po)
 		if err == nil {
 			s.breakers.success(probe)
+			s.absorb(res)
+			s.corrHealed.Add(jobCorrupt)
 			sr.Result = res
 			if sr.Attempts > 1 {
 				sr.Disposition = DispositionRetried
@@ -778,12 +811,16 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 			sr.Stalls++
 			s.stalls.Add(1)
 		}
+		if faultinject.Corruption(err) {
+			s.corrDetected.Add(1)
+			jobCorrupt++
+		}
 		s.breakers.failure(faultinject.ClassOf(err), probe)
 		if !faultinject.Transient(err) || sr.Attempts > s.cfg.MaxRetries {
 			break // persistent, or retries exhausted: degrade
 		}
 		s.retries.Add(1)
-		if !s.backoff(ctx, sr.Attempts) {
+		if !s.backoff(ctx, rng, sr.Attempts) {
 			sr.Disposition = DispositionCancelled
 			return sr, cancelCause(ctx, s.drainCtx)
 		}
@@ -797,6 +834,8 @@ func (s *Server) Solve(ctx context.Context, t Tridiagonal, opts *Options) (*Serv
 	sr.Attempts++
 	res, err := s.attempt(ctx, t, &fo)
 	if err == nil {
+		s.absorb(res)
+		s.corrHealed.Add(jobCorrupt)
 		sr.Result = res
 		sr.Disposition = DispositionDegraded
 		return sr, nil
@@ -975,6 +1014,7 @@ func (s *Server) awaitBatched(ctx context.Context, t Tridiagonal, est int64, sr 
 		s.unqueue()
 		s.batchServed.Add(1)
 		s.breakers.success("")
+		s.absorb(req.res)
 		sr.Result = req.res
 		sr.Disposition = DispositionCompleted
 		return batchServed, nil
@@ -1174,11 +1214,23 @@ func (s *Server) SolveBatch(ctx context.Context, ts []Tridiagonal, opts *Options
 	return out
 }
 
+// absorb folds one served result's per-solve ledgers (leaked workspace,
+// corruption detections and heals) into the service counters.
+func (s *Server) absorb(res *Result) {
+	if res == nil || res.Stats == nil {
+		return
+	}
+	s.leakedBytes.Add(res.Stats.LeakedBytes)
+	s.corrDetected.Add(res.Stats.CorruptionsDetected)
+	s.corrHealed.Add(res.Stats.CorruptionsHealed)
+}
+
 // backoff sleeps the exponential-with-jitter retry delay for the given
-// attempt number; false means the job's context (or the drain) fired first.
-func (s *Server) backoff(ctx context.Context, attempt int) bool {
+// attempt number, drawing the jitter from the job's own seeded stream; false
+// means the job's context (or the drain) fired first.
+func (s *Server) backoff(ctx context.Context, rng *rand.Rand, attempt int) bool {
 	d := s.cfg.RetryBase << uint(min(attempt-1, 4)) // cap at 16×base
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 	tm := time.NewTimer(d)
 	defer tm.Stop()
 	select {
@@ -1309,6 +1361,9 @@ func (s *Server) Stats() ServerStats {
 	st.BatchTaskNanos = s.batchTaskNanos.Load()
 	st.ValuesOnlyAdmitted = s.voAdmitted.Load()
 	st.ValuesOnlyCompleted = s.voCompleted.Load()
+	st.LeakedBytes = s.leakedBytes.Load()
+	st.CorruptionsDetected = s.corrDetected.Load()
+	st.CorruptionsHealed = s.corrHealed.Load()
 	if s.cfg.BatchWindow > 0 {
 		st.BatchWindow = time.Duration(s.b.window.Load())
 		st.BatchSizeHist = make([]int64, batchHistBuckets)

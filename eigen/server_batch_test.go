@@ -96,10 +96,10 @@ func TestServerCoalescingEligibility(t *testing.T) {
 	cfg.BatchMaxN = 64
 	s := NewServer(cfg)
 	rng := rand.New(rand.NewSource(21))
-	mustSolve(t, s, randomTridiag(rng, 128), nil)                         // above BatchMaxN
-	mustSolve(t, s, randomTridiag(rng, 40), &Options{Workers: 2})         // explicit workers
-	mustSolve(t, s, randomTridiag(rng, 40), &Options{MinPartition: 16})   // explicit partition
-	mustSolve(t, s, randomTridiag(rng, 40), &Options{Method: MethodQR})   // no task graph
+	mustSolve(t, s, randomTridiag(rng, 128), nil)                       // above BatchMaxN
+	mustSolve(t, s, randomTridiag(rng, 40), &Options{Workers: 2})       // explicit workers
+	mustSolve(t, s, randomTridiag(rng, 40), &Options{MinPartition: 16}) // explicit partition
+	mustSolve(t, s, randomTridiag(rng, 40), &Options{Method: MethodQR}) // no task graph
 	st := s.Stats()
 	if st.CoalescedJobs != 0 || st.DirectJobs != 4 {
 		t.Fatalf("coalesced=%d direct=%d, want 0/4", st.CoalescedJobs, st.DirectJobs)

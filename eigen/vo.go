@@ -43,6 +43,75 @@ func sturmCountBelow(d, e []float64, x, pivmin float64) int {
 	return count
 }
 
+// sturmCountBelow4 runs four independent Sturm counts in one pass over the
+// matrix, returning exactly what four sturmCountBelow calls would. The four
+// recurrences share no state, so their long-latency pivot divisions
+// pipeline instead of serializing.
+func sturmCountBelow4(d, e []float64, x [4]float64, pivmin float64) [4]int {
+	var c0, c1, c2, c3 int
+	t0 := d[0] - x[0]
+	t1 := d[0] - x[1]
+	t2 := d[0] - x[2]
+	t3 := d[0] - x[3]
+	if math.Abs(t0) < pivmin {
+		t0 = -pivmin
+	}
+	if math.Abs(t1) < pivmin {
+		t1 = -pivmin
+	}
+	if math.Abs(t2) < pivmin {
+		t2 = -pivmin
+	}
+	if math.Abs(t3) < pivmin {
+		t3 = -pivmin
+	}
+	if t0 < 0 {
+		c0++
+	}
+	if t1 < 0 {
+		c1++
+	}
+	if t2 < 0 {
+		c2++
+	}
+	if t3 < 0 {
+		c3++
+	}
+	for i := 1; i < len(d); i++ {
+		e2 := e[i-1] * e[i-1]
+		di := d[i]
+		t0 = (di - x[0]) - e2/t0
+		t1 = (di - x[1]) - e2/t1
+		t2 = (di - x[2]) - e2/t2
+		t3 = (di - x[3]) - e2/t3
+		if math.Abs(t0) < pivmin {
+			t0 = -pivmin
+		}
+		if math.Abs(t1) < pivmin {
+			t1 = -pivmin
+		}
+		if math.Abs(t2) < pivmin {
+			t2 = -pivmin
+		}
+		if math.Abs(t3) < pivmin {
+			t3 = -pivmin
+		}
+		if t0 < 0 {
+			c0++
+		}
+		if t1 < 0 {
+			c1++
+		}
+		if t2 < 0 {
+			c2++
+		}
+		if t3 < 0 {
+			c3++
+		}
+	}
+	return [4]int{c0, c1, c2, c3}
+}
+
 // spectrumSamples is how many eigenvalue indices validateSpectrum probes.
 // Each probe is two O(n) Sturm counts, so the whole check is O(n·samples) —
 // negligible next to any solve — while still bracketing the spectrum's ends
@@ -54,6 +123,12 @@ const spectrumSamples = 32
 // eigenvalue). The tolerance is the values-only analogue of the maxResidual
 // bar: maxResidual · n · ‖T‖.
 func validateSpectrum(t Tridiagonal, w []float64) error {
+	return validateSpectrumN(t, w, spectrumSamples)
+}
+
+// validateSpectrumN is validateSpectrum with a caller-chosen probe count —
+// the always-on audit's knob (AuditOptions.SpectrumSamples).
+func validateSpectrumN(t Tridiagonal, w []float64, samples int) error {
 	n := t.N()
 	if n == 0 {
 		return nil
@@ -83,22 +158,50 @@ func validateSpectrum(t Tridiagonal, w []float64) error {
 	}
 	pivmin := math.Max(lapack.SafeMin, lapack.SafeMin*maxE2)
 
-	samples := spectrumSamples
+	if samples <= 0 {
+		samples = spectrumSamples
+	}
 	if samples > n {
 		samples = n
 	}
+	// Gather every probe shift up front and run the counts four at a time:
+	// the LDLᵀ recurrences are independent, so interleaving four chains
+	// pipelines the per-pivot division latency that dominates a single
+	// count (~4× over sequential counts on the always-on audit path).
+	idx := make([]int, samples)
+	shifts := make([]float64, 2*samples)
 	for s := 0; s < samples; s++ {
 		// Even spread over [0, n-1], endpoints always included.
 		i := 0
 		if samples > 1 {
 			i = s * (n - 1) / (samples - 1)
 		}
+		idx[s] = i
+		shifts[2*s] = w[i] + tol
+		shifts[2*s+1] = w[i] - tol
+	}
+	counts := make([]int, len(shifts))
+	for s := 0; s < len(shifts); s += 4 {
+		var x [4]float64
+		for l := 0; l < 4; l++ {
+			if s+l < len(shifts) {
+				x[l] = shifts[s+l]
+			} else {
+				x[l] = shifts[len(shifts)-1]
+			}
+		}
+		c := sturmCountBelow4(t.D, t.E, x, pivmin)
+		for l := 0; l < 4 && s+l < len(shifts); l++ {
+			counts[s+l] = c[l]
+		}
+	}
+	for s, i := range idx {
 		// At least i+1 eigenvalues at or below λᵢ+tol…
-		if got := sturmCountBelow(t.D, t.E, w[i]+tol, pivmin); got < i+1 {
+		if got := counts[2*s]; got < i+1 {
 			return fmt.Errorf("eigenvalue %d = %.6g: only %d eigenvalues below λ+tol, want ≥ %d", i, w[i], got, i+1)
 		}
 		// …and at most i strictly below λᵢ−tol.
-		if got := sturmCountBelow(t.D, t.E, w[i]-tol, pivmin); got > i {
+		if got := counts[2*s+1]; got > i {
 			return fmt.Errorf("eigenvalue %d = %.6g: %d eigenvalues below λ−tol, want ≤ %d", i, w[i], got, i)
 		}
 	}

@@ -24,6 +24,10 @@ const (
 type PackedA struct {
 	m, k int
 	buf  []float64 // ceil(m/MR) panels × k steps × MR values
+	// chk, when non-nil, holds the ABFT checksum rows of the operand
+	// (PackAChecked): chk[0:k] the column sums, chk[k:2k] the absolute
+	// column sums the Verify rounding bound is built from.
+	chk []float64
 }
 
 // PackA packs op(A) (m×k, op controlled by transA) into micro-panel form.
@@ -72,13 +76,17 @@ func (pa *PackedA) Bytes() int { return 8 * len(pa.buf) }
 
 // PooledBytes returns the pool-accounted bytes of the pack buffer (its
 // size-class capacity), for leak accounting of abandoned merges.
-func (pa *PackedA) PooledBytes() int64 { return pool.AccountedBytes(pa.buf) }
+func (pa *PackedA) PooledBytes() int64 {
+	return pool.AccountedBytes(pa.buf) + pool.AccountedBytes(pa.chk)
+}
 
-// Release returns the pack buffer to the scratch pool. The PackedA must not
-// be used afterwards.
+// Release returns the pack buffer (and any checksum rows) to the scratch
+// pool. The PackedA must not be used afterwards.
 func (pa *PackedA) Release() {
 	pool.Put(pa.buf)
 	pa.buf = nil
+	pool.Put(pa.chk)
+	pa.chk = nil
 }
 
 // packB packs op(B)(pc:pc+kb, jc:jc+nb) into column micro-panels of gemmNR

@@ -17,9 +17,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"tridiag/internal/blas"
+	"tridiag/internal/faultinject"
 	"tridiag/internal/lapack"
 	"tridiag/internal/pool"
 	"tridiag/internal/quark"
@@ -105,6 +107,15 @@ type Options struct {
 	// ModeSequential and ModeForkJoin degrade to the root-free Dsterf
 	// reference, and the level-synchronized baselines are rejected.
 	ValuesOnly bool
+	// DisableABFT turns off the always-on silent-corruption defenses of the
+	// task-flow modes (DESIGN.md §18): ABFT checksum rows on the packed
+	// UpdateVect operands with per-panel verification, the per-merge trace
+	// and interlacing invariants, and the in-place re-execution of kernels
+	// whose output failed a check. The checks cost O(n) per merge plus
+	// O(m·n) per verified GEMM panel against the merge's O(m·n·k) work; they
+	// are on by default and this switch exists for overhead measurement, not
+	// production use.
+	DisableABFT bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -202,6 +213,9 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 	if o.Progress != nil {
 		rtOpts = append(rtOpts, quark.WithProgress(o.Progress))
 	}
+	if !o.DisableABFT {
+		rtOpts = append(rtOpts, quark.WithTaskRetry(corruptionRetryPred))
+	}
 	rt := quark.New(o.Workers, rtOpts...)
 
 	var merges []*mergeState
@@ -216,6 +230,7 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 		err = submitTaskFlow(rt, rt.Wait, n, d, e, q, ldq, &o, res.Stats, &merges)
 	}
 	werr := rt.Wait()
+	res.Stats.setABFTRetries(rt.Retries())
 	if o.CaptureGraph {
 		res.Graph = rt.Graph()
 	}
@@ -234,6 +249,52 @@ func SolveDCContext(ctx context.Context, n int, d, e []float64, q []float64, ldq
 		return res, err
 	}
 	return res, werr
+}
+
+// corruptionRetryPred is the WithTaskRetry policy of the ABFT layer: a kernel
+// whose inline check detected silent corruption (a failed GEMM checksum or a
+// secular root outside its interlacing bracket) is re-executed once in place.
+// Only idempotent classes qualify — LAED4 reads read-only poles and fully
+// overwrites its output panel, UpdateVect is a beta=0 full-overwrite GEMM —
+// so the recompute replaces the corrupted output without double-applying
+// anything. Classes that transform state in place (ComputeVect) or whose
+// corruption is detected downstream of the writer (trace defects surface in
+// Dlamrg) heal at the solve level instead, through the eigen retry ladder.
+func corruptionRetryPred(class string, err error) bool {
+	switch class {
+	case "LAED4", "UpdateVect":
+		return faultinject.Corruption(err)
+	}
+	return false
+}
+
+// corruptHook lets an armed KindCorrupt chaos probe flip a bit in a kernel's
+// output buffer; one atomic load and a no-op unless probes are enabled.
+func corruptHook(class string, data []float64) {
+	if faultinject.Active() {
+		faultinject.Corrupt(class, data)
+	}
+}
+
+// kahanSum returns the compensated sum, the absolute-value sum, and the
+// absolute maximum of v: the trace invariant compares Σd across a merge
+// against a ~256·eps tolerance, which naive n-term summation noise
+// (O(n·eps·Σ|d|)) would exceed for large one-signed spectra; compensation
+// makes the summation error O(eps·Σ|d|) independent of n.
+func kahanSum(v []float64) (sum, absSum, maxAbs float64) {
+	var c float64
+	for _, x := range v {
+		a := math.Abs(x)
+		absSum += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum, absSum, maxAbs
 }
 
 // node is one subtree of the D&C partition.
@@ -295,6 +356,7 @@ func submitTaskFlow(rt taskRuntime, barrier func() error, n int, d, e []float64,
 			d[b] -= ae
 		}
 		st.count("Scale", int64(n))
+		corruptHook("Scale", d[:n])
 	}, quark.Write(hScale))
 
 	indxq := make([]int, n)
@@ -335,6 +397,7 @@ func submitTaskFlow(rt taskRuntime, barrier func() error, n int, d, e []float64,
 				indxq[st0+j] = j
 			}
 			st.count("STEDC", int64(sz)*int64(sz)*int64(sz))
+			corruptHook("STEDC", d[st0:st0+sz])
 		}, quark.Read(hScale), quark.Write(nd.hV), quark.Write(nd.hD))
 	}
 
@@ -377,6 +440,7 @@ func submitTaskFlow(rt taskRuntime, barrier func() error, n int, d, e []float64,
 			lapack.Dlascl(n, 1, 1, orgnrm, d, n)
 		}
 		st.count("SortEigenvectors", int64(n)*int64(n))
+		corruptHook("SortEigenvectors", d[:n])
 	}, quark.ReadWrite(root.hV), quark.ReadWrite(root.hD))
 	return nil
 }
@@ -435,6 +499,14 @@ type mergeState struct {
 	// row nm-1 over the C23 bottom-block columns).
 	porg, ptau   []float64
 	vgtop, vgbot []float64
+	// ABFT trace invariant (DESIGN.md §18), filled by the deflation join when
+	// the defenses are on: the merged spectrum must sum to traceWant within
+	// traceTol (checked by the Dlamrg join, which is ordered after every
+	// eigenvalue writer of the merge). statIdx is the merge's MergeStat index
+	// so the measured defect lands in the stats.
+	traceWant, traceTol float64
+	abft                bool
+	statIdx             int
 	// pending counts the merge's not-yet-finished workspace consumers
 	// (UpdateVect and CopyBackDeflated panels plus PackV on the full path,
 	// the UpdateZ panels on the values-only path); when the last one
@@ -551,6 +623,14 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 	// applies pair rotations on V, allocates the merge workspace.
 	rt.SubmitPrio("ComputeDeflation", fmt.Sprintf("deflate[%d:%d]", start, start+nm), prio+prioJoin, func() {
 		rho := e[rhoAddr]
+		// Trace invariant: capture Σd over the block at merge entry; the
+		// deflation rotations preserve it exactly and the rank-one update
+		// adds df.Rho, so the merged spectrum must sum to traceIn + Rho
+		// (checked by the Dlamrg join).
+		var traceIn, absIn, dmaxIn float64
+		if !o.DisableABFT {
+			traceIn, absIn, dmaxIn = kahanSum(dd)
+		}
 		z := pool.Get(nm)
 		defer pool.Put(z)
 		blas.Dcopy(n1, qq[n1-1:], ldq, z, 1)
@@ -565,8 +645,17 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 		if o.PanelSize <= 0 {
 			ms.nbSec = secularPanelNB(df.K, npanels, rt.Workers())
 		}
+		if !o.DisableABFT {
+			ms.traceWant, ms.traceTol = lapack.TraceBudget(traceIn, absIn, dmaxIn, df.Rho, nm)
+			ms.abft = true
+		}
 		st.count("ComputeDeflation", int64(nm))
-		st.recordMerge(lvl, nm, df.K, ms.nbSec)
+		ms.statIdx = st.recordMerge(lvl, nm, df.K, ms.nbSec)
+		// A corrupted pole propagates into every secular root of the merge
+		// and breaks the trace invariant; dd itself is fully overwritten by
+		// the LAED4 and CopyBackDeflated panels, so Dlamda is the join's
+		// output that actually ships.
+		corruptHook("ComputeDeflation", df.Dlamda)
 	}, quark.ReadWrite(parent.hV), quark.ReadWrite(parent.hD),
 		quark.Read(left.hV), quark.Read(right.hV),
 		quark.Read(left.hD), quark.Read(right.hD),
@@ -597,6 +686,9 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 		rt.SubmitPrio("PermuteV", name("PermuteV", p), prio+prioPermute, func() {
 			ms.df.PermutePanel(qq, ldq, ms.ws, g0, g1)
 			st.count("PermuteV", int64(g1-g0)*int64(nm))
+			// Corrupt only the first column this panel wrote — the other
+			// panels' regions are being written concurrently.
+			corruptHook("PermuteV", ms.df.PermutedColumn(ms.ws, g0))
 		}, quark.Read(parent.hV), quark.Gather(hS), quark.ReadWrite(hPerm[p]))
 	}
 
@@ -628,6 +720,17 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 				st.count("LAED4Bisect", int64(nfb))
 			}
 			st.count("LAED4", int64(j1-j0)*int64(k))
+			corruptHook("LAED4", dd[j0:j1])
+			if !o.DisableABFT {
+				// Interlacing invariant; a violation is panicked as a
+				// corruption error, which re-executes this panel in place
+				// (SecularPanel fully overwrites its outputs).
+				st.count("ABFTInvariant", 1)
+				if ierr := ms.df.CheckInterlacing(dd, j0, j1); ierr != nil {
+					st.count("ABFTInvariantFail", 1)
+					panic(ierr)
+				}
+			}
 		}, acc...)
 	}
 
@@ -650,6 +753,7 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 			}
 			ms.df.LocalWPanel(ms.ws, wl, j0, j1)
 			st.count("ComputeLocalW", int64(j1-j0)*int64(k))
+			corruptHook("ComputeLocalW", wl)
 		}, quark.Gather(hS), quark.ReadWrite(hSec[p]))
 	}
 
@@ -661,6 +765,7 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 			ms.wlocs[p] = nil
 		}
 		st.count("ReduceW", int64(ms.df.K))
+		corruptHook("ReduceW", ms.what)
 	}, quark.ReadWrite(hS))
 
 	// CopyBackDeflated: move deflated vectors to the tail of the parent V.
@@ -679,6 +784,9 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 			}
 			ms.df.CopyBackPanel(qq, ldq, dd, ms.ws, j0, j1)
 			st.count("CopyBackDeflated", int64(j1-j0)*int64(nm))
+			// Corrupt this panel's deflated eigenvalues: the trace check in
+			// Dlamrg catches any drift in the merged spectrum.
+			corruptHook("CopyBackDeflated", dd[k+j0:k+j1])
 		}, acc...)
 	}
 
@@ -701,6 +809,7 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 			}
 			ms.df.VectorsPanel(ms.ws, ms.what, j0, j1)
 			st.count("ComputeVect", int64(j1-j0)*int64(k))
+			corruptHook("ComputeVect", ms.ws.S[j0*k:j1*k])
 		}, acc...)
 	}
 
@@ -716,21 +825,40 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 		if k == 0 {
 			return
 		}
-		if bytes := ms.df.PackV(ms.ws, min(ms.nbSec, k)); bytes > 0 {
+		pack := ms.df.PackV
+		if !o.DisableABFT {
+			pack = ms.df.PackVChecked
+		}
+		if bytes := pack(ms.ws, min(ms.nbSec, k)); bytes > 0 {
 			st.count("PackV", int64(bytes))
+		}
+		// Corrupt the packed operand itself, after its checksum rows were
+		// computed from the clean data: every UpdateVect GEMM through it must
+		// then fail verification.
+		if faultinject.Active() {
+			if ms.ws.PackTop != nil {
+				faultinject.Corrupt("PackV", ms.ws.PackTop.PackedData())
+			} else if ms.ws.PackBot != nil {
+				faultinject.Corrupt("PackV", ms.ws.PackBot.PackedData())
+			}
 		}
 	}, quark.Gather(parent.hV), quark.Write(hPack))
 
 	// UpdateVect: V = Ṽ × X, two compressed GEMMs per panel (through the
-	// shared packed operands where PackV judged the shape worthwhile).
+	// shared packed operands where PackV judged the shape worthwhile). The
+	// merge-done bookkeeping runs through a sync.Once on the success path —
+	// not a defer — so a panel panicking on a failed ABFT checksum does not
+	// release the shared workspace its in-place re-execution is about to
+	// read, and the retry's own completion still releases it exactly once.
 	for p := 0; p < npanels; p++ {
 		p := p
+		var once sync.Once
 		rt.SubmitPrio("UpdateVect", name("UpdateVect", p), prio+prioUpdate, func() {
-			defer ms.done()
 			k := ms.df.K
 			j0 := p * ms.nbSec
 			j1 := min(j0+ms.nbSec, k)
 			if j0 >= j1 {
+				once.Do(ms.done)
 				return
 			}
 			hits, misses := ms.df.UpdatePanel(qq, ldq, ms.ws, j0, j1, nil)
@@ -741,6 +869,18 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 				st.count("UpdateVectPackMiss", int64(misses))
 			}
 			st.count("UpdateVect", 2*int64(j1-j0)*int64(nm)*int64(k))
+			corruptHook("UpdateVect", qq[j0*ldq:j0*ldq+nm])
+			if !o.DisableABFT {
+				checked, cerr := ms.df.VerifyUpdatePanel(qq, ldq, ms.ws, j0, j1)
+				if checked > 0 {
+					st.count("ABFTChecksum", int64(checked))
+				}
+				if cerr != nil {
+					st.count("ABFTChecksumFail", 1)
+					panic(cerr)
+				}
+			}
+			once.Do(ms.done)
 		}, quark.Gather(parent.hV), quark.Read(hPack), quark.Read(hSec[p]))
 	}
 
@@ -757,9 +897,21 @@ func submitMerge(rt taskRuntime, parent, left, right *node, lvl int, d, e []floa
 		}
 	}
 
-	// Dlamrg: build the sorting permutation for the merged spectrum.
+	// Dlamrg: build the sorting permutation for the merged spectrum. Its
+	// ReadWrite on the parent d-handle orders it after every eigenvalue
+	// writer of the merge, so this is where the trace invariant is checked.
 	rt.SubmitPrio("Dlamrg", fmt.Sprintf("Dlamrg[%d:%d]", start, start+nm), prio+prioDlamrg, func() {
 		k := ms.df.K
+		corruptHook("Dlamrg", dd)
+		if ms.abft {
+			st.count("ABFTInvariant", 1)
+			defect, terr := lapack.CheckTrace(dd, nm, ms.traceWant, ms.traceTol)
+			st.setMergeTraceDefect(ms.statIdx, defect)
+			if terr != nil {
+				st.count("ABFTInvariantFail", 1)
+				panic(terr)
+			}
+		}
 		if k == 0 {
 			for i := 0; i < nm; i++ {
 				ixq[i] = i

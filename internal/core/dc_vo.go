@@ -50,6 +50,7 @@ func submitTaskFlowVO(rt taskRuntime, n int, d, e, fl []float64, o *Options, st 
 			d[b] -= ae
 		}
 		st.count("Scale", int64(n))
+		corruptHook("Scale", d[:n])
 	}, quark.Write(hScale))
 
 	indxq := make([]int, n)
@@ -75,6 +76,7 @@ func submitTaskFlowVO(rt taskRuntime, n int, d, e, fl []float64, o *Options, st 
 				indxq[st0+j] = j
 			}
 			st.count("STEDC", int64(sz)*int64(sz)*int64(sz))
+			corruptHook("STEDC", d[st0:st0+sz])
 		}, quark.Read(hScale), quark.Write(nd.hV), quark.Write(nd.hD))
 	}
 
@@ -114,6 +116,7 @@ func submitTaskFlowVO(rt taskRuntime, n int, d, e, fl []float64, o *Options, st 
 			lapack.Dlascl(n, 1, 1, orgnrm, d, n)
 		}
 		st.count("SortEigenvalues", int64(n))
+		corruptHook("SortEigenvalues", d[:n])
 	}, quark.ReadWrite(root.hV), quark.ReadWrite(root.hD))
 	return nil
 }
@@ -160,6 +163,11 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 	// ComputeDeflation + every PermuteV + every CopyBackDeflated panel.
 	rt.SubmitPrio("ComputeDeflation", fmt.Sprintf("deflate[%d:%d]", start, start+nm), prio+prioJoin, func() {
 		rho := e[rhoAddr]
+		// Trace invariant capture, as on the full path (see submitMerge).
+		var traceIn, absIn, dmaxIn float64
+		if !o.DisableABFT {
+			traceIn, absIn, dmaxIn = kahanSum(dd)
+		}
 		z := pool.Get(nm)
 		defer pool.Put(z)
 		for j := 0; j < n1; j++ {
@@ -207,8 +215,13 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 		if o.PanelSize <= 0 {
 			ms.nbSec = secularPanelNB(df.K, npanels, rt.Workers())
 		}
+		if !o.DisableABFT {
+			ms.traceWant, ms.traceTol = lapack.TraceBudget(traceIn, absIn, dmaxIn, df.Rho, nm)
+			ms.abft = true
+		}
 		st.count("ComputeDeflation", int64(nm))
-		st.recordMerge(lvl, nm, df.K, ms.nbSec)
+		ms.statIdx = st.recordMerge(lvl, nm, df.K, ms.nbSec)
+		corruptHook("ComputeDeflation", df.Dlamda)
 	}, quark.ReadWrite(parent.hV), quark.ReadWrite(parent.hD),
 		quark.Read(left.hV), quark.Read(right.hV),
 		quark.Read(left.hD), quark.Read(right.hD),
@@ -231,11 +244,16 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 			if !isRoot {
 				porg, ptau = ms.porg, ms.ptau
 				if k > 2 {
-					wl = pool.Get(k)
+					// Reuse the panel's buffer on an ABFT retry re-invocation
+					// (pool.Get only on the first pass keeps the accountant
+					// honest); reinitializing to 1 makes the kernel idempotent.
 					// Publish the buffer before running the kernel: if the
 					// kernel panics, sweepLeaked must see wl to write it off
 					// the accountant.
-					ms.wlocs[p] = wl
+					if wl = ms.wlocs[p]; wl == nil {
+						wl = pool.Get(k)
+						ms.wlocs[p] = wl
+					}
 					for i := range wl {
 						wl[i] = 1
 					}
@@ -249,6 +267,14 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 				st.count("LAED4Bisect", int64(nfb))
 			}
 			st.count("LAED4", int64(j1-j0)*int64(k))
+			corruptHook("LAED4", dd[j0:j1])
+			if !o.DisableABFT {
+				st.count("ABFTInvariant", 1)
+				if ierr := ms.df.CheckInterlacing(dd, j0, j1); ierr != nil {
+					st.count("ABFTInvariantFail", 1)
+					panic(ierr)
+				}
+			}
 		}, quark.Gather(hS), quark.Gather(parent.hD), quark.ReadWrite(hSec[p]))
 	}
 
@@ -261,6 +287,7 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 				ms.wlocs[p] = nil
 			}
 			st.count("ReduceW", int64(ms.df.K))
+			corruptHook("ReduceW", ms.what)
 		}, quark.ReadWrite(hS))
 
 		// UpdateZ: the parent carrier entries per secular panel — the
@@ -278,6 +305,10 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 				}
 				ms.df.UpdateZPanelVO(ms.what, ms.porg, ms.ptau, ms.vgtop, ms.vgbot, flm, j0, j1)
 				st.count("UpdateZ", int64(j1-j0)*int64(k))
+				// Corrupt this panel's carrier columns; the parent merge's
+				// corrupted z makes the final spectrum inconsistent with the
+				// original matrix, which the solve-level inertia audit flags.
+				corruptHook("UpdateZ", flm[2*j0:2*j1])
 			}, quark.Gather(hS), quark.Gather(parent.hV), quark.ReadWrite(hSec[p]))
 		}
 	}
@@ -287,6 +318,16 @@ func submitMergeVO(rt taskRuntime, parent, left, right *node, lvl int, isRoot bo
 	// per merge.
 	rt.SubmitPrio("Dlamrg", fmt.Sprintf("Dlamrg[%d:%d]", start, start+nm), prio+prioDlamrg, func() {
 		k := ms.df.K
+		corruptHook("Dlamrg", dd)
+		if ms.abft {
+			st.count("ABFTInvariant", 1)
+			defect, terr := lapack.CheckTrace(dd, nm, ms.traceWant, ms.traceTol)
+			st.setMergeTraceDefect(ms.statIdx, defect)
+			if terr != nil {
+				st.count("ABFTInvariantFail", 1)
+				panic(terr)
+			}
+		}
 		if k == 0 {
 			for i := 0; i < nm; i++ {
 				ixq[i] = i

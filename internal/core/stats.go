@@ -27,19 +27,25 @@ type Stats struct {
 	Tasks  map[string]int64 // executed task count per kernel class
 	Merges []MergeStat
 
-	taskNanos map[string]*atomic.Int64 // summed kernel wall time per class
-	otherNano atomic.Int64             // classes not in taskClasses (defensive)
-	leaked    atomic.Int64             // pooled bytes abandoned by failed merges
+	taskNanos   map[string]*atomic.Int64 // summed kernel wall time per class
+	otherNano   atomic.Int64             // classes not in taskClasses (defensive)
+	leaked      atomic.Int64             // pooled bytes abandoned by failed merges
+	abftRetries atomic.Int64             // kernels re-executed to heal detected SDC
 }
 
 // MergeStat describes one merge: its tree level, size, secular size
-// (n - k eigenpairs were deflated), and the secular panel width nb the
-// scheduler used for it (the adaptive choice when Options.PanelSize == 0).
+// (n - k eigenpairs were deflated), the secular panel width nb the
+// scheduler used for it (the adaptive choice when Options.PanelSize == 0),
+// and the measured trace defect of the merged spectrum — how far Σd drifted
+// from the trace-preservation invariant (recorded by the Dlamrg join when
+// ABFT is enabled; ~1e-16·‖d‖ on a clean merge, and the quantity whose
+// tolerance breach classifies the merge as silently corrupted).
 type MergeStat struct {
-	Level int
-	N     int
-	K     int
-	NB    int
+	Level       int
+	N           int
+	K           int
+	NB          int
+	TraceDefect float64
 }
 
 func newStats() *Stats {
@@ -100,10 +106,70 @@ func (s *Stats) addLeaked(bytes int64) {
 // values mean the solve paid a one-off GC cost instead of recycling.
 func (s *Stats) LeakedBytes() int64 { return s.leaked.Load() }
 
-func (s *Stats) recordMerge(level, n, k, nb int) {
+// recordMerge appends one merge record and returns its index, so the merge's
+// later join tasks (Dlamrg's trace check) can fill in fields computed after
+// the deflation scan.
+func (s *Stats) recordMerge(level, n, k, nb int) int {
 	s.mu.Lock()
+	idx := len(s.Merges)
 	s.Merges = append(s.Merges, MergeStat{Level: level, N: n, K: k, NB: nb})
 	s.mu.Unlock()
+	return idx
+}
+
+func (s *Stats) setMergeTraceDefect(idx int, defect float64) {
+	s.mu.Lock()
+	if idx >= 0 && idx < len(s.Merges) {
+		s.Merges[idx].TraceDefect = defect
+	}
+	s.mu.Unlock()
+}
+
+// setABFTRetries records how many kernels the runtime re-executed in place
+// under the corruption-retry policy (harvested once, after the runtime stops).
+func (s *Stats) setABFTRetries(n int64) { s.abftRetries.Store(n) }
+
+// ABFTStats summarizes a solve's silent-corruption defenses: how many checks
+// ran, how many detections they produced, and how many kernels were healed by
+// in-place re-execution. On a clean solve only Checksums and Invariants are
+// nonzero.
+type ABFTStats struct {
+	// Checksums is the number of packed-GEMM outputs verified against their
+	// operand checksum rows (UpdateVect panels through PackVChecked operands).
+	Checksums int64
+	// Invariants is the number of merge-invariant checks that ran: one trace
+	// check per merge plus one interlacing sweep per secular panel.
+	Invariants int64
+	// ChecksumFailures and InvariantFailures count detections (each one either
+	// healed by a task retry or escalated as a corruption error).
+	ChecksumFailures  int64
+	InvariantFailures int64
+	// Retries is how many kernels were re-executed in place to heal a
+	// detected corruption.
+	Retries int64
+	// MaxTraceDefect is the largest per-merge trace defect observed (see
+	// MergeStat.TraceDefect).
+	MaxTraceDefect float64
+}
+
+// ABFT returns the solve's silent-corruption defense counters. All zeros for
+// solves run with Options.DisableABFT or outside the task-flow modes.
+func (s *Stats) ABFT() ABFTStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := ABFTStats{
+		Checksums:         s.Ops["ABFTChecksum"],
+		Invariants:        s.Ops["ABFTInvariant"],
+		ChecksumFailures:  s.Ops["ABFTChecksumFail"],
+		InvariantFailures: s.Ops["ABFTInvariantFail"],
+		Retries:           s.abftRetries.Load(),
+	}
+	for _, m := range s.Merges {
+		if m.TraceDefect > a.MaxTraceDefect {
+			a.MaxTraceDefect = m.TraceDefect
+		}
+	}
+	return a
 }
 
 // Fallbacks returns how many numerical-fallback rescues the solve recorded:

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,14 @@ const (
 	// KindDelay stalls the task, as a descheduled or page-faulting worker
 	// would; it exercises timeout/cancellation paths without failing.
 	KindDelay
+	// KindCorrupt silently flips a high exponent bit of one output element,
+	// as a DRAM bit flip or a buggy SIMD lane would: the task *succeeds* and
+	// hands plausible-looking wrong data downstream. Unlike the fail-stop
+	// kinds, KindCorrupt probes are not consulted by Fire/FireCtx before the
+	// kernel; kernels (or their submitting task bodies) call Corrupt on their
+	// output buffer after computing it, so the flip lands where the ABFT
+	// checksums and merge invariants must catch it.
+	KindCorrupt
 )
 
 func (k Kind) String() string {
@@ -44,6 +53,8 @@ func (k Kind) String() string {
 		return "error"
 	case KindDelay:
 		return "delay"
+	case KindCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -165,6 +176,9 @@ func FireCtx(ctx context.Context, class string) error {
 	reg.mu.Lock()
 	for i := range reg.probes {
 		p := &reg.probes[i]
+		if p.Kind == KindCorrupt {
+			continue // consulted by Corrupt at the kernel's output, not here
+		}
 		if p.Class != "*" && p.Class != class {
 			continue
 		}
@@ -205,6 +219,55 @@ func FireCtx(ctx context.Context, class string) error {
 	}
 }
 
+// Corrupt consults the armed plan for a KindCorrupt probe on the given task
+// class and, when one fires, silently flips exponent bit 57 of the
+// largest-magnitude element of data (multiplying it by 2^32 while keeping it
+// finite — a massive, detectable, deterministic corruption). Kernels call it
+// on their output buffer after computing it, guarded by Active(); probes of
+// other kinds never fire here. Returns whether a flip was applied. A buffer
+// of all zeros is left untouched (flipping a zero's exponent still yields
+// zero, so there is nothing meaningful to corrupt).
+func Corrupt(class string, data []float64) bool {
+	if len(data) == 0 {
+		return false
+	}
+	var hit bool
+	reg.mu.Lock()
+	for i := range reg.probes {
+		p := &reg.probes[i]
+		if p.Kind != KindCorrupt {
+			continue
+		}
+		if p.Class != "*" && p.Class != class {
+			continue
+		}
+		if p.MaxFires > 0 && reg.fires[i] >= p.MaxFires {
+			continue
+		}
+		if reg.rng.Float64() < p.P {
+			hit = true
+			reg.fired[class]++
+			reg.fires[i]++
+			break
+		}
+	}
+	reg.mu.Unlock()
+	if !hit {
+		return false
+	}
+	arg, mx := -1, 0.0
+	for i, v := range data {
+		if a := math.Abs(v); a > mx {
+			arg, mx = i, a
+		}
+	}
+	if arg < 0 {
+		return false
+	}
+	data[arg] = math.Float64frombits(math.Float64bits(data[arg]) ^ (1 << 57))
+	return true
+}
+
 // Transient classifies an error for retry policy: it reports whether the
 // chain contains a transient environmental fault — an injected fault, or any
 // error exposing `Transient() bool` as true (e.g. a watchdog stall abort) —
@@ -214,6 +277,21 @@ func FireCtx(ctx context.Context, class string) error {
 func Transient(err error) bool {
 	for e := err; e != nil; e = errors.Unwrap(e) {
 		if t, ok := e.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+	}
+	return false
+}
+
+// Corruption reports whether the chain contains a silent-data-corruption
+// detection — any error exposing `Corruption() bool` as true (an ABFT
+// checksum mismatch, a violated merge invariant, a failed result audit).
+// Corruption errors are also Transient (a recompute is expected to clear
+// them), but callers that want to count detected corruptions separately from
+// ordinary environmental faults key on this.
+func Corruption(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if c, ok := e.(interface{ Corruption() bool }); ok && c.Corruption() {
 			return true
 		}
 	}

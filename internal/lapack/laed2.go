@@ -330,6 +330,25 @@ func (df *Deflation) PermutePanel(q []float64, ldq int, ws *MergeWorkspace, g0, 
 	}
 }
 
+// PermutedColumn returns the compressed-workspace destination of grouped
+// column g — the region PermutePanel writes for it. Fault-injection hooks use
+// it to corrupt exactly the slice one PermuteV panel owns, without racing
+// against concurrent panels writing their own columns. For type-2 columns
+// (split across Q2Top and Q2Bot) the top half is returned.
+func (df *Deflation) PermutedColumn(ws *MergeWorkspace, g int) []float64 {
+	n1 := df.N1
+	n2 := df.N - n1
+	c1 := df.Ctot[colTop]
+	switch {
+	case g < df.C12():
+		return ws.Q2Top[g*n1 : g*n1+n1]
+	case g < df.K:
+		return ws.Q2Bot[(g-c1)*n2 : (g-c1)*n2+n2]
+	default:
+		return ws.Q2Defl[(g-df.K)*df.N : (g-df.K)*df.N+df.N]
+	}
+}
+
 // CopyBackPanel writes deflated columns [j0, j1) (relative to the deflated
 // group) back into q at final positions K+j (the paper's CopyBackDeflated
 // task), together with their eigenvalues into d.

@@ -240,6 +240,9 @@ type Runtime struct {
 
 	taskTimer func(class string, d time.Duration) // WithTaskTimer observer, may be nil
 	progress  func()                              // WithProgress observer, may be nil
+
+	retryPred func(class string, err error) bool // WithTaskRetry predicate, may be nil
+	retries   atomic.Int64                       // kernels re-executed after a retryable failure
 }
 
 // Option configures a Runtime.
@@ -275,6 +278,20 @@ func WithTaskTimer(obs func(class string, d time.Duration)) Option {
 // an atomic is the intended shape.
 func WithProgress(fn func()) Option {
 	return func(rt *Runtime) { rt.progress = fn }
+}
+
+// WithTaskRetry registers a task re-execution predicate: when a task's
+// kernel fails (error or panic) and pred(class, err) is true, the kernel is
+// invoked once more in place — same worker, same closure — before the
+// failure is declared. This is the task-granular self-healing path for
+// detected silent data corruption (an ABFT checksum mismatch or violated
+// merge invariant): the corrupted panel alone is recomputed instead of
+// failing the whole solve. The submitter must only approve classes whose
+// kernels are idempotent (they fully overwrite their outputs and do not
+// transform state in place); the predicate runs on worker goroutines and
+// must be concurrency-safe. Retries are counted in Retries.
+func WithTaskRetry(pred func(class string, err error) bool) Option {
+	return func(rt *Runtime) { rt.retryPred = pred }
 }
 
 // New creates a runtime with the given number of workers (<=0 selects
@@ -669,22 +686,31 @@ func (rt *Runtime) run(id int, t *task) {
 		return
 	}
 	start := time.Since(rt.start)
-	var err error
-	if faultinject.Active() {
-		// Probes are bounded by the runtime's context (when it has one) so an
-		// injected delay can never outlive a cancelled solve.
-		fctx := rt.ctx
-		if fctx == nil {
-			fctx = context.Background()
-		}
-		err = safeCall(func() {
-			if ferr := faultinject.FireCtx(fctx, t.class); ferr != nil {
-				panic(ferr)
+	runKernel := func() error {
+		if faultinject.Active() {
+			// Probes are bounded by the runtime's context (when it has one) so
+			// an injected delay can never outlive a cancelled solve.
+			fctx := rt.ctx
+			if fctx == nil {
+				fctx = context.Background()
 			}
-			t.fn()
-		})
-	} else {
-		err = safeCall(t.fn)
+			return safeCall(func() {
+				if ferr := faultinject.FireCtx(fctx, t.class); ferr != nil {
+					panic(ferr)
+				}
+				t.fn()
+			})
+		}
+		return safeCall(t.fn)
+	}
+	err := runKernel()
+	if err != nil && rt.retryPred != nil && !rt.aborted.Load() && rt.retryPred(t.class, err) {
+		// Task-granular self-healing: re-execute the kernel once in place.
+		// The predicate gates this to idempotent classes failing with
+		// detected-corruption errors, so the recompute overwrites the
+		// corrupted output instead of cascading the failure.
+		rt.retries.Add(1)
+		err = runKernel()
 	}
 	end := time.Since(rt.start)
 	if rt.taskTimer != nil {
@@ -836,6 +862,10 @@ func (rt *Runtime) Skipped() int64 {
 	defer rt.mu.Unlock()
 	return rt.skipped
 }
+
+// Retries returns how many kernels were re-executed in place by the
+// WithTaskRetry self-healing policy.
+func (rt *Runtime) Retries() int64 { return rt.retries.Load() }
 
 // Graph returns the captured DAG. Call after Wait; requires
 // WithGraphCapture.

@@ -1,0 +1,121 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTridiagResidualMatchesScalar: the fused residual/norm kernel must agree
+// with the portable fallback across every tail shape and input family.
+func TestTridiagResidualMatchesScalar(t *testing.T) {
+	compareDispatch(t, func(z, den []float64) []float64 {
+		n := len(z)
+		if n == 0 {
+			return nil
+		}
+		e := make([]float64, n-1)
+		for i := range e {
+			e[i] = den[i] * 0.25
+		}
+		lam := 0.0
+		if n > 1 {
+			lam = z[0] + den[n-1]*0x1p-20
+		}
+		r2, v2 := TridiagResidual(den, e, z, lam)
+		return []float64{r2, v2}
+	})
+}
+
+// TestTridiagResidualExact: against a hand-computed 3×3 case, including the
+// boundary rows that run outside the quad loop.
+func TestTridiagResidualExact(t *testing.T) {
+	d := []float64{2, 3, 4}
+	e := []float64{1, -1}
+	v := []float64{0.5, -0.25, 0.125}
+	lam := 1.5
+	// T·v = (2·0.5 + 1·(−0.25), 1·0.5 + 3·(−0.25) + (−1)·0.125, (−1)·(−0.25) + 4·0.125)
+	tv := []float64{0.75, -0.375, 0.75}
+	var wantR2, wantV2 float64
+	for i := range v {
+		s := tv[i] - lam*v[i]
+		wantR2 += s * s
+		wantV2 += v[i] * v[i]
+	}
+	r2, v2 := TridiagResidual(d, e, v, lam)
+	if math.Abs(r2-wantR2) > 1e-15 || math.Abs(v2-wantV2) > 1e-15 {
+		t.Fatalf("TridiagResidual = (%g, %g), want (%g, %g)", r2, v2, wantR2, wantV2)
+	}
+	// n=1: residual is (d[0]−lam)·v[0].
+	r2, v2 = TridiagResidual([]float64{5}, nil, []float64{2}, 3)
+	if r2 != 16 || v2 != 4 {
+		t.Fatalf("n=1: got (%g, %g), want (16, 4)", r2, v2)
+	}
+}
+
+// TestDotPairAbsMatchesScalar: the fused checksum dot pair must agree with
+// the portable fallback, including sign handling of |y|.
+func TestDotPairAbsMatchesScalar(t *testing.T) {
+	compareDispatch(t, func(z, den []float64) []float64 {
+		ax := make([]float64, len(z))
+		for i := range ax {
+			ax[i] = math.Abs(z[i])
+		}
+		dot, absdot := DotPairAbs(z, ax, den)
+		return []float64{dot, absdot}
+	})
+}
+
+// TestSumMatchesScalar: the lane summation must agree with the portable
+// fallback across tail shapes.
+func TestSumMatchesScalar(t *testing.T) {
+	compareDispatch(t, func(z, den []float64) []float64 {
+		return []float64{Sum(z), Sum(den)}
+	})
+}
+
+// TestSumNegZero: summing an empty and an all-(-0) slice — the lane
+// accumulators start at +0, so the sign of zero follows IEEE addition.
+func TestSumNegZero(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) != 0")
+	}
+	neg := math.Copysign(0, -1)
+	got := Sum([]float64{neg, neg, neg, neg, neg})
+	if got != 0 {
+		t.Fatalf("Sum of -0s = %g, want 0", got)
+	}
+}
+
+// BenchmarkTridiagResidual measures the audit sweep's per-column kernel.
+func BenchmarkTridiagResidual(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	v := make([]float64, n)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+		v[i] = rng.NormFloat64()
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	for _, on := range []bool{false, true} {
+		name := "scalar"
+		if on {
+			if !Available() {
+				continue
+			}
+			name = "avx"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer SetSIMD(Available())
+			SetSIMD(on)
+			b.SetBytes(n * 8)
+			for i := 0; i < b.N; i++ {
+				TridiagResidual(d, e, v, 0.5)
+			}
+		})
+	}
+}

@@ -229,3 +229,156 @@ func NegSqrtSign(dst, p, sgn []float64) {
 		dst[i] = math.Copysign(math.Sqrt(-p[i]), sgn[i])
 	}
 }
+
+// TridiagResidual accumulates, for one eigenpair (lam, v) of the symmetric
+// tridiagonal matrix (d, e), the squared residual norm and the squared
+// vector norm in one fused pass:
+//
+//	r2 = Σ_i (T·v − lam·v)_i²       v2 = Σ_i v_i²
+//
+// — the per-column work of the always-on result audit (eigen, DESIGN.md
+// §18). The boundary rows (no sub-/super-diagonal term) and a short tail
+// run here; interior rows run in octs (two quads) in the kernel.
+//
+// Unlike the secular kernels this one uses FMA: the audit sweep is
+// arithmetic-bound (11 FP ops per lane without fusion), and the audit path
+// has no VDIVPD to hide the extra instructions behind, so fusing roughly
+// halves its cost. The portable fallback mirrors the fused lane expression
+// with math.FMA (a single hardware instruction on amd64/arm64), keeping the
+// two dispatch paths bitwise identical.
+func TridiagResidual(d, e, v []float64, lam float64) (r2, v2 float64) {
+	n := len(v)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		s := d[0]*v[0] - lam*v[0]
+		return s * s, v[0] * v[0]
+	}
+	s := d[0]*v[0] + e[0]*v[1] - lam*v[0]
+	r2 = s * s
+	v2 = v[0] * v[0]
+	in := (n - 2) &^ 7
+	if in > 0 {
+		var ir2, iv2 float64
+		if active {
+			ir2, iv2 = tridiagResidualAVX(d[1:1+in], e[0:in], e[1:1+in], v[0:in], v[1:1+in], v[2:2+in], lam)
+		} else {
+			ir2, iv2 = tridiagResidualGo(d[1:1+in], e[0:in], e[1:1+in], v[0:in], v[1:1+in], v[2:2+in], lam)
+		}
+		r2 += ir2
+		v2 += iv2
+	}
+	for i := 1 + in; i < n-1; i++ {
+		s := ((d[i]*v[i] + e[i-1]*v[i-1]) + e[i]*v[i+1]) - lam*v[i]
+		r2 += s * s
+		v2 += v[i] * v[i]
+	}
+	s = d[n-1]*v[n-1] + e[n-2]*v[n-2] - lam*v[n-1]
+	r2 += s * s
+	v2 += v[n-1] * v[n-1]
+	return r2, v2
+}
+
+// tridiagResidualGo is the portable interior-row kernel: all six slices have
+// the same 8-aligned length, lane j covering interior row i = base+j with
+// dd=d[i], em=e[i-1], ep=e[i], vm=v[i-1], vv=v[i], vp=v[i+1]. The fused
+// lane expression, the two accumulator sets (one per quad of the oct), and
+// the A_l+B_l then (l0+l2)+(l1+l3) reduction mirror the assembly exactly.
+func tridiagResidualGo(dd, em, ep, vm, vv, vp []float64, lam float64) (r2, v2 float64) {
+	nlam := -lam
+	var ra, rb, na, nb [4]float64
+	for j := 0; j+7 < len(vv); j += 8 {
+		for l := 0; l < 4; l++ {
+			i := j + l
+			s := dd[i] * vv[i]
+			s = math.FMA(em[i], vm[i], s)
+			s = math.FMA(ep[i], vp[i], s)
+			s = math.FMA(nlam, vv[i], s)
+			ra[l] = math.FMA(s, s, ra[l])
+			na[l] = math.FMA(vv[i], vv[i], na[l])
+		}
+		for l := 0; l < 4; l++ {
+			i := j + 4 + l
+			s := dd[i] * vv[i]
+			s = math.FMA(em[i], vm[i], s)
+			s = math.FMA(ep[i], vp[i], s)
+			s = math.FMA(nlam, vv[i], s)
+			rb[l] = math.FMA(s, s, rb[l])
+			nb[l] = math.FMA(vv[i], vv[i], nb[l])
+		}
+	}
+	r0, r1, r2l, r3 := ra[0]+rb[0], ra[1]+rb[1], ra[2]+rb[2], ra[3]+rb[3]
+	n0, n1, n2, n3 := na[0]+nb[0], na[1]+nb[1], na[2]+nb[2], na[3]+nb[3]
+	return (r0 + r2l) + (r1 + r3), (n0 + n2) + (n1 + n3)
+}
+
+// DotPairAbs accumulates the two dot products of one ABFT checksum
+// verification (internal/blas, DESIGN.md §18) in a single pass:
+//
+//	dot = Σ x[j]·y[j]        absdot = Σ ax[j]·|y[j]|
+//
+// with x the checksum row, ax the absolute checksum row and y the streamed
+// B column. Lane-ordered accumulation; bitwise identical with and without
+// assembly.
+func DotPairAbs(x, ax, y []float64) (dot, absdot float64) {
+	n := len(y)
+	n4 := n &^ 3
+	if n4 > 0 {
+		if active {
+			dot, absdot = dotPairAbsAVX(x[:n4], ax[:n4], y[:n4])
+		} else {
+			dot, absdot = dotPairAbsGo(x[:n4], ax[:n4], y[:n4])
+		}
+	}
+	for j := n4; j < n; j++ {
+		dot += x[j] * y[j]
+		absdot += ax[j] * math.Abs(y[j])
+	}
+	return dot, absdot
+}
+
+func dotPairAbsGo(x, ax, y []float64) (dot, absdot float64) {
+	var d0, d1, d2, d3, a0, a1, a2, a3 float64
+	for j := 0; j+3 < len(y); j += 4 {
+		d0 += x[j] * y[j]
+		d1 += x[j+1] * y[j+1]
+		d2 += x[j+2] * y[j+2]
+		d3 += x[j+3] * y[j+3]
+		a0 += ax[j] * math.Abs(y[j])
+		a1 += ax[j+1] * math.Abs(y[j+1])
+		a2 += ax[j+2] * math.Abs(y[j+2])
+		a3 += ax[j+3] * math.Abs(y[j+3])
+	}
+	return (d0 + d2) + (d1 + d3), (a0 + a2) + (a1 + a3)
+}
+
+// Sum returns Σ x[j] with lane-ordered accumulation — the output-column
+// summation of the ABFT checksum verification. Bitwise identical with and
+// without assembly.
+func Sum(x []float64) (s float64) {
+	n := len(x)
+	n4 := n &^ 3
+	if n4 > 0 {
+		if active {
+			s = sumAVX(x[:n4])
+		} else {
+			s = sumGo(x[:n4])
+		}
+	}
+	for j := n4; j < n; j++ {
+		s += x[j]
+	}
+	return s
+}
+
+func sumGo(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	for j := 0; j+3 < len(x); j += 4 {
+		s0 += x[j]
+		s1 += x[j+1]
+		s2 += x[j+2]
+		s3 += x[j+3]
+	}
+	return (s0 + s2) + (s1 + s3)
+}

@@ -54,3 +54,12 @@ func detectAVX2FMA() bool {
 	const avx2 = 1 << 5
 	return ebx7&avx2 != 0
 }
+
+//go:noescape
+func tridiagResidualAVX(dd, em, ep, vm, vv, vp []float64, lam float64) (r2, v2 float64)
+
+//go:noescape
+func dotPairAbsAVX(x, ax, y []float64) (dot, absdot float64)
+
+//go:noescape
+func sumAVX(x []float64) float64

@@ -224,3 +224,142 @@ loop:
 	JNZ  loop
 	VZEROUPPER
 	RET
+
+// func tridiagResidualAVX(dd, em, ep, vm, vv, vp []float64, lam float64) (r2, v2 float64)
+//
+// Interior rows of the fused residual/norm pass (TridiagResidual), octs
+// (two quads) over the common 8-aligned length:
+//
+//	s = fma(-lam, vv, fma(ep, vp, fma(em, vm, dd*vv)))
+//	r2 += s*s   (fused)       v2 += vv*vv   (fused)
+//
+// Unlike the secular kernels this one fuses multiply-adds — the loop has no
+// division to hide instructions behind, so FMA halves the arithmetic —
+// and the portable fallback matches bitwise by using math.FMA in the same
+// lane order. Two accumulator sets (one per quad) keep the FMA dependency
+// chains apart; the reduction is A+B per lane, then (l0+l2)+(l1+l3).
+TEXT ·tridiagResidualAVX(SB), NOSPLIT, $0-168
+	MOVQ dd_base+0(FP), SI
+	MOVQ dd_len+8(FP), CX
+	SHRQ $3, CX
+	MOVQ em_base+24(FP), DI
+	MOVQ ep_base+48(FP), R8
+	MOVQ vm_base+72(FP), R9
+	MOVQ vv_base+96(FP), R10
+	MOVQ vp_base+120(FP), R11
+	VBROADCASTSD lam+144(FP), Y12
+	VXORPD signmask<>(SB), Y12, Y12 // -lam
+	VXORPD Y0, Y0, Y0            // r2 lanes, quad A
+	VXORPD Y1, Y1, Y1            // v2 lanes, quad A
+	VXORPD Y2, Y2, Y2            // r2 lanes, quad B
+	VXORPD Y3, Y3, Y3            // v2 lanes, quad B
+loop:
+	PREFETCHT0 512(R10)          // vv stream: the only cold one (vm/vp share its lines)
+	VMOVUPD (SI), Y8             // dd quad A
+	VMOVUPD (R10), Y9            // vv quad A
+	VMULPD Y9, Y8, Y8            // s = dd·vv
+	VMOVUPD (DI), Y10            // em quad A
+	VMOVUPD (R9), Y11            // vm quad A
+	VFMADD231PD Y11, Y10, Y8     // s += em·vm
+	VMOVUPD (R8), Y10            // ep quad A
+	VMOVUPD (R11), Y11           // vp quad A
+	VFMADD231PD Y11, Y10, Y8     // s += ep·vp
+	VFMADD231PD Y9, Y12, Y8      // s += (-lam)·vv
+	VFMADD231PD Y8, Y8, Y0       // r2A += s·s
+	VFMADD231PD Y9, Y9, Y1       // v2A += vv·vv
+	VMOVUPD 32(SI), Y13          // dd quad B
+	VMOVUPD 32(R10), Y14         // vv quad B
+	VMULPD Y14, Y13, Y13         // s = dd·vv
+	VMOVUPD 32(DI), Y10          // em quad B
+	VMOVUPD 32(R9), Y11          // vm quad B
+	VFMADD231PD Y11, Y10, Y13    // s += em·vm
+	VMOVUPD 32(R8), Y10          // ep quad B
+	VMOVUPD 32(R11), Y11         // vp quad B
+	VFMADD231PD Y11, Y10, Y13    // s += ep·vp
+	VFMADD231PD Y14, Y12, Y13    // s += (-lam)·vv
+	VFMADD231PD Y13, Y13, Y2     // r2B += s·s
+	VFMADD231PD Y14, Y14, Y3     // v2B += vv·vv
+	ADDQ $64, SI
+	ADDQ $64, DI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	DECQ CX
+	JNZ  loop
+
+	VADDPD Y2, Y0, Y0            // r2 lanes: A + B
+	VADDPD Y3, Y1, Y1            // v2 lanes: A + B
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, r2+152(FP)
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD X8, X1, X1
+	VHADDPD X1, X1, X1
+	MOVSD X1, v2+160(FP)
+	VZEROUPPER
+	RET
+
+// func dotPairAbsAVX(x, ax, y []float64) (dot, absdot float64)
+//
+// One pass of the ABFT checksum dot products over the common 4-aligned
+// length: dot += x·y and absdot += ax·|y| per lane. Separate VMULPD+VADDPD;
+// reduction is (l0+l2)+(l1+l3).
+TEXT ·dotPairAbsAVX(SB), NOSPLIT, $0-88
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	SHRQ $2, CX
+	MOVQ ax_base+24(FP), DI
+	MOVQ y_base+48(FP), R8
+	VMOVUPD signmask<>(SB), Y13
+	VXORPD Y0, Y0, Y0            // dot lanes
+	VXORPD Y1, Y1, Y1            // absdot lanes
+loop:
+	VMOVUPD (R8), Y9             // y quad
+	VMOVUPD (SI), Y8             // x quad
+	VMULPD Y9, Y8, Y8            // x·y
+	VADDPD Y8, Y0, Y0
+	VANDNPD Y9, Y13, Y9          // |y|
+	VMOVUPD (DI), Y8             // ax quad
+	VMULPD Y9, Y8, Y8            // ax·|y|
+	VADDPD Y8, Y1, Y1
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	DECQ CX
+	JNZ  loop
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, dot+72(FP)
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD X8, X1, X1
+	VHADDPD X1, X1, X1
+	MOVSD X1, absdot+80(FP)
+	VZEROUPPER
+	RET
+
+// func sumAVX(x []float64) float64
+//
+// Σ x over len(x) (a multiple of 4) with lane accumulators; reduction is
+// (l0+l2)+(l1+l3).
+TEXT ·sumAVX(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	SHRQ $2, CX
+	VXORPD Y0, Y0, Y0
+loop:
+	VMOVUPD (SI), Y8
+	VADDPD Y8, Y0, Y0
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  loop
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET

@@ -29,3 +29,15 @@ func mulIntoAVX(dst, src []float64) {
 func negSqrtSignAVX(dst, p, sgn []float64) {
 	panic("simd: negSqrtSignAVX called without assembly support")
 }
+
+func tridiagResidualAVX(dd, em, ep, vm, vv, vp []float64, lam float64) (r2, v2 float64) {
+	panic("simd: tridiagResidualAVX called without assembly support")
+}
+
+func dotPairAbsAVX(x, ax, y []float64) (dot, absdot float64) {
+	panic("simd: dotPairAbsAVX called without assembly support")
+}
+
+func sumAVX(x []float64) float64 {
+	panic("simd: sumAVX called without assembly support")
+}
